@@ -1,0 +1,35 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentContext` per session: the world, the Alexa
+subdomains dataset, the packet capture, and the WAN campaign are built
+once, then each bench regenerates its table/figure from them.  The
+scale is reduced from the paper's (1M domains → 2,500; 288 probe
+rounds → 24); every percentage-based comparison is scale-free.
+"""
+
+import pytest
+
+from repro.analysis.wan import WanConfig
+from repro.experiments import ExperimentContext
+from repro.world import WorldConfig
+
+BENCH_SEED = 7
+BENCH_DOMAINS = 2500
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(
+        WorldConfig(seed=BENCH_SEED, num_domains=BENCH_DOMAINS),
+        WanConfig(rounds=24),
+    )
+    # Prewarm the expensive shared artifacts so individual benches time
+    # their analysis, not world construction.
+    _ = context.dataset
+    _ = context.traffic.trace
+    return context
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

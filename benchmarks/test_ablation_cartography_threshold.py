@@ -1,0 +1,64 @@
+"""Ablation: the latency method's threshold T (§4.3).
+
+The paper sets T = 1.1 ms.  Sweeping T shows the trade-off the choice
+sits on: a tight threshold refuses to answer (more unknowns, fewer
+errors), a loose one guesses (fewer unknowns, more errors).  The
+sweet spot is just above the same-zone floor and below cross-zone
+RTTs.
+"""
+
+import pytest
+
+from repro.analysis.dataset import DatasetBuilder
+from repro.analysis.zones import ZoneAnalysis
+from repro.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def zone_setup():
+    world = World(WorldConfig(seed=7, num_domains=1200))
+    dataset = DatasetBuilder(world).build()
+    return world, dataset
+
+
+def _sweep(world, dataset, threshold):
+    zones = ZoneAnalysis(world, dataset)
+    zones.latency.threshold_ms = threshold
+    targets = zones.targets_by_region().get("us-east-1", [])
+    estimates = zones.latency.identify_all("us-east-1", targets)
+    responded = [e for e in estimates if e.responded]
+    unknown = sum(1 for e in responded if e.zone_label is None)
+    wrong = 0
+    known = 0
+    for estimate in responded:
+        if estimate.zone_label is None:
+            continue
+        known += 1
+        physical = zones.latency.label_to_physical(
+            "us-east-1", estimate.zone_label
+        )
+        if physical != world.ec2.zone_of_instance_ip(estimate.target):
+            wrong += 1
+    return {
+        "unknown_rate": unknown / len(responded) if responded else 0.0,
+        "error_rate": wrong / known if known else 0.0,
+    }
+
+
+def test_ablation_cartography_threshold(zone_setup, benchmark):
+    world, dataset = zone_setup
+    results = benchmark.pedantic(
+        lambda: {
+            t: _sweep(world, dataset, t) for t in (0.7, 1.1, 1.6, 2.6)
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    for threshold, stats in results.items():
+        print(f"T={threshold}: unknown {100 * stats['unknown_rate']:.1f}% "
+              f"error {100 * stats['error_rate']:.1f}%")
+    # Tightening the threshold trades unknowns for correctness.
+    assert results[0.7]["unknown_rate"] >= results[2.6]["unknown_rate"]
+    assert results[0.7]["error_rate"] <= results[2.6]["error_rate"] + 0.02
+    # The paper's 1.1 ms keeps both failure modes small.
+    assert results[1.1]["error_rate"] < 0.1

@@ -1,0 +1,53 @@
+"""Extension bench: the paper's availability claims as outage drills.
+
+§4.2: "an outage of EC2's US East region would take down critical
+components of at least 2.3% of the domains on Alexa's list"; §4.3:
+zone failures have asymmetric blast radius.  The drills execute both
+claims against the measured dataset and add the service-failure case
+the paper cites from the 2012 ELB incidents.
+"""
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalysis
+from repro.analysis.dataset import DatasetBuilder
+from repro.faults import region_outage, service_outage
+from repro.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def availability():
+    world = World(WorldConfig(seed=7, num_domains=2000))
+    dataset = DatasetBuilder(world).build()
+    return AvailabilityAnalysis(world, dataset)
+
+
+def test_bench_outage_drills(availability, benchmark):
+    def drills():
+        return {
+            "us-east-1": availability.evaluate(
+                region_outage("ec2", "us-east-1")
+            ),
+            "zones": availability.zone_blast_radius("us-east-1"),
+            "elb": availability.evaluate(service_outage("elb")),
+        }
+
+    results = benchmark.pedantic(drills, rounds=1, iterations=1)
+    region = results["us-east-1"]
+    print(f"\nus-east-1 outage: {region.unavailable} subdomains dark "
+          f"({100 * region.unavailable_fraction:.1f}%), "
+          f"{100 * region.alexa_share_hit:.2f}% of the ranking hit")
+    for zone, report in sorted(results["zones"].items()):
+        print(f"  zone {zone} alone: {report.unavailable} dark")
+    elb = results["elb"]
+    print(f"ELB service outage: {elb.unavailable} dark, "
+          f"{elb.unaffected} unaffected")
+
+    # Paper: >= 2.3% of the ranking loses critical components.
+    assert region.alexa_share_hit > 0.015
+    # Zone failures are asymmetric and strictly smaller than region.
+    zone_counts = [r.unavailable for r in results["zones"].values()]
+    assert max(zone_counts) > min(zone_counts)
+    assert max(zone_counts) < region.unavailable
+    # VM-dominant deployments ride out an ELB-only event.
+    assert elb.unavailable < region.unavailable / 3

@@ -1,0 +1,31 @@
+"""Extension bench: §5's routing-policy trade-off, quantified.
+
+The paper proposes either global request scheduling or parallel
+requests to exploit regional diversity.  The bench prices all four
+policies over the Figure 12 measurement campaign: the oracle buys
+little over simple geo-pinning on calm paths, parallel racing pays
+k× server load for the same latency, and everything beats
+single-region.
+"""
+
+from repro.analysis.scheduling import RequestScheduler
+
+
+def test_bench_routing_policies(ctx, benchmark):
+    scheduler = RequestScheduler(ctx.wan)
+    outcomes = benchmark.pedantic(
+        scheduler.compare, rounds=1, iterations=1
+    )
+    print()
+    for outcome in outcomes:
+        print(f"{outcome.policy:14s} mean {outcome.mean_latency_ms:7.1f} ms"
+              f"  p95 {outcome.p95_latency_ms:7.1f} ms"
+              f"  load x{outcome.server_load_factor:.0f}")
+    by_name = {o.policy: o for o in outcomes}
+    assert by_name["geo-nearest"].mean_latency_ms < (
+        by_name["static-home"].mean_latency_ms
+    )
+    assert by_name["dynamic-best"].mean_latency_ms <= (
+        by_name["geo-nearest"].mean_latency_ms
+    )
+    assert by_name["parallel-k"].server_load_factor >= 3.0

@@ -1,0 +1,49 @@
+"""Ablation: brute-force wordlist size (§2.1's lower-bound caveat).
+
+"This brute-force approach misses some subdomains, but it allows us
+to provide a lower bound."  We quantify the caveat: enumerate the same
+population with a stunted wordlist and with the full one, and compare
+against what zone transfers reveal.
+"""
+
+from repro.dns.enumeration import SubdomainEnumerator, default_wordlist
+from repro.dns.resolver import StubResolver
+from repro.world import World, WorldConfig
+
+
+def _discovered_total(world, wordlist):
+    resolver = StubResolver(world.dns)
+    enumerator = SubdomainEnumerator(
+        world.dns, resolver, wordlist=wordlist
+    )
+    total = 0
+    for site in world.alexa:
+        total += len(enumerator.enumerate(site.domain).subdomains)
+    return total
+
+
+def test_ablation_wordlist(benchmark):
+    world = World(WorldConfig(seed=7, num_domains=600))
+    full = default_wordlist()
+    stunted = full[:20]
+    # Ground truth is everything that exists in DNS under each domain
+    # (planned subdomains plus infrastructure names like ns1.*).
+    ground_truth = 0
+    for plan in world.plans:
+        zone = world.dns.get_zone(plan.domain)
+        ground_truth += sum(
+            1 for name in zone.names() if name != plan.domain
+        )
+    small, big = benchmark.pedantic(
+        lambda: (
+            _discovered_total(world, stunted),
+            _discovered_total(world, full),
+        ),
+        rounds=1, iterations=1,
+    )
+    print(f"\nground truth subdomains: {ground_truth}")
+    print(f"20-word list discovers:  {small} "
+          f"({100 * small / ground_truth:.1f}%)")
+    print(f"full list discovers:     {big} "
+          f"({100 * big / ground_truth:.1f}%)")
+    assert small < big <= ground_truth

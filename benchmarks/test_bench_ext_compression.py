@@ -1,0 +1,20 @@
+"""Extension bench: §3.3's compression implication, quantified.
+
+"The predominance of plain text and HTML traffic points to the fact
+that compression could be employed to save WAN bandwidth."  The bench
+verifies the saving is substantial and text-led on the regenerated
+capture.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_ext_compression(ctx, benchmark):
+    result = run_once(
+        benchmark, lambda: get_experiment("ext-compression").run(ctx)
+    )
+    assert result.measured["overall_saving_pct"] > 25.0
+    assert result.measured["text_is_top_saver"]
+    print()
+    print(result.summary())

@@ -1,0 +1,22 @@
+"""Extension bench: the abstract's headline numbers, regenerated.
+
+The tightest end-to-end check of the reproduction: the five
+quantitative claims of the paper's abstract, re-derived from measured
+data in one pass.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_ext_headline(ctx, benchmark):
+    result = run_once(
+        benchmark, lambda: get_experiment("ext-headline").run(ctx)
+    )
+    measured = result.measured
+    assert 2.5 < measured["cloud_share_pct"] < 7.5
+    assert measured["vm_front_share_pct"] > 55.0
+    assert measured["single_region_pct"] > 90.0
+    assert measured["k3_latency_gain_pct"] > 20.0
+    print()
+    print(result.summary())

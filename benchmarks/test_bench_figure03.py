@@ -1,0 +1,19 @@
+"""Figure 3: CDFs of HTTP/HTTPS flow counts and sizes per domain.
+
+Shape: per-domain flow counts are heavy-tailed (the top domains hold
+most flows); HTTPS flows are larger than HTTP flows (storage traffic),
+with HTTP medians near 2 KB.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure03(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure03").run(ctx))
+    measured = result.measured
+    assert measured["https_flows_larger"]
+    assert 500 < measured["http_median_flow_bytes"] < 8000
+    assert measured["top100_http_flow_share_pct"] > 60.0
+    print()
+    print(result.summary())

@@ -1,0 +1,19 @@
+"""Figure 4: feature instances per subdomain.
+
+Shape: most VM-front subdomains run 1-2 front-end VMs; nearly all
+ELB-using subdomains resolve to at most a handful of physical proxies,
+with a few very wide outliers.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure04(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure04").run(ctx))
+    measured = result.measured
+    assert measured["vm_two_or_fewer_pct"] > 60.0
+    assert measured["elb_five_or_fewer_pct"] > 70.0
+    assert measured["elb_max"] >= 10
+    print()
+    print(result.summary())

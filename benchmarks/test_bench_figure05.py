@@ -1,0 +1,21 @@
+"""Figure 5: name servers per subdomain and where they live.
+
+Shape: most subdomains use 3-10 authoritative servers; the vast
+majority of those servers live outside the clouds, with Route53
+(served from CloudFront's range) and EC2-hosted BIND boxes as the
+cloud-resident minority.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure05(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure05").run(ctx))
+    measured = result.measured
+    assert measured["three_to_ten_pct"] > 55.0
+    assert measured["outside_ns_share_pct"] > 60.0
+    assert measured["cloudfront_ns_share_pct"] < 25.0
+    assert measured["ec2_vm_ns_share_pct"] < 15.0
+    print()
+    print(result.summary())

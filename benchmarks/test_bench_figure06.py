@@ -1,0 +1,22 @@
+"""Figure 6: regions used per subdomain and per domain.
+
+Shape: single-region deployment is overwhelming — ≥95% of EC2-using
+and ~90% of Azure-using subdomains sit in exactly one region, leaving
+them exposed to whole-region outages.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure06(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure06").run(ctx))
+    measured = result.measured
+    assert measured["ec2_single_region_pct"] > 90.0
+    assert measured["azure_single_region_pct"] > 80.0
+    assert (
+        measured["azure_single_region_pct"]
+        <= measured["ec2_single_region_pct"] + 3.0
+    )
+    print()
+    print(result.summary())

@@ -1,0 +1,18 @@
+"""Figure 7: internal-address banding by availability zone.
+
+Shape: /16 blocks of the internal 10/8 space belong to exactly one
+zone (no conflicts in the sampled data) — the invariant the proximity
+cartography method rests on.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure07(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure07").run(ctx))
+    measured = result.measured
+    assert measured["slash16_zone_conflicts"] == 0
+    assert measured["zones_sampled"] >= 3
+    print()
+    print(result.summary())

@@ -1,0 +1,20 @@
+"""Figure 8: zones used per subdomain and per domain.
+
+Shape: roughly a third of subdomains use one zone, the plurality two,
+and a fifth three or more; of the multi-zone subdomains only a few
+percent cross regions — so most front ends die with one region.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure08(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure08").run(ctx))
+    measured = result.measured
+    assert 15.0 < measured["one_zone_pct"] < 55.0
+    assert measured["two_zone_pct"] > 25.0
+    assert 5.0 < measured["three_plus_zone_pct"] < 40.0
+    assert measured["multi_zone_cross_region_pct"] < 12.0
+    print()
+    print(result.summary())

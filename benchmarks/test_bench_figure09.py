@@ -1,0 +1,18 @@
+"""Figure 9: average throughput between clients and US regions.
+
+Shape: region choice moves throughput by integer factors for edge
+clients (Seattle to Oregon vs Virginia); us-west-1 delivers better
+average throughput than the younger us-west-2.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure09(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure09").run(ctx))
+    measured = result.measured
+    assert measured["west1_beats_west2"]
+    assert measured["seattle_west2_vs_east_factor"] > 2.0
+    print()
+    print(result.summary())

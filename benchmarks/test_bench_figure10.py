@@ -1,0 +1,18 @@
+"""Figure 10: average latency between clients and US regions.
+
+Shape: Seattle reaches us-west-2 ~6x faster than us-east-1; west-coast
+clients strongly prefer the west regions and vice versa; us-west-1
+averages lower latency than us-west-2 across all clients.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure10(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure10").run(ctx))
+    measured = result.measured
+    assert measured["west1_beats_west2"]
+    assert measured["seattle_east_vs_west2_factor"] > 3.0
+    print()
+    print(result.summary())

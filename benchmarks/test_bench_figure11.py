@@ -1,0 +1,20 @@
+"""Figure 11: the best region changes over time for some clients.
+
+Shape: for a client roughly equidistant from the US regions (Boulder),
+congestion episodes flip which region is best over the measurement
+window; for a client pinned to one coast (Seattle) the best region
+never changes.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure11(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure11").run(ctx))
+    measured = result.measured
+    assert measured["boulder_distinct_best"] >= 2
+    assert measured["boulder_best_region_flips"] >= 1
+    assert measured["seattle_distinct_best"] == 1
+    print()
+    print(result.summary())

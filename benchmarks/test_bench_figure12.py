@@ -1,0 +1,23 @@
+"""Figure 12: optimal k-region deployments.
+
+Shape: us-east-1 is the best single region; adding regions yields a
+large latency improvement (the paper: 33% at k=3) with clearly
+diminishing returns after k≈3-4; throughput rises monotonically with k.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_figure12(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("figure12").run(ctx))
+    measured = result.measured
+    assert measured["k1_best_region"] == "us-east-1"
+    assert measured["latency_gain_at_k3_pct"] > 20.0
+    assert measured["diminishing_after_k3"]
+    assert (
+        measured["latency_gain_at_k4_pct"]
+        >= measured["latency_gain_at_k3_pct"]
+    )
+    print()
+    print(result.summary())

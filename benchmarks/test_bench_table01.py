@@ -1,0 +1,21 @@
+"""Table 1: traffic volume and flows per cloud.
+
+Paper: EC2 81.73% of bytes / 80.70% of flows; Azure the rest.  The
+shape that must hold: EC2 dominates on both axes, by roughly 4:1.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table01(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table01").run(ctx))
+    measured = result.measured
+    assert measured["ec2_bytes_pct"] > 70.0
+    assert measured["ec2_flows_pct"] > 70.0
+    assert measured["azure_bytes_pct"] < 30.0
+    assert abs(
+        measured["ec2_bytes_pct"] + measured["azure_bytes_pct"] - 100.0
+    ) < 0.1
+    print()
+    print(result.summary())

@@ -1,0 +1,21 @@
+"""Table 2: protocol mix by bytes and flows.
+
+Shape: HTTPS dominates bytes overall (driven by EC2 storage traffic),
+HTTP dominates flows, DNS is ~11% of flows but negligible bytes, and
+the clouds differ (EC2 bytes mostly HTTPS, Azure bytes mostly HTTP).
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table02(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table02").run(ctx))
+    measured = result.measured
+    assert measured["https_bytes_pct"] > 55.0
+    assert measured["http_flows_pct"] > 55.0
+    assert 5.0 < measured["dns_flows_pct"] < 20.0
+    assert measured["ec2_https_bytes_pct"] > 70.0
+    assert measured["azure_http_bytes_pct"] > 45.0
+    print()
+    print(result.summary())

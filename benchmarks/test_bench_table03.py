@@ -1,0 +1,21 @@
+"""Table 3: domains/subdomains by provider mix.
+
+Shape: ~4% of the ranking is cloud-using with rank skew toward the
+top quartile; EC2 carries the overwhelming majority of both domains
+and subdomains; most EC2 domains also host subdomains elsewhere.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table03(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table03").run(ctx))
+    measured = result.measured
+    assert 2.5 < measured["cloud_domain_pct_of_alexa"] < 7.5
+    assert measured["ec2_domain_share_pct"] > 80.0
+    assert measured["azure_domain_share_pct"] < 20.0
+    assert measured["ec2_only_sub_pct"] > 60.0
+    assert measured["top_quartile_share_pct"] > 30.0
+    print()
+    print(result.summary())

@@ -1,0 +1,20 @@
+"""Table 4: top-10 EC2-using domains by Alexa rank.
+
+Shape: the paper's named tenants (amazon.com, linkedin.com,
+pinterest.com, fc2.com, ...) are recovered by the pipeline at their
+planted ranks, interleaved with whatever sampled domains happen to be
+cloud-using above rank ~50.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table04(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table04").run(ctx))
+    assert result.measured["paper_top10_recovered"] >= 5
+    rendered = result.rendered
+    for domain in ("amazon.com", "pinterest.com", "fc2.com"):
+        assert domain in rendered
+    print()
+    print(result.summary())

@@ -1,0 +1,19 @@
+"""Table 5: domains with the highest HTTP(S) traffic volumes.
+
+Shape: a handful of tenants carry most of the traffic, with
+dropbox.com alone near 68% of HTTP(S) bytes; Azure's list is led by
+Microsoft properties.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table05(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table05").run(ctx))
+    measured = result.measured
+    assert measured["top_ec2_domain"] == "dropbox.com"
+    assert measured["top_ec2_share_pct"] > 50.0
+    assert "atdmt.com" in result.rendered or "msn.com" in result.rendered
+    print()
+    print(result.summary())

@@ -1,0 +1,16 @@
+"""Table 6: HTTP content types by byte count.
+
+Shape: html + plain text make up roughly half the HTTP bytes and are
+small objects; images/flash/binaries follow with larger means.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table06(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table06").run(ctx))
+    assert result.measured["text_dominates"]
+    assert result.measured["top_type"] in ("text/html", "text/plain")
+    print()
+    print(result.summary())

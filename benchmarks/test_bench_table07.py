@@ -1,0 +1,22 @@
+"""Table 7: cloud feature usage summary.
+
+Shape: VM front ends dominate EC2 use (~72% of subdomains); ELB and
+PaaS fronts are small minorities; Heroku multiplexes its subdomains
+over a tiny shared IP fleet; most Azure subdomains front through
+Cloud Services and very few through Traffic Manager.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table07(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table07").run(ctx))
+    measured = result.measured
+    assert measured["vm_sub_pct"] > 55.0
+    assert measured["elb_sub_pct"] < 15.0
+    assert measured["heroku_sub_pct"] < 25.0
+    assert measured["cs_sub_pct"] > 50.0
+    assert measured["heroku_unique_ips"] <= 94
+    print()
+    print(result.summary())

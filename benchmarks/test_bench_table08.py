@@ -1,0 +1,18 @@
+"""Table 8: feature usage of the top EC2-using domains.
+
+Shape: amazon.com fronts with ELBs (Beanstalk), pinterest.com runs
+plain VMs, fc2.com holds the widest physical-ELB footprint.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table08(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table08").run(ctx))
+    measured = result.measured
+    assert measured["amazon_uses_elb"]
+    assert measured["pinterest_vm_only"]
+    assert measured["fc2_elb_ips"] >= 20
+    print()
+    print(result.summary())

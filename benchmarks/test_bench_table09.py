@@ -1,0 +1,18 @@
+"""Table 9: region usage.
+
+Shape: EC2 usage is heavily skewed to us-east-1 (~74% of subdomains),
+with eu-west-1 a distant second; Azure's spread is much flatter with
+the US regions most used.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table09(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table09").run(ctx))
+    measured = result.measured
+    assert measured["us_east_share_pct"] > 50.0
+    assert measured["eu_west_share_pct"] < measured["us_east_share_pct"]
+    print()
+    print(result.summary())

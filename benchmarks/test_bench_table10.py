@@ -1,0 +1,21 @@
+"""Table 10: region usage of the top cloud-using domains.
+
+Shape: nearly all top domains keep every subdomain in a single
+region; no subdomain uses three or more regions; multi-region domains
+(msn.com, microsoft.com) split different subdomains across regions.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table10(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table10").run(ctx))
+    measured = result.measured
+    assert measured["domains_reported"] >= 10
+    assert measured["all_single_region_domains"] >= (
+        measured["domains_reported"] - 4
+    )
+    assert measured["max_regions_per_subdomain"] <= 2
+    print()
+    print(result.summary())

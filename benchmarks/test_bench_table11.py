@@ -1,0 +1,18 @@
+"""Table 11: same-zone vs cross-zone RTT calibration.
+
+Shape: same-zone minimum RTTs sit near 0.5 ms regardless of instance
+type; cross-zone RTTs are ~3x higher — the separation that makes the
+latency cartography method work at all.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table11(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table11").run(ctx))
+    measured = result.measured
+    assert measured["same_zone_min_ms"] < 0.8
+    assert measured["separation_holds"]
+    print()
+    print(result.summary())

@@ -1,0 +1,20 @@
+"""Table 12: latency-method zone estimates per region.
+
+Shape: estimates cover all eight regions; a quarter-ish of targets
+never answer probes; the noisy regions (eu-west-1 especially) leave a
+substantial unknown fraction.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table12(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table12").run(ctx))
+    measured = result.measured
+    # ap-southeast-2 holds 0.08% of subdomains and can be empty at
+    # bench scale; every populated region must be estimated.
+    assert measured["regions_estimated"] >= 7
+    assert 60.0 < measured["us_east_response_rate_pct"] < 95.0
+    print()
+    print(result.summary())

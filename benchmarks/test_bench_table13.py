@@ -1,0 +1,19 @@
+"""Table 13: veracity of the latency-based zone identification.
+
+Shape: scored against address-proximity ground truth, the latency
+method's overall error is in the single digits, with eu-west-1 (the
+noisiest region) clearly the worst.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table13(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table13").run(ctx))
+    measured = result.measured
+    assert measured["overall_error_pct"] < 15.0
+    if measured["eu_west_error_pct"] is not None:
+        assert measured["eu_west_error_pct"] >= measured["overall_error_pct"]
+    print()
+    print(result.summary())

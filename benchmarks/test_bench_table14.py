@@ -1,0 +1,18 @@
+"""Table 14: (sub)domains per availability zone.
+
+Shape: within a region, zone usage is skewed — the most popular
+us-east-1 zone hosts substantially more subdomains than the least
+popular one, so zone-specific failures have asymmetric blast radius.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table14(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table14").run(ctx))
+    measured = result.measured
+    assert measured["us_east_zone_skew_pct"] > 15.0
+    assert measured["regions_with_skew"] >= 3
+    print()
+    print(result.summary())

@@ -1,0 +1,16 @@
+"""Table 15: zone usage of the top EC2-using domains.
+
+Shape: even highly ranked domains leave many subdomains in a single
+zone, exposed to single-zone failures.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table15(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table15").run(ctx))
+    assert "pinterest.com" in result.rendered
+    assert result.measured["single_zone_fraction_pct"] > 5.0
+    print()
+    print(result.summary())

@@ -1,0 +1,21 @@
+"""Table 16: downstream ISP diversity per region and zone.
+
+Shape: multihoming varies enormously — us-east-1 peers with far more
+downstream ISPs than sa-east-1 or ap-southeast-2 (both ~4); zones of
+one region see (almost) the same ISP set; the route spread over those
+ISPs is uneven, with the top ISP carrying a quarter-plus of routes.
+"""
+
+from conftest import run_once
+from repro.experiments import get_experiment
+
+
+def test_bench_table16(ctx, benchmark):
+    result = run_once(benchmark, lambda: get_experiment("table16").run(ctx))
+    measured = result.measured
+    assert measured["us_east_isps"] >= 2 * measured["sa_east_isps"]
+    assert measured["sa_east_isps"] <= 6
+    assert measured["ap_southeast_2_isps"] <= 6
+    assert measured["max_top_isp_share_pct"] > 15.0
+    print()
+    print(result.summary())

@@ -1,0 +1,46 @@
+"""Reproduce the paper's public data release ([10]).
+
+"We make all data sets used in this paper publicly available, with
+the exception of the packet capture."  This example builds the Alexa
+subdomains dataset, writes the release files (plain TSV a downstream
+researcher can use without this library), and — going one better than
+2013 — also writes the capture as a Bro-style flow log, since ours
+carries no real users' privacy.
+
+Run:  python examples/export_datasets.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.dataset import DatasetBuilder
+from repro.analysis.export import export_dataset, load_subdomains_tsv
+from repro.capture.io import write_trace
+from repro.world import World, WorldConfig
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "release")
+    world = World(WorldConfig(seed=7, num_domains=2000))
+
+    print("Building the Alexa subdomains dataset...")
+    dataset = DatasetBuilder(world).build()
+    paths = export_dataset(world, dataset, out_dir)
+    for name, path in paths.items():
+        lines = sum(1 for _ in path.open()) - 1
+        print(f"  {path}  ({lines:,} rows)")
+
+    print("Generating and writing the packet capture...")
+    capture_path = out_dir / "capture.flows.log"
+    flows = write_trace(world.capture_trace(), capture_path)
+    print(f"  {capture_path}  ({flows:,} flows)")
+
+    # Prove the release stands alone: reload without library types.
+    rows = load_subdomains_tsv(paths["subdomains"])
+    multi_ip = sum(1 for row in rows if len(row["addresses"]) > 1)
+    print(f"\nReloaded {len(rows):,} subdomains from the release; "
+          f"{multi_ip:,} resolve to multiple addresses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Longitudinal cloud-usage tracking (the paper's closing suggestion).
+
+Runs the full measurement pipeline at two epochs six virtual months
+apart, with the world evolving in between — new tenants adopting EC2,
+existing single-region tenants expanding (taking the paper's own §5
+advice), and a few Azure tenants migrating — then reports the drift a
+follow-up study would have published.
+
+Run:  python examples/longitudinal_tracking.py
+"""
+
+from repro.evolution import LongitudinalStudy, WorldEvolution
+from repro.world import World, WorldConfig
+
+
+def main() -> None:
+    world = World(WorldConfig(seed=7, num_domains=2500))
+    study = LongitudinalStudy(world)
+
+    print("Epoch 1: running the DNS survey (March)...")
+    first = study.take_snapshot("march")
+    print(f"  cloud-using domains:    {first.cloud_domains}")
+    print(f"  cloud-using subdomains: {first.cloud_subdomains}")
+    print(f"  multi-region share:     "
+          f"{100 * first.multi_region_fraction:.1f}%")
+
+    print("\nSix months pass: adoption, expansion, migration...")
+    evolution = WorldEvolution(world)
+    adopted = evolution.adopt_cloud(40)
+    expanded = evolution.expand_to_second_region(30)
+    migrated = evolution.migrate_to_ec2(8)
+    evolution.advance_epoch()
+    print(f"  {adopted} domains adopted EC2, {expanded} subdomains "
+          f"added a second region, {migrated} migrated from Azure")
+
+    print("\nEpoch 2: re-running the DNS survey (September)...")
+    second = study.take_snapshot("september")
+    drift = LongitudinalStudy.drift(first, second)
+
+    print("\nWhat a follow-up paper would report:")
+    print(f"  cloud-using domains:  {first.cloud_domains} → "
+          f"{second.cloud_domains}  (+{drift.domains_added})")
+    print(f"  cloud subdomains:     {first.cloud_subdomains} → "
+          f"{second.cloud_subdomains}  (+{drift.subdomains_added})")
+    print(f"  multi-region share:   "
+          f"{100 * first.multi_region_fraction:.1f}% → "
+          f"{100 * second.multi_region_fraction:.1f}%")
+    print(f"  fastest-growing region: {drift.fastest_growing_region}")
+
+
+if __name__ == "__main__":
+    main()

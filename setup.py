@@ -1,0 +1,6 @@
+"""Setup shim so editable installs work offline (no wheel package
+available for PEP 660 builds); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

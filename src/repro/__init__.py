@@ -1,0 +1,27 @@
+"""repro — a full reproduction of "Next Stop, the Cloud" (IMC 2013).
+
+The package builds a simulated 2013 Internet (DNS, EC2, Azure, the
+wide area) and runs the paper's complete measurement methodology over
+it.  The curated top-level API:
+
+>>> from repro import World, WorldConfig, DatasetBuilder
+>>> world = World(WorldConfig(seed=7, num_domains=2000))
+>>> dataset = DatasetBuilder(world).build()
+
+Per-section analyses live in :mod:`repro.analysis`; runnable
+paper-table/figure experiments in :mod:`repro.experiments` (also via
+the ``repro-experiments`` CLI).
+"""
+
+from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
+from repro.world import World, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "DatasetBuilder",
+    "AlexaSubdomainsDataset",
+    "__version__",
+]

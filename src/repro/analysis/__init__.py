@@ -1,0 +1,45 @@
+"""The paper's measurement pipeline.
+
+Every module here works **only from external observations** — DNS
+answers, published IP range lists, active probes — never from the
+world's ground truth.  The modules map one-to-one onto the paper's
+sections:
+
+* :mod:`repro.analysis.dataset` — building the Alexa subdomains
+  dataset (§2.1): enumeration, cloud classification, distributed
+  lookups, the NS survey;
+* :mod:`repro.analysis.clouduse` — who uses the cloud (§3.2,
+  Tables 3-4);
+* :mod:`repro.analysis.traffic` — capture analysis (§3.1/3.3,
+  Tables 1-2, 5-6, Figure 3);
+* :mod:`repro.analysis.patterns` — front-end deployment patterns
+  (§4.1, Tables 7-8, Figures 4-5);
+* :mod:`repro.analysis.regions` — region usage and customer locality
+  (§4.2, Tables 9-10, Figure 6);
+* :mod:`repro.analysis.zones` — availability-zone usage via
+  cartography (§4.3, Tables 11-15, Figures 7-8);
+* :mod:`repro.analysis.wan` — wide-area performance and ISP diversity
+  (§5, Figures 9-12, Table 16).
+
+Extensions past the printed evaluation:
+
+* :mod:`repro.analysis.availability` — outage drills executing
+  §4.2/§4.3's hypotheticals against the measured deployments;
+* :mod:`repro.analysis.scheduling` — the §5.1 routing proposals
+  (global scheduling vs parallel requests), priced;
+* :mod:`repro.analysis.compression` — §3.3's compression implication,
+  quantified;
+* :mod:`repro.analysis.headline` — the abstract, regenerated.
+"""
+
+from repro.analysis.dataset import (
+    AlexaSubdomainsDataset,
+    DatasetBuilder,
+    SubdomainRecord,
+)
+
+__all__ = [
+    "AlexaSubdomainsDataset",
+    "DatasetBuilder",
+    "SubdomainRecord",
+]

@@ -1,0 +1,286 @@
+"""Availability analysis: executing the paper's outage hypotheticals.
+
+§4.2/§4.3 argue that single-region, single-zone deployments make even
+popular services fragile ("an outage of EC2's US East region would
+take down critical components of at least 2.3% of the top million";
+"a failure of ec2.us-east-1a would impact ~419K subdomains").  This
+module evaluates any :class:`repro.faults.OutageScenario` against the
+*measured* dataset: a subdomain's fate is judged from the front-end
+endpoints and service dependencies the DNS survey observed, with
+availability zones expressed in the cartography's measured label
+space (exactly the information position of the paper's authors).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dataset import AlexaSubdomainsDataset
+from repro.analysis.patterns import PatternAnalysis
+from repro.analysis.zones import ZoneAnalysis
+from repro.cloud.base import InstanceRole
+from repro.faults.scenarios import OutageScenario
+from repro.net.ipv4 import IPv4Address
+from repro.world import World
+
+UNAFFECTED = "unaffected"
+DEGRADED = "degraded"
+UNAVAILABLE = "unavailable"
+
+
+@dataclass
+class SubdomainDependencies:
+    """What one subdomain's front end needs to stay up."""
+
+    fqdn: str
+    domain: str
+    #: (provider, region, zone-label-or-None) per serving endpoint.
+    endpoints: List[Tuple[str, str, Optional[int]]] = field(
+        default_factory=list
+    )
+    #: Value-added services in the serving path.
+    services: Set[str] = field(default_factory=set)
+    #: True if the subdomain also resolves outside the clouds (hybrid
+    #: deployments keep limping along through their external hosting).
+    has_external_fallback: bool = False
+
+
+@dataclass
+class ImpactReport:
+    """The outcome of one outage drill."""
+
+    scenario_name: str
+    total_subdomains: int = 0
+    unavailable: int = 0
+    degraded: int = 0
+    unaffected: int = 0
+    #: Domains with at least one unavailable subdomain.
+    domains_hit: int = 0
+    #: Share of the whole ranking with an unavailable subdomain.
+    alexa_share_hit: float = 0.0
+    #: Highest-ranked affected domains, for the post-mortem headline.
+    notable_casualties: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def unavailable_fraction(self) -> float:
+        return (
+            self.unavailable / self.total_subdomains
+            if self.total_subdomains else 0.0
+        )
+
+
+class AvailabilityAnalysis:
+    """Evaluates outage scenarios against the measured deployments."""
+
+    def __init__(
+        self,
+        world: World,
+        dataset: AlexaSubdomainsDataset,
+        patterns: Optional[PatternAnalysis] = None,
+        zones: Optional[ZoneAnalysis] = None,
+    ):
+        self.world = world
+        self.dataset = dataset
+        self.patterns = patterns or PatternAnalysis(world, dataset)
+        self.zones = zones or ZoneAnalysis(world, dataset, self.patterns)
+        self._ec2_regions = world.ec2.plan.prefix_set()
+        self._azure_regions = world.azure.plan.prefix_set()
+        self._dependencies: Optional[List[SubdomainDependencies]] = None
+
+    # -- dependency extraction ------------------------------------------------
+
+    def _endpoint_of(
+        self, address: IPv4Address
+    ) -> Optional[Tuple[str, str, Optional[int]]]:
+        region = self._ec2_regions.lookup(address)
+        if region is not None:
+            zone = self.zones.region_result(region).zones.get(address)
+            return ("ec2", region, zone)
+        region = self._azure_regions.lookup(address)
+        if region is not None:
+            return ("azure", region, None)
+        return None
+
+    def dependencies(self) -> List[SubdomainDependencies]:
+        """Serving dependencies for every cloud-using subdomain."""
+        if self._dependencies is not None:
+            return self._dependencies
+        result = []
+        for pattern in self.patterns.patterns():
+            record = self.dataset.by_fqdn[pattern.fqdn]
+            deps = SubdomainDependencies(
+                fqdn=pattern.fqdn, domain=pattern.domain
+            )
+            for address in record.addresses:
+                endpoint = self._endpoint_of(address)
+                if endpoint is None:
+                    deps.has_external_fallback = True
+                else:
+                    deps.endpoints.append(endpoint)
+            if pattern.elb:
+                deps.services.add("elb")
+            if pattern.heroku:
+                deps.services.add("heroku")
+            if pattern.beanstalk:
+                deps.services.add("beanstalk")
+            if pattern.traffic_manager:
+                deps.services.add("traffic-manager")
+            result.append(deps)
+        self._dependencies = result
+        return result
+
+    # -- evaluation --------------------------------------------------------------
+
+    @staticmethod
+    def _endpoint_survives(
+        endpoint: Tuple[str, str, Optional[int]],
+        scenario: OutageScenario,
+    ) -> bool:
+        provider, region, zone = endpoint
+        if scenario.region_down(provider, region):
+            return False
+        if zone is not None and scenario.zone_down(provider, region, zone):
+            return False
+        return True
+
+    def evaluate(self, scenario: OutageScenario) -> ImpactReport:
+        report = ImpactReport(scenario_name=scenario.name)
+        hit_domains: Set[str] = set()
+        for deps in self.dependencies():
+            report.total_subdomains += 1
+            status = self._status_of(deps, scenario)
+            if status == UNAVAILABLE:
+                report.unavailable += 1
+                hit_domains.add(deps.domain)
+            elif status == DEGRADED:
+                report.degraded += 1
+            else:
+                report.unaffected += 1
+        report.domains_hit = len(hit_domains)
+        report.alexa_share_hit = len(hit_domains) / len(self.world.alexa)
+        ranked = sorted(
+            (
+                (self.world.alexa.rank_of(domain), domain)
+                for domain in hit_domains
+                if self.world.alexa.rank_of(domain) is not None
+            ),
+        )
+        report.notable_casualties = ranked[:10]
+        return report
+
+    def _status_of(
+        self, deps: SubdomainDependencies, scenario: OutageScenario
+    ) -> str:
+        # A failed value-added service in the serving path takes the
+        # front end down regardless of where the instances live.
+        if any(scenario.service_down(s) for s in deps.services):
+            return (
+                DEGRADED if deps.has_external_fallback else UNAVAILABLE
+            )
+        if not deps.endpoints:
+            return UNAFFECTED
+        surviving = [
+            e for e in deps.endpoints
+            if self._endpoint_survives(e, scenario)
+        ]
+        if len(surviving) == len(deps.endpoints):
+            return UNAFFECTED
+        if surviving or deps.has_external_fallback:
+            return DEGRADED
+        return UNAVAILABLE
+
+    # -- the paper's headline drills ----------------------------------------------
+
+    def region_blast_radius(self) -> Dict[str, ImpactReport]:
+        """Impact of losing each EC2 region, one at a time."""
+        from repro.faults.scenarios import region_outage
+        return {
+            region: self.evaluate(region_outage("ec2", region))
+            for region in self.world.ec2.region_names()
+        }
+
+    def zone_blast_radius(self, region: str) -> Dict[int, ImpactReport]:
+        """Impact of losing each zone of one region (measured labels)."""
+        from repro.faults.scenarios import zone_outage
+        num_zones = self.world.ec2.region(region).num_zones
+        return {
+            zone: self.evaluate(zone_outage("ec2", region, zone))
+            for zone in range(num_zones)
+        }
+
+    # -- ISP failures (§5.2) ---------------------------------------------------------
+
+    def isp_failover_analysis(
+        self, provider: str, region: str, as_number: int
+    ) -> dict:
+        """One downstream ISP fails: stranded clients with and without
+        BGP re-convergence.
+
+        §5.2's remedy, quantified: without re-routing the ISP's whole
+        route share is stranded; with re-convergence only clients for
+        whom *no* surviving downstream exists stay dark (zero in a
+        multihomed region).
+        """
+        routing = self.world.routing
+        vantages = self.world.traceroute_vantages()
+        cloud_ranges = self.world.ec2.published_range_set()
+        instance = self.world.ec2.launch_instance(
+            "availability-probe", region, role=InstanceRole.PROBE
+        )
+        failed = frozenset({as_number})
+        stranded_static = 0
+        stranded_reconverged = 0
+        for vantage in vantages:
+            hops = routing.traceroute(instance, vantage)
+            hop = routing.first_non_cloud_hop(hops, cloud_ranges)
+            if hop is None:
+                continue
+            asys = routing.registry.whois(hop.address)
+            if asys is None or asys.number != as_number:
+                continue
+            stranded_static += 1
+            rerouted = routing.traceroute(
+                instance, vantage, failed_isps=failed
+            )
+            if routing.first_non_cloud_hop(rerouted, cloud_ranges) is None:
+                stranded_reconverged += 1
+        total = len(vantages)
+        return {
+            "as_number": as_number,
+            "stranded_fraction_static": stranded_static / total,
+            "stranded_fraction_reconverged": (
+                stranded_reconverged / total
+            ),
+        }
+
+    def isp_blast_radius(
+        self, provider: str, region: str
+    ) -> List[Tuple[int, float]]:
+        """Per downstream ISP: the fraction of clients cut off from the
+        region if that ISP fails and routes do not re-converge.
+
+        Sorted worst-first; the paper's point is that the spread is
+        uneven, so one ISP can strand a third of clients.
+        """
+        routing = self.world.routing
+        vantages = self.world.traceroute_vantages()
+        cloud_ranges = self.world.ec2.published_range_set()
+        instance = self.world.ec2.launch_instance(
+            "availability-probe", region, role=InstanceRole.PROBE
+        )
+        per_isp: Counter = Counter()
+        for vantage in vantages:
+            hops = routing.traceroute(instance, vantage)
+            hop = routing.first_non_cloud_hop(hops, cloud_ranges)
+            if hop is None:
+                continue
+            asys = routing.registry.whois(hop.address)
+            if asys is not None:
+                per_isp[asys.number] += 1
+        total = sum(per_isp.values()) or 1
+        return sorted(
+            ((asn, count / total) for asn, count in per_isp.items()),
+            key=lambda pair: -pair[1],
+        )

@@ -1,0 +1,211 @@
+"""Who is using the cloud (§3.2): Tables 3 and 4, rank skew, prefixes.
+
+Classification follows the paper exactly: a subdomain is *EC2 only* if
+every address it ever resolved to lies in EC2's published ranges,
+*EC2 + Other* if it mixes EC2 and non-cloud addresses, and so on;
+domains inherit the union of their subdomains' providers, with "other"
+set when any subdomain (cloud-using or not) resolves outside the
+clouds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dataset import AlexaSubdomainsDataset, SubdomainRecord
+from repro.world import World
+
+CATEGORIES = (
+    "EC2 only", "EC2 + Other", "Azure only", "Azure + Other", "EC2 + Azure",
+)
+
+
+@dataclass
+class CloudUseReport:
+    """Table 3 plus the supporting §3.2 statistics."""
+
+    #: category → (domain count, subdomain count).
+    domain_counts: Dict[str, int] = field(default_factory=dict)
+    subdomain_counts: Dict[str, int] = field(default_factory=dict)
+    total_domains: int = 0
+    total_subdomains: int = 0
+    ec2_total_domains: int = 0
+    azure_total_domains: int = 0
+    ec2_total_subdomains: int = 0
+    azure_total_subdomains: int = 0
+    #: fraction of cloud-using domains per rank quartile.
+    quartile_shares: Tuple[float, ...] = ()
+    #: most common subdomain prefixes among cloud-using subdomains.
+    top_prefixes: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class CloudUseAnalysis:
+    """Classifies the dataset's records against published ranges."""
+
+    def __init__(self, world: World, dataset: AlexaSubdomainsDataset):
+        self.world = world
+        self.dataset = dataset
+        self.ec2_ranges = world.ec2.published_range_set()
+        self.azure_ranges = world.azure.published_range_set()
+
+    # -- classification ------------------------------------------------------
+
+    def subdomain_category(self, record: SubdomainRecord) -> Optional[str]:
+        """One of CATEGORIES, or None for a record with no addresses."""
+        uses_ec2 = uses_azure = uses_other = False
+        for address in record.addresses:
+            if address in self.ec2_ranges:
+                uses_ec2 = True
+            elif address in self.azure_ranges:
+                uses_azure = True
+            else:
+                uses_other = True
+        if uses_ec2 and uses_azure:
+            return "EC2 + Azure"
+        if uses_ec2:
+            return "EC2 + Other" if uses_other else "EC2 only"
+        if uses_azure:
+            return "Azure + Other" if uses_other else "Azure only"
+        return None
+
+    def subdomain_provider(self, record: SubdomainRecord) -> Optional[str]:
+        """'ec2', 'azure', or 'both' for a cloud-using record."""
+        category = self.subdomain_category(record)
+        if category is None:
+            return None
+        if category.startswith("EC2 + Azure"):
+            return "both"
+        return "ec2" if category.startswith("EC2") else "azure"
+
+    def domain_category(self, domain: str) -> Optional[str]:
+        """Domain-level classification.
+
+        A domain is EC2-only only when *all* of its discovered
+        subdomains resolve exclusively to EC2; the presence of any
+        non-cloud subdomain makes it EC2 + Other, etc.
+        """
+        records = self.dataset.by_domain.get(domain, [])
+        if not records:
+            return None
+        uses_ec2 = uses_azure = uses_other = False
+        cloud_fqdns = set()
+        for record in records:
+            cloud_fqdns.add(record.fqdn)
+            category = self.subdomain_category(record)
+            if category is None:
+                continue
+            if "EC2" in category:
+                uses_ec2 = True
+            if "Azure" in category:
+                uses_azure = True
+            if "Other" in category:
+                uses_other = True
+        # Subdomains discovered but never flagged cloud-using resolve
+        # elsewhere: they make the domain "+ Other".
+        for fqdn in self.dataset.discovered.get(domain, []):
+            if fqdn not in cloud_fqdns:
+                uses_other = True
+                break
+        if uses_ec2 and uses_azure:
+            return "EC2 + Azure"
+        if uses_ec2:
+            return "EC2 + Other" if uses_other else "EC2 only"
+        if uses_azure:
+            return "Azure + Other" if uses_other else "Azure only"
+        return None
+
+    # -- Table 3 -----------------------------------------------------------------
+
+    def report(self) -> CloudUseReport:
+        report = CloudUseReport()
+        domain_counter: Counter = Counter()
+        subdomain_counter: Counter = Counter()
+        quartiles: Counter = Counter()
+        prefix_counter: Counter = Counter()
+        for domain in self.dataset.domains():
+            category = self.domain_category(domain)
+            if category is None:
+                continue
+            domain_counter[category] += 1
+            rank = self.world.alexa.rank_of(domain)
+            if rank is not None:
+                quartiles[self.world.alexa.quartile_of(rank)] += 1
+        for record in self.dataset.records:
+            category = self.subdomain_category(record)
+            if category is None:
+                continue
+            subdomain_counter[category] += 1
+            prefix = record.fqdn.split(".", 1)[0]
+            prefix_counter[prefix] += 1
+        report.domain_counts = {c: domain_counter.get(c, 0) for c in CATEGORIES}
+        report.subdomain_counts = {
+            c: subdomain_counter.get(c, 0) for c in CATEGORIES
+        }
+        report.total_domains = sum(report.domain_counts.values())
+        report.total_subdomains = sum(report.subdomain_counts.values())
+        report.ec2_total_domains = sum(
+            count for cat, count in report.domain_counts.items()
+            if "EC2" in cat
+        )
+        report.azure_total_domains = sum(
+            count for cat, count in report.domain_counts.items()
+            if "Azure" in cat
+        )
+        report.ec2_total_subdomains = sum(
+            count for cat, count in report.subdomain_counts.items()
+            if "EC2" in cat
+        )
+        report.azure_total_subdomains = sum(
+            count for cat, count in report.subdomain_counts.items()
+            if "Azure" in cat
+        )
+        total_cloud_domains = sum(quartiles.values()) or 1
+        report.quartile_shares = tuple(
+            quartiles.get(q, 0) / total_cloud_domains for q in range(4)
+        )
+        total_subs = report.total_subdomains or 1
+        report.top_prefixes = [
+            (prefix, count / total_subs)
+            for prefix, count in prefix_counter.most_common(10)
+        ]
+        return report
+
+    # -- Table 4 ---------------------------------------------------------------------
+
+    def top_cloud_domains(
+        self, provider: str = "ec2", count: int = 10
+    ) -> List[dict]:
+        """The highest-ranked domains using ``provider``.
+
+        Each row carries the domain's rank, total discovered
+        subdomains, and its cloud-using subdomain count — Table 4's
+        columns.
+        """
+        rows = []
+        for domain in self.dataset.domains():
+            category = self.domain_category(domain)
+            if category is None:
+                continue
+            wanted = "EC2" if provider == "ec2" else "Azure"
+            if wanted not in category:
+                continue
+            rank = self.world.alexa.rank_of(domain)
+            if rank is None:
+                continue
+            cloud_subs = sum(
+                1 for record in self.dataset.by_domain[domain]
+                if self.subdomain_category(record) is not None
+                and wanted in self.subdomain_category(record)
+            )
+            rows.append({
+                "rank": rank,
+                "domain": domain,
+                "total_subdomains": len(
+                    self.dataset.discovered.get(domain, [])
+                ),
+                "cloud_subdomains": cloud_subs,
+            })
+        rows.sort(key=lambda row: row["rank"])
+        return rows[:count]

@@ -1,0 +1,245 @@
+"""Building the Alexa subdomains dataset (§2.1).
+
+The pipeline:
+
+1. for every ranked domain, attempt a zone transfer; fall back to
+   dnsmap-style wordlist brute forcing (150 enumeration nodes in the
+   paper — we round-robin over the configured vantage set);
+2. one DNS lookup per discovered subdomain from a single node; keep
+   subdomains whose answers contain an EC2/Azure published-range
+   address — the *cloud-using subdomains*;
+3. look every cloud-using subdomain up from all distributed vantage
+   points, accumulating addresses and CNAME chains (geo-dependent and
+   rotating answers make multiple vantages matter);
+4. the NS survey: collect NS names per cloud-using subdomain and
+   resolve each name server's address with flushed caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dns.enumeration import SubdomainEnumerator
+from repro.dns.records import RRType
+from repro.net.ipv4 import IPv4Address
+from repro.net.prefixset import PrefixSet
+from repro.world import World
+
+
+@dataclass
+class SubdomainRecord:
+    """Everything the distributed lookups learned about one subdomain."""
+
+    fqdn: str
+    domain: str
+    rank: Optional[int]
+    addresses: Set[IPv4Address] = field(default_factory=set)
+    cnames: Set[str] = field(default_factory=set)
+    ns_names: Set[str] = field(default_factory=set)
+    lookups: int = 0
+
+    def cname_contains(self, *fragments: str) -> bool:
+        return any(
+            fragment in cname
+            for cname in self.cnames
+            for fragment in fragments
+        )
+
+    @property
+    def has_cname(self) -> bool:
+        return bool(self.cnames)
+
+
+@dataclass
+class AlexaSubdomainsDataset:
+    """The §2.1 dataset: cloud-using subdomains with their DNS records."""
+
+    records: List[SubdomainRecord]
+    #: fqdn → record, for joins.
+    by_fqdn: Dict[str, SubdomainRecord] = field(default_factory=dict)
+    #: domain → its cloud-using subdomain records.
+    by_domain: Dict[str, List[SubdomainRecord]] = field(default_factory=dict)
+    #: domain → all discovered subdomains (cloud-using or not).
+    discovered: Dict[str, List[str]] = field(default_factory=dict)
+    #: name-server hostname → resolved address (None if unresolvable).
+    ns_addresses: Dict[str, Optional[IPv4Address]] = field(
+        default_factory=dict
+    )
+    total_discovered_subdomains: int = 0
+    #: Subdomains resolving into CloudFront's (separate) address range,
+    #: found while filtering; not part of the EC2/Azure-using records.
+    cloudfront_records: List[SubdomainRecord] = field(default_factory=list)
+    #: domain → subdomains whose CNAMEs look like a third-party CDN.
+    other_cdn_subdomains: Dict[str, List[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_fqdn:
+            self.by_fqdn = {r.fqdn: r for r in self.records}
+        if not self.by_domain:
+            for record in self.records:
+                self.by_domain.setdefault(record.domain, []).append(record)
+
+    def domains(self) -> List[str]:
+        return list(self.by_domain)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class DatasetBuilder:
+    """Runs the §2.1 methodology against a world.
+
+    ``range_coverage`` models the paper's footnote-2 assumption ("we
+    assume the IP address ranges published by EC2 and Azure are
+    relatively complete"): values below 1.0 deterministically drop a
+    fraction of the published blocks from the classification, so the
+    sensitivity of every downstream count to stale range lists can be
+    measured.
+    """
+
+    def __init__(self, world: World, range_coverage: float = 1.0):
+        if not 0.0 < range_coverage <= 1.0:
+            raise ValueError(
+                f"range_coverage must be in (0, 1]: {range_coverage}"
+            )
+        self.world = world
+        self.range_coverage = range_coverage
+        self.ranges = world.published_ranges()
+        labelled = (
+            [(net, "ec2") for net in world.ec2.published_ranges()]
+            + [(net, "azure") for net in world.azure.published_ranges()]
+        )
+        if range_coverage < 1.0:
+            keep = max(1, int(len(labelled) * range_coverage))
+            labelled = labelled[:keep]
+        self._cloud_membership = PrefixSet(labelled)
+
+    def _is_cloud_address(self, address: IPv4Address) -> bool:
+        return address in self._cloud_membership
+
+    # -- step 1+2: enumerate and filter ------------------------------------
+
+    def discover_subdomains(self) -> Tuple[Dict[str, List[str]], int]:
+        """Enumerate subdomains for every ranked domain."""
+        vantages = self.world.dns_vantages()
+        enumerators = [
+            SubdomainEnumerator(
+                self.world.dns, self.world.resolver_for(vantage)
+            )
+            for vantage in vantages[: min(6, len(vantages))]
+        ]
+        discovered: Dict[str, List[str]] = {}
+        total = 0
+        for i, site in enumerate(self.world.alexa):
+            enumerator = enumerators[i % len(enumerators)]
+            result = enumerator.enumerate(site.domain)
+            discovered[site.domain] = result.subdomains
+            total += len(result.subdomains)
+        return discovered, total
+
+    def filter_cloud_using(
+        self, discovered: Dict[str, List[str]]
+    ) -> Tuple[
+        List[Tuple[str, str]],
+        List[Tuple[str, str]],
+        Dict[str, List[str]],
+    ]:
+        """Classify every discovered subdomain from one vantage.
+
+        Returns (cloud_using, cloudfront_using, other_cdn) where
+        cloud_using are (domain, fqdn) pairs resolving into EC2/Azure
+        ranges, cloudfront_using resolve into CloudFront's range, and
+        other_cdn maps domains to subdomains whose CNAME chain names a
+        CDN outside the clouds.
+        """
+        vantage = self.world.dns_vantages()[0]
+        resolver = self.world.resolver_for(vantage)
+        cloudfront_ranges = self.ranges["cloudfront"]
+        cloud_using: List[Tuple[str, str]] = []
+        cloudfront_using: List[Tuple[str, str]] = []
+        other_cdn: Dict[str, List[str]] = {}
+        for domain, subdomains in discovered.items():
+            for fqdn in subdomains:
+                response = resolver.dig(fqdn)
+                if any(
+                    self._is_cloud_address(addr)
+                    for addr in response.addresses
+                ):
+                    cloud_using.append((domain, fqdn))
+                elif any(
+                    addr in cloudfront_ranges
+                    for addr in response.addresses
+                ):
+                    cloudfront_using.append((domain, fqdn))
+                elif any("cdn" in cname for cname in response.chain):
+                    other_cdn.setdefault(domain, []).append(fqdn)
+        return cloud_using, cloudfront_using, other_cdn
+
+    # -- step 3: distributed lookups --------------------------------------------
+
+    def distributed_lookups(
+        self, cloud_using: Iterable[Tuple[str, str]]
+    ) -> List[SubdomainRecord]:
+        vantages = self.world.dns_vantages()
+        records: List[SubdomainRecord] = []
+        for domain, fqdn in cloud_using:
+            record = SubdomainRecord(
+                fqdn=fqdn,
+                domain=domain,
+                rank=self.world.alexa.rank_of(domain),
+            )
+            for vantage in vantages:
+                resolver = self.world.resolver_for(vantage)
+                response = resolver.dig(fqdn, fresh=True)
+                record.lookups += 1
+                record.addresses.update(response.addresses)
+                record.cnames.update(response.chain)
+            records.append(record)
+        return records
+
+    # -- step 4: the NS survey ------------------------------------------------------
+
+    def ns_survey(
+        self, records: List[SubdomainRecord]
+    ) -> Dict[str, Optional[IPv4Address]]:
+        """Collect and resolve each cloud-using subdomain's NS set."""
+        vantages = self.world.dns_vantages()
+        survey_vantages = vantages[: min(10, len(vantages))]
+        ns_addresses: Dict[str, Optional[IPv4Address]] = {}
+        for record in records:
+            resolver = self.world.resolver_for(survey_vantages[0])
+            response = resolver.dig(record.fqdn, RRType.NS, fresh=True)
+            record.ns_names.update(response.ns_names)
+            for hostname in response.ns_names:
+                if hostname in ns_addresses:
+                    continue
+                address: Optional[IPv4Address] = None
+                for vantage in survey_vantages:
+                    ns_resolver = self.world.resolver_for(vantage)
+                    ns_resolver.flush_cache()
+                    answer = ns_resolver.dig(hostname, fresh=True)
+                    if answer.addresses:
+                        address = answer.addresses[0]
+                        break
+                ns_addresses[hostname] = address
+        return ns_addresses
+
+    # -- putting it together -----------------------------------------------------------
+
+    def build(self) -> AlexaSubdomainsDataset:
+        discovered, total = self.discover_subdomains()
+        cloud_using, cloudfront_using, other_cdn = self.filter_cloud_using(
+            discovered
+        )
+        records = self.distributed_lookups(cloud_using)
+        cloudfront_records = self.distributed_lookups(cloudfront_using)
+        ns_addresses = self.ns_survey(records)
+        return AlexaSubdomainsDataset(
+            records=records,
+            discovered=discovered,
+            ns_addresses=ns_addresses,
+            total_discovered_subdomains=total,
+            cloudfront_records=cloudfront_records,
+            other_cdn_subdomains=other_cdn,
+        )

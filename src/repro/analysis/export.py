@@ -1,0 +1,85 @@
+"""Dataset export: the paper's public data release, reproduced.
+
+"We make all data sets used in this paper publicly available [10],
+with the exception of the packet capture."  This module writes the
+Alexa subdomains dataset in the same spirit: tab-separated files a
+downstream researcher can load without this library —
+
+* ``subdomains.tsv`` — one row per cloud-using subdomain: domain,
+  rank, every resolved address, every CNAME seen;
+* ``nameservers.tsv`` — the NS survey: hostname, resolved address;
+* ``published_ranges.tsv`` — the cloud IP range lists the
+  classification used, so results are re-checkable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.dataset import AlexaSubdomainsDataset
+from repro.world import World
+
+
+def export_dataset(
+    world: World,
+    dataset: AlexaSubdomainsDataset,
+    directory: Union[str, Path],
+) -> Dict[str, Path]:
+    """Write the dataset release files; returns {name: path}."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "subdomains": directory / "subdomains.tsv",
+        "nameservers": directory / "nameservers.tsv",
+        "published_ranges": directory / "published_ranges.tsv",
+    }
+    with paths["subdomains"].open("w") as fh:
+        fh.write("#subdomain\tdomain\trank\taddresses\tcnames\n")
+        for record in dataset.records:
+            fh.write("\t".join((
+                record.fqdn,
+                record.domain,
+                str(record.rank) if record.rank is not None else "-",
+                ",".join(sorted(str(a) for a in record.addresses)),
+                ",".join(sorted(record.cnames)) or "-",
+            )) + "\n")
+    with paths["nameservers"].open("w") as fh:
+        fh.write("#nameserver\taddress\n")
+        for hostname in sorted(dataset.ns_addresses):
+            address = dataset.ns_addresses[hostname]
+            fh.write(
+                f"{hostname}\t{address if address else '-'}\n"
+            )
+    with paths["published_ranges"].open("w") as fh:
+        fh.write("#provider\tregion\tcidr\n")
+        for provider_name, plan in (
+            ("ec2", world.ec2.plan),
+            ("azure", world.azure.plan),
+            ("cloudfront", world.cloudfront.plan),
+        ):
+            for net, region in plan.published_ranges():
+                fh.write(f"{provider_name}\t{region}\t{net}\n")
+    return paths
+
+
+def load_subdomains_tsv(path: Union[str, Path]):
+    """Parse a ``subdomains.tsv`` back into plain dicts (no library
+    types), demonstrating the files stand alone."""
+    rows = []
+    with Path(path).open() as fh:
+        header = fh.readline()
+        if not header.startswith("#subdomain"):
+            raise ValueError(f"{path} is not a subdomains export")
+        for line in fh:
+            fqdn, domain, rank, addresses, cnames = (
+                line.rstrip("\n").split("\t")
+            )
+            rows.append({
+                "subdomain": fqdn,
+                "domain": domain,
+                "rank": None if rank == "-" else int(rank),
+                "addresses": addresses.split(",") if addresses else [],
+                "cnames": [] if cnames == "-" else cnames.split(","),
+            })
+    return rows

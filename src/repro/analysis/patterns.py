@@ -1,0 +1,340 @@
+"""Front-end deployment patterns (§4.1): Tables 7-8, Figures 4-5.
+
+Detection uses exactly the paper's CNAME/IP heuristics:
+
+* EC2 VM front end — the query returns addresses directly (no CNAME);
+* ELB — a CNAME containing ``elb.amazonaws.com``; each distinct CNAME
+  is a logical ELB, each resolved address a physical one;
+* Elastic Beanstalk — a CNAME containing ``elasticbeanstalk``;
+* Heroku — a CNAME containing heroku.com / herokuapp / herokucom /
+  herokussl, split by whether an ELB CNAME also appears in the chain;
+* Azure Cloud Service — a direct address or a ``cloudapp.net`` CNAME;
+* Traffic Manager — a ``trafficmanager.net`` CNAME;
+* CloudFront — addresses inside CloudFront's published range;
+* Azure CDN — a ``msecnd.net`` CNAME.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.clouduse import CloudUseAnalysis
+from repro.analysis.dataset import AlexaSubdomainsDataset, SubdomainRecord
+from repro.net.ipv4 import IPv4Address
+from repro.report.cdf import CDF
+from repro.world import World
+
+_HEROKU_FRAGMENTS = ("heroku.com", "herokuapp", "herokucom", "herokussl")
+
+
+@dataclass
+class SubdomainPattern:
+    """Detected front-end features for one subdomain."""
+
+    fqdn: str
+    domain: str
+    provider: str  # 'ec2' | 'azure' | 'both'
+    vm_front: bool = False
+    elb: bool = False
+    beanstalk: bool = False
+    heroku: bool = False
+    traffic_manager: bool = False
+    cloud_service: bool = False
+    azure_cdn: bool = False
+    unknown_cname: bool = False
+    front_vm_ips: Set[IPv4Address] = field(default_factory=set)
+    elb_cnames: Set[str] = field(default_factory=set)
+    elb_ips: Set[IPv4Address] = field(default_factory=set)
+    heroku_ips: Set[IPv4Address] = field(default_factory=set)
+    cs_ips: Set[IPv4Address] = field(default_factory=set)
+    tm_cnames: Set[str] = field(default_factory=set)
+
+    @property
+    def heroku_with_elb(self) -> bool:
+        return self.heroku and self.elb
+
+    @property
+    def heroku_no_elb(self) -> bool:
+        return self.heroku and not self.elb
+
+
+class PatternAnalysis:
+    """Runs the §4.1 detection over the Alexa subdomains dataset."""
+
+    def __init__(self, world: World, dataset: AlexaSubdomainsDataset):
+        self.world = world
+        self.dataset = dataset
+        self.clouduse = CloudUseAnalysis(world, dataset)
+        self.ec2_ranges = world.ec2.published_range_set()
+        self.azure_ranges = world.azure.published_range_set()
+        self.cloudfront_ranges = world.cloudfront.published_range_set()
+        self._patterns: Optional[List[SubdomainPattern]] = None
+
+    # -- per-subdomain detection ----------------------------------------------
+
+    def detect(self, record: SubdomainRecord) -> Optional[SubdomainPattern]:
+        provider = self.clouduse.subdomain_provider(record)
+        if provider is None:
+            return None
+        pattern = SubdomainPattern(
+            fqdn=record.fqdn, domain=record.domain, provider=provider
+        )
+        ec2_addrs = {a for a in record.addresses if a in self.ec2_ranges}
+        azure_addrs = {a for a in record.addresses if a in self.azure_ranges}
+        if provider in ("ec2", "both"):
+            self._detect_ec2(record, pattern, ec2_addrs)
+        if provider in ("azure", "both"):
+            self._detect_azure(record, pattern, azure_addrs)
+        return pattern
+
+    def _detect_ec2(
+        self,
+        record: SubdomainRecord,
+        pattern: SubdomainPattern,
+        ec2_addrs: Set[IPv4Address],
+    ) -> None:
+        elb_cnames = {
+            c for c in record.cnames if c.endswith("elb.amazonaws.com")
+        }
+        beanstalk = record.cname_contains("elasticbeanstalk")
+        heroku = record.cname_contains(*_HEROKU_FRAGMENTS)
+        if elb_cnames:
+            pattern.elb = True
+            pattern.elb_cnames = elb_cnames
+            pattern.elb_ips = ec2_addrs
+        pattern.beanstalk = beanstalk
+        pattern.heroku = heroku
+        if heroku and not elb_cnames:
+            pattern.heroku_ips = ec2_addrs
+        if not record.has_cname and ec2_addrs:
+            pattern.vm_front = True
+            pattern.front_vm_ips = ec2_addrs
+        elif record.has_cname and not (elb_cnames or beanstalk or heroku):
+            pattern.unknown_cname = True
+
+    def _detect_azure(
+        self,
+        record: SubdomainRecord,
+        pattern: SubdomainPattern,
+        azure_addrs: Set[IPv4Address],
+    ) -> None:
+        tm_cnames = {
+            c for c in record.cnames if c.endswith("trafficmanager.net")
+        }
+        cs_cnames = {
+            c for c in record.cnames if c.endswith("cloudapp.net")
+        }
+        azure_cdn = record.cname_contains("msecnd.net")
+        if tm_cnames:
+            pattern.traffic_manager = True
+            pattern.tm_cnames = tm_cnames
+        if cs_cnames or (not record.has_cname and azure_addrs):
+            pattern.cloud_service = True
+            pattern.cs_ips = azure_addrs
+        pattern.azure_cdn = azure_cdn
+        if record.has_cname and not (
+            tm_cnames or cs_cnames or azure_cdn
+        ):
+            pattern.unknown_cname = True
+
+    def patterns(self) -> List[SubdomainPattern]:
+        if self._patterns is None:
+            self._patterns = [
+                p for p in (
+                    self.detect(record) for record in self.dataset.records
+                )
+                if p is not None
+            ]
+        return self._patterns
+
+    # -- Table 7 ------------------------------------------------------------------
+
+    def feature_summary(self) -> Dict[str, dict]:
+        """Feature → {domains, subdomains, instances} (Table 7)."""
+        rows: Dict[str, dict] = {
+            name: {"domains": set(), "subdomains": 0, "instances": set()}
+            for name in (
+                "vm", "elb", "beanstalk_elb", "heroku_elb",
+                "heroku_no_elb", "cs", "tm",
+            )
+        }
+
+        def mark(name: str, pattern: SubdomainPattern, instances) -> None:
+            rows[name]["domains"].add(pattern.domain)
+            rows[name]["subdomains"] += 1
+            rows[name]["instances"].update(instances)
+
+        for pattern in self.patterns():
+            if pattern.vm_front:
+                mark("vm", pattern, pattern.front_vm_ips)
+            if pattern.elb and not pattern.beanstalk and not pattern.heroku:
+                mark("elb", pattern, pattern.elb_ips)
+            if pattern.beanstalk:
+                mark("beanstalk_elb", pattern, pattern.elb_ips)
+            if pattern.heroku_with_elb:
+                mark("heroku_elb", pattern, pattern.elb_ips)
+            if pattern.heroku_no_elb:
+                mark("heroku_no_elb", pattern, pattern.heroku_ips)
+            if pattern.cloud_service:
+                mark("cs", pattern, pattern.cs_ips)
+            if pattern.traffic_manager:
+                mark("tm", pattern, pattern.tm_cnames)
+        return {
+            name: {
+                "domains": len(data["domains"]),
+                "subdomains": data["subdomains"],
+                "instances": len(data["instances"]),
+            }
+            for name, data in rows.items()
+        }
+
+    # -- ELB physical sharing ----------------------------------------------------
+
+    def elb_statistics(self) -> dict:
+        """Physical/logical ELB counts and proxy-sharing stats."""
+        subdomains_per_physical: Counter = Counter()
+        logical: Set[str] = set()
+        physical: Set[IPv4Address] = set()
+        using = 0
+        for pattern in self.patterns():
+            if not pattern.elb:
+                continue
+            using += 1
+            logical.update(pattern.elb_cnames)
+            physical.update(pattern.elb_ips)
+            for ip in pattern.elb_ips:
+                subdomains_per_physical[ip] += 1
+        shared_10plus = sum(
+            1 for count in subdomains_per_physical.values() if count >= 10
+        )
+        return {
+            "subdomains_using_elb": using,
+            "logical_elbs": len(logical),
+            "physical_elbs": len(physical),
+            "physical_shared_by_10plus": shared_10plus,
+            "physical_shared_fraction": (
+                shared_10plus / len(physical) if physical else 0.0
+            ),
+        }
+
+    # -- Heroku multiplexing --------------------------------------------------------
+
+    def heroku_statistics(self) -> dict:
+        unique_ips: Set[IPv4Address] = set()
+        shared_proxy = 0
+        total = 0
+        for pattern in self.patterns():
+            if not pattern.heroku_no_elb:
+                continue
+            total += 1
+            unique_ips.update(pattern.heroku_ips)
+        for record in self.dataset.records:
+            if record.cname_contains(*_HEROKU_FRAGMENTS) and (
+                "proxy.heroku.com" in record.cnames
+            ):
+                shared_proxy += 1
+        return {
+            "subdomains": total,
+            "unique_ips": len(unique_ips),
+            "shared_proxy_subdomains": shared_proxy,
+            "shared_proxy_fraction": (
+                shared_proxy / total if total else 0.0
+            ),
+        }
+
+    # -- CDNs ----------------------------------------------------------------------------
+
+    def cdn_statistics(self) -> dict:
+        cf_subs = {r.fqdn for r in self.dataset.cloudfront_records}
+        cf_domains = {r.domain for r in self.dataset.cloudfront_records}
+        azure_cdn_subs = {
+            p.fqdn for p in self.patterns() if p.azure_cdn
+        }
+        azure_cdn_domains = {
+            p.domain for p in self.patterns() if p.azure_cdn
+        }
+        other = self.dataset.other_cdn_subdomains
+        return {
+            "cloudfront_subdomains": len(cf_subs),
+            "cloudfront_domains": len(cf_domains),
+            "azure_cdn_subdomains": len(azure_cdn_subs),
+            "azure_cdn_domains": len(azure_cdn_domains),
+            "other_cdn_subdomains": sum(len(v) for v in other.values()),
+            "other_cdn_domains": len(other),
+        }
+
+    # -- DNS survey (Figure 5 + the location split) -----------------------------------
+
+    def dns_statistics(self) -> dict:
+        per_subdomain_counts = [
+            len(record.ns_names)
+            for record in self.dataset.records
+            if record.ns_names
+        ]
+        location: Counter = Counter()
+        for hostname, address in self.dataset.ns_addresses.items():
+            if address is None:
+                location["unresolved"] += 1
+            elif address in self.cloudfront_ranges:
+                location["cloudfront"] += 1
+            elif address in self.ec2_ranges:
+                location["ec2_vm"] += 1
+            elif address in self.azure_ranges:
+                location["azure"] += 1
+            else:
+                location["outside"] += 1
+        return {
+            "total_nameservers": len(self.dataset.ns_addresses),
+            "location_counts": dict(location),
+            "ns_per_subdomain_cdf": CDF(per_subdomain_counts),
+        }
+
+    # -- Figures 4a / 4b -------------------------------------------------------------------
+
+    def vm_instances_cdf(self) -> CDF:
+        return CDF([
+            len(p.front_vm_ips) for p in self.patterns() if p.vm_front
+        ])
+
+    def elb_instances_cdf(self) -> CDF:
+        return CDF([
+            len(p.elb_ips) for p in self.patterns() if p.elb
+        ])
+
+    # -- Table 8 -------------------------------------------------------------------------------
+
+    def top_domain_features(self, count: int = 10) -> List[dict]:
+        """Feature usage rows for the highest-ranked EC2 domains."""
+        top = self.clouduse.top_cloud_domains("ec2", count)
+        by_domain: Dict[str, List[SubdomainPattern]] = defaultdict(list)
+        for pattern in self.patterns():
+            by_domain[pattern.domain].append(pattern)
+        rows = []
+        cf_by_domain: Counter = Counter(
+            r.domain for r in self.dataset.cloudfront_records
+        )
+        for entry in top:
+            domain = entry["domain"]
+            patterns = by_domain.get(domain, [])
+            elb_ips: Set[IPv4Address] = set()
+            for p in patterns:
+                elb_ips.update(p.elb_ips)
+            other_cdn = len(
+                self.dataset.other_cdn_subdomains.get(domain, [])
+            )
+            rows.append({
+                "rank": entry["rank"],
+                "domain": domain,
+                "cloud_subdomains": entry["cloud_subdomains"],
+                "vm": sum(1 for p in patterns if p.vm_front),
+                "paas": sum(
+                    1 for p in patterns if p.beanstalk or p.heroku
+                ),
+                "elb": sum(1 for p in patterns if p.elb),
+                "elb_ips": len(elb_ips),
+                "cdn": cf_by_domain.get(domain, 0) + other_cdn,
+                "cdn_other": other_cdn > 0,
+            })
+        return rows

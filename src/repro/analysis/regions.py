@@ -1,0 +1,214 @@
+"""Region usage (§4.2): Tables 9-10, Figure 6, and customer locality.
+
+A subdomain's regions are determined exactly as in the paper: every
+front-end address (VM, PaaS, ELB proxy, or TM-selected Cloud Service)
+is matched against the *per-region* published IP ranges; CloudFront
+addresses are excluded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.clouduse import CloudUseAnalysis
+from repro.analysis.dataset import AlexaSubdomainsDataset, SubdomainRecord
+from repro.report.cdf import CDF
+from repro.workload.customers import CustomerModel
+from repro.world import World
+
+
+@dataclass
+class RegionUsage:
+    """Regions used by one subdomain, split by provider."""
+
+    fqdn: str
+    domain: str
+    ec2_regions: Set[str] = field(default_factory=set)
+    azure_regions: Set[str] = field(default_factory=set)
+
+    @property
+    def all_regions(self) -> Set[str]:
+        return {("ec2", r) for r in self.ec2_regions} | {
+            ("azure", r) for r in self.azure_regions
+        }
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.ec2_regions) + len(self.azure_regions)
+
+
+class RegionAnalysis:
+    """Region usage over the Alexa subdomains dataset."""
+
+    def __init__(self, world: World, dataset: AlexaSubdomainsDataset):
+        self.world = world
+        self.dataset = dataset
+        self.clouduse = CloudUseAnalysis(world, dataset)
+        self._ec2_regions = world.ec2.plan.prefix_set()
+        self._azure_regions = world.azure.plan.prefix_set()
+        self._usages: Optional[List[RegionUsage]] = None
+
+    def usage_of(self, record: SubdomainRecord) -> Optional[RegionUsage]:
+        usage = RegionUsage(fqdn=record.fqdn, domain=record.domain)
+        for address in record.addresses:
+            region = self._ec2_regions.lookup(address)
+            if region is not None:
+                usage.ec2_regions.add(region)
+                continue
+            region = self._azure_regions.lookup(address)
+            if region is not None:
+                usage.azure_regions.add(region)
+        if usage.num_regions == 0:
+            return None
+        return usage
+
+    def usages(self) -> List[RegionUsage]:
+        if self._usages is None:
+            self._usages = [
+                u for u in (
+                    self.usage_of(record) for record in self.dataset.records
+                )
+                if u is not None
+            ]
+        return self._usages
+
+    # -- Figure 6 -----------------------------------------------------------
+
+    def regions_per_subdomain_cdf(self, provider: str) -> CDF:
+        counts = []
+        for usage in self.usages():
+            regions = (
+                usage.ec2_regions if provider == "ec2"
+                else usage.azure_regions
+            )
+            if regions:
+                counts.append(len(regions))
+        return CDF(counts)
+
+    def regions_per_domain_cdf(self, provider: str) -> CDF:
+        """Average regions used by each domain's subdomains (Fig 6b)."""
+        per_domain: Dict[str, List[int]] = defaultdict(list)
+        for usage in self.usages():
+            regions = (
+                usage.ec2_regions if provider == "ec2"
+                else usage.azure_regions
+            )
+            if regions:
+                per_domain[usage.domain].append(len(regions))
+        return CDF([
+            sum(counts) / len(counts) for counts in per_domain.values()
+        ])
+
+    def single_region_fraction(self, provider: str) -> float:
+        cdf = self.regions_per_subdomain_cdf(provider)
+        if not cdf:
+            return 0.0
+        return cdf.at(1)
+
+    # -- Table 9 ---------------------------------------------------------------
+
+    def region_counts(self) -> Dict[Tuple[str, str], dict]:
+        """(provider, region) → {domains, subdomains} (Table 9)."""
+        result: Dict[Tuple[str, str], dict] = defaultdict(
+            lambda: {"domains": set(), "subdomains": 0}
+        )
+        for usage in self.usages():
+            for region in usage.ec2_regions:
+                entry = result[("ec2", region)]
+                entry["domains"].add(usage.domain)
+                entry["subdomains"] += 1
+            for region in usage.azure_regions:
+                entry = result[("azure", region)]
+                entry["domains"].add(usage.domain)
+                entry["subdomains"] += 1
+        return {
+            key: {
+                "domains": len(value["domains"]),
+                "subdomains": value["subdomains"],
+            }
+            for key, value in result.items()
+        }
+
+    # -- Table 10 ---------------------------------------------------------------
+
+    def top_domain_regions(self, count: int = 14) -> List[dict]:
+        """Region usage of the highest-ranked cloud-using domains."""
+        ranked = []
+        for domain in self.dataset.domains():
+            rank = self.world.alexa.rank_of(domain)
+            if rank is not None and self.clouduse.domain_category(domain):
+                ranked.append((rank, domain))
+        ranked.sort()
+        by_domain: Dict[str, List[RegionUsage]] = defaultdict(list)
+        for usage in self.usages():
+            by_domain[usage.domain].append(usage)
+        rows = []
+        for rank, domain in ranked[:count]:
+            usages = by_domain.get(domain, [])
+            if not usages:
+                continue
+            all_regions: Set = set()
+            k_counter: Counter = Counter()
+            for usage in usages:
+                all_regions.update(usage.all_regions)
+                k_counter[usage.num_regions] += 1
+            rows.append({
+                "rank": rank,
+                "domain": domain,
+                "cloud_subdomains": len(usages),
+                "total_regions": len(all_regions),
+                "k1": k_counter.get(1, 0),
+                "k2": k_counter.get(2, 0),
+                "k3plus": sum(
+                    v for k, v in k_counter.items() if k >= 3
+                ),
+            })
+        return rows
+
+    # -- customer locality (§4.2) ---------------------------------------------------
+
+    def customer_locality(self) -> dict:
+        """Subdomain hosting country/continent vs customer country.
+
+        The paper identified customer countries for 75% of subdomains
+        and found 47% hosted outside the customer country, 32% outside
+        the customer continent.
+        """
+        total = 0
+        identified = 0
+        country_mismatch = 0
+        continent_mismatch = 0
+        for usage in self.usages():
+            total += 1
+            customer = self.world.customers.customer_country(usage.domain)
+            if customer is None:
+                continue
+            identified += 1
+            host_countries = set()
+            host_continents = set()
+            for region in usage.ec2_regions | usage.azure_regions:
+                country = CustomerModel.region_country(region)
+                if country:
+                    host_countries.add(country)
+                    host_continents.add(
+                        CustomerModel.continent_of(country)
+                    )
+            if customer not in host_countries:
+                country_mismatch += 1
+                if CustomerModel.continent_of(customer) not in host_continents:
+                    continent_mismatch += 1
+        return {
+            "total_subdomains": total,
+            "identified": identified,
+            "identified_fraction": identified / total if total else 0.0,
+            "country_mismatch": country_mismatch,
+            "country_mismatch_fraction": (
+                country_mismatch / identified if identified else 0.0
+            ),
+            "continent_mismatch": continent_mismatch,
+            "continent_mismatch_fraction": (
+                continent_mismatch / identified if identified else 0.0
+            ),
+        }

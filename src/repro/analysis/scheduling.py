@@ -1,0 +1,160 @@
+"""Client request routing over multi-region deployments (§5 follow-up).
+
+The paper observes that exploiting regional diversity "could be
+achieved via global request scheduling (effective, but complex) or
+requesting from multiple regions in parallel (simple, but increases
+server load)".  This module implements and compares the candidate
+policies over the same measurement campaign Figure 12 uses:
+
+* ``static-home`` — everything to one region (the measured status quo);
+* ``geo-nearest`` — each client pinned to its geographically nearest
+  deployed region (what DNS-based geo load balancing achieves);
+* ``dynamic-best`` — per-round best region (the oracle a global
+  request scheduler approaches);
+* ``parallel-k`` — race the request to every deployed region and take
+  the first answer (latency of the min, at k× the server load).
+
+Outputs per policy: average latency, 95th-percentile latency, and
+server-load multiplier — the trade-off frontier the paper gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.wan import WanAnalysis
+from repro.net.geo import haversine_km
+from repro.report.cdf import CDF
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """How one routing policy performs over the campaign."""
+
+    policy: str
+    regions: Tuple[str, ...]
+    mean_latency_ms: float
+    p95_latency_ms: float
+    #: Requests sent per client request (1.0 except parallel racing).
+    server_load_factor: float
+
+
+class RequestScheduler:
+    """Evaluates routing policies over a WAN measurement campaign."""
+
+    def __init__(self, wan: WanAnalysis):
+        self.wan = wan
+        self.wan._measure()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _samples(
+        self, pick
+    ) -> List[float]:
+        """One latency sample per (client, round), chosen by ``pick``.
+
+        ``pick(client_name, round_index)`` returns the latency the
+        policy achieves for that request.
+        """
+        samples = []
+        for client in self.wan.clients:
+            for round_index in range(self.wan.config.rounds):
+                value = pick(client, round_index)
+                if value is not None and value == value:
+                    samples.append(value)
+        return samples
+
+    def _latency(self, client_name: str, region: str, round_index: int):
+        return self.wan._latency[(client_name, region)][round_index]
+
+    def _nearest_region(self, client, regions: Sequence[str]) -> str:
+        return min(
+            regions,
+            key=lambda r: haversine_km(
+                self.wan.world.ec2.region(r).location, client.location
+            ),
+        )
+
+    def _outcome(
+        self, policy: str, regions: Sequence[str], samples: List[float],
+        load: float,
+    ) -> PolicyOutcome:
+        cdf = CDF(samples)
+        return PolicyOutcome(
+            policy=policy,
+            regions=tuple(regions),
+            mean_latency_ms=cdf.mean,
+            p95_latency_ms=cdf.quantile(0.95),
+            server_load_factor=load,
+        )
+
+    # -- the policies --------------------------------------------------------
+
+    def static_home(self, region: str = "us-east-1") -> PolicyOutcome:
+        samples = self._samples(
+            lambda client, r: self._latency(client.name, region, r)
+        )
+        return self._outcome("static-home", [region], samples, 1.0)
+
+    def geo_nearest(self, regions: Sequence[str]) -> PolicyOutcome:
+        assignment = {
+            client.name: self._nearest_region(client, regions)
+            for client in self.wan.clients
+        }
+        samples = self._samples(
+            lambda client, r: self._latency(
+                client.name, assignment[client.name], r
+            )
+        )
+        return self._outcome("geo-nearest", regions, samples, 1.0)
+
+    def dynamic_best(self, regions: Sequence[str]) -> PolicyOutcome:
+        def pick(client, round_index):
+            values = [
+                self._latency(client.name, region, round_index)
+                for region in regions
+            ]
+            values = [v for v in values if v == v]
+            return min(values) if values else None
+
+        samples = self._samples(pick)
+        return self._outcome("dynamic-best", regions, samples, 1.0)
+
+    def parallel_race(self, regions: Sequence[str]) -> PolicyOutcome:
+        """Same latency as dynamic-best, but honestly priced: every
+        region serves every request."""
+        best = self.dynamic_best(regions)
+        return PolicyOutcome(
+            policy="parallel-k",
+            regions=tuple(regions),
+            mean_latency_ms=best.mean_latency_ms,
+            p95_latency_ms=best.p95_latency_ms,
+            server_load_factor=float(len(regions)),
+        )
+
+    # -- the comparison table ---------------------------------------------------
+
+    def compare(
+        self, regions: Optional[Sequence[str]] = None
+    ) -> List[PolicyOutcome]:
+        """All policies over one deployment footprint.
+
+        Defaults to the latency-optimal k=3 footprint from Figure 12.
+        """
+        if regions is None:
+            frontier = self.wan.optimal_k_regions("latency")
+            regions = frontier[2]["regions"]
+        return [
+            self.static_home(),
+            self.geo_nearest(regions),
+            self.dynamic_best(regions),
+            self.parallel_race(regions),
+        ]
+
+    def geo_penalty(self, regions: Sequence[str]) -> float:
+        """How much geo-pinning loses to the dynamic oracle (the cost
+        of not adapting to congestion episodes), as a fraction."""
+        geo = self.geo_nearest(regions).mean_latency_ms
+        best = self.dynamic_best(regions).mean_latency_ms
+        return (geo - best) / geo if geo else 0.0

@@ -1,0 +1,355 @@
+"""Wide-area performance and fault tolerance (§5).
+
+Reproduces the paper's active-measurement campaign: m1.medium
+instances in every EC2 zone, geographically spread PlanetLab clients
+pinging them and fetching a 2 MB object repeatedly over several days,
+plus traceroutes from every zone to count downstream ISPs.
+
+Products: per-client per-region latency/throughput averages (Figures
+9-10), a best-region-over-time series (Figure 11), the optimal
+k-region deployment frontier (Figure 12), and the downstream-ISP
+diversity table (Table 16).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.base import Instance, InstanceRole, InstanceType
+from repro.probing.httpget import DEFAULT_OBJECT_BYTES
+from repro.world import World
+
+#: Account the measurement instances run under.
+WAN_ACCOUNT = "wan-measurement"
+
+US_REGIONS = ("us-east-1", "us-west-1", "us-west-2")
+
+
+@dataclass
+class WanConfig:
+    """Scale knobs for the WAN campaign (paper values in comments)."""
+
+    rounds: int = 36            # paper: 288 (every 15 min for 3 days)
+    round_seconds: float = 7200.0   # paper: 900
+    pings_per_round: int = 3    # paper: 5
+    instances_per_zone: int = 2  # paper: 2
+    traceroute_instances_per_zone: int = 3  # paper: 3
+
+
+class WanAnalysis:
+    """Runs the §5 measurements over a world."""
+
+    def __init__(self, world: World, config: Optional[WanConfig] = None):
+        self.world = world
+        self.config = config or WanConfig()
+        self.clients = world.probe_vantages()
+        self.regions = list(world.ec2.region_names())
+        self._instances: Optional[Dict[str, List[Instance]]] = None
+        self._latency: Optional[Dict[Tuple[str, str], List[float]]] = None
+        self._throughput: Optional[Dict[Tuple[str, str], List[float]]] = None
+
+    # -- instance fleet ----------------------------------------------------
+
+    def instances(self) -> Dict[str, List[Instance]]:
+        """Measurement instances per region (N per zone)."""
+        if self._instances is None:
+            fleet: Dict[str, List[Instance]] = defaultdict(list)
+            for region_name in self.regions:
+                region = self.world.ec2.region(region_name)
+                for zone in range(region.num_zones):
+                    for _ in range(self.config.instances_per_zone):
+                        fleet[region_name].append(
+                            self.world.ec2.launch_instance(
+                                account_id=WAN_ACCOUNT,
+                                region_name=region_name,
+                                physical_zone=zone,
+                                itype=InstanceType.M1_MEDIUM,
+                                role=InstanceRole.PROBE,
+                            )
+                        )
+            self._instances = dict(fleet)
+        return self._instances
+
+    # -- the measurement campaign ----------------------------------------------
+
+    def _measure(self) -> None:
+        """Fill the latency and throughput matrices.
+
+        Keys are (client name, region); values are one sample per
+        round: the mean ping RTT (ms) and the measured download rate
+        (KB/s) averaged over the region's instances.
+        """
+        if self._latency is not None:
+            return
+        latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        fleet = self.instances()
+        prober = self.world.prober
+        downloader = self.world.downloader
+        for round_index in range(self.config.rounds):
+            time_s = round_index * self.config.round_seconds
+            for client in self.clients:
+                for region_name in self.regions:
+                    rtts: List[float] = []
+                    rates: List[float] = []
+                    for instance in fleet[region_name]:
+                        ping = prober.tcp_ping(
+                            client,
+                            instance,
+                            count=self.config.pings_per_round,
+                            time_s=time_s,
+                        )
+                        if ping.rtts_ms and ping.responded:
+                            valid = [
+                                r for r in ping.rtts_ms if r is not None
+                            ]
+                            rtts.append(sum(valid) / len(valid))
+                        download = downloader.get(
+                            client, instance,
+                            size_bytes=DEFAULT_OBJECT_BYTES,
+                            time_s=time_s,
+                        )
+                        if download.completed:
+                            rates.append(download.rate_kb_per_s)
+                    key = (client.name, region_name)
+                    latency[key].append(
+                        sum(rtts) / len(rtts) if rtts else float("nan")
+                    )
+                    throughput[key].append(
+                        sum(rates) / len(rates) if rates else 0.0
+                    )
+        self._latency = dict(latency)
+        self._throughput = dict(throughput)
+
+    def latency_series(self, client_name: str, region: str) -> List[float]:
+        self._measure()
+        return self._latency[(client_name, region)]
+
+    def throughput_series(self, client_name: str, region: str) -> List[float]:
+        self._measure()
+        return self._throughput[(client_name, region)]
+
+    # -- Figures 9 and 10 ------------------------------------------------------------
+
+    def per_client_region_averages(
+        self,
+        regions: Sequence[str] = US_REGIONS,
+        max_clients: int = 15,
+    ) -> List[dict]:
+        """Average latency/throughput per (client, US region)."""
+        self._measure()
+        rows = []
+        for client in self.clients[:max_clients]:
+            entry = {"client": client.name}
+            for region in regions:
+                lat = self._latency[(client.name, region)]
+                thr = self._throughput[(client.name, region)]
+                valid = [v for v in lat if v == v]  # drop NaNs
+                entry[f"latency_ms:{region}"] = (
+                    sum(valid) / len(valid) if valid else float("nan")
+                )
+                entry[f"throughput_kbps:{region}"] = (
+                    sum(thr) / len(thr) if thr else 0.0
+                )
+            rows.append(entry)
+        return rows
+
+    def region_average(self, region: str, metric: str = "latency") -> float:
+        """Average across all clients and rounds for one region."""
+        self._measure()
+        table = self._latency if metric == "latency" else self._throughput
+        values = [
+            v
+            for (_, r), series in table.items()
+            if r == region
+            for v in series
+            if v == v
+        ]
+        return sum(values) / len(values) if values else float("nan")
+
+    # -- Figure 11 ----------------------------------------------------------------------
+
+    def best_region_flips(
+        self,
+        client_name: str,
+        regions: Sequence[str] = US_REGIONS,
+    ) -> dict:
+        """Per-round best region for one client, and how often it flips."""
+        self._measure()
+        best: List[str] = []
+        for round_index in range(self.config.rounds):
+            candidates = [
+                (self._latency[(client_name, region)][round_index], region)
+                for region in regions
+            ]
+            candidates = [(v, r) for v, r in candidates if v == v]
+            best.append(min(candidates)[1] if candidates else "none")
+        flips = sum(
+            1 for a, b in zip(best, best[1:]) if a != b
+        )
+        return {
+            "best_by_round": best,
+            "flips": flips,
+            "distinct_best": len(set(best)),
+        }
+
+    # -- Figure 12 ---------------------------------------------------------------------------
+
+    def optimal_k_regions(self, metric: str = "latency") -> List[dict]:
+        """The optimal k-region deployment frontier.
+
+        For each k, enumerate all size-k region subsets, score each by
+        the mean over clients and rounds of the per-round best region
+        in the subset, and keep the best subset.
+        """
+        self._measure()
+        table = self._latency if metric == "latency" else self._throughput
+        better = min if metric == "latency" else max
+        frontier = []
+        for k in range(1, len(self.regions) + 1):
+            best_score: Optional[float] = None
+            best_subset: Optional[Tuple[str, ...]] = None
+            for subset in combinations(self.regions, k):
+                total = 0.0
+                count = 0
+                for client in self.clients:
+                    for round_index in range(self.config.rounds):
+                        values = [
+                            table[(client.name, region)][round_index]
+                            for region in subset
+                        ]
+                        values = [v for v in values if v == v]
+                        if not values:
+                            continue
+                        total += better(values)
+                        count += 1
+                if count == 0:
+                    continue
+                score = total / count
+                if best_score is None or (
+                    score < best_score
+                    if metric == "latency"
+                    else score > best_score
+                ):
+                    best_score = score
+                    best_subset = subset
+            frontier.append({
+                "k": k,
+                "score": best_score,
+                "regions": best_subset,
+            })
+        return frontier
+
+    @staticmethod
+    def improvement_at_k(frontier: List[dict], k: int) -> float:
+        """Relative change of the metric at k versus k=1."""
+        base = frontier[0]["score"]
+        at_k = frontier[k - 1]["score"]
+        return (base - at_k) / base
+
+    # -- §5.1: performance across zones of one region ----------------------------
+
+    def zone_performance_comparison(self, region_name: str) -> dict:
+        """Per-zone latency/throughput averages within one region.
+
+        The paper found "the zone has little impact on latency" while
+        throughput varied somewhat more (local contention).  Returns
+        per-zone means and the relative spread of each metric.
+        """
+        self._measure()
+        fleet = self.instances()[region_name]
+        by_zone: Dict[int, List[Instance]] = defaultdict(list)
+        for instance in fleet:
+            by_zone[instance.zone_index].append(instance)
+        prober = self.world.prober
+        downloader = self.world.downloader
+        latency_means: Dict[int, float] = {}
+        throughput_means: Dict[int, float] = {}
+        for zone, instances in sorted(by_zone.items()):
+            rtts: List[float] = []
+            rates: List[float] = []
+            for round_index in range(self.config.rounds):
+                time_s = round_index * self.config.round_seconds
+                for client in self.clients[:20]:
+                    for instance in instances:
+                        ping = prober.tcp_ping(
+                            client, instance, count=1, time_s=time_s
+                        )
+                        if ping.min_ms is not None:
+                            rtts.append(ping.min_ms)
+                        download = downloader.get(
+                            client, instance, time_s=time_s
+                        )
+                        if download.completed:
+                            rates.append(download.rate_kb_per_s)
+            latency_means[zone] = sum(rtts) / len(rtts) if rtts else 0.0
+            throughput_means[zone] = (
+                sum(rates) / len(rates) if rates else 0.0
+            )
+
+        def relative_spread(values: Dict[int, float]) -> float:
+            numbers = list(values.values())
+            mean = sum(numbers) / len(numbers)
+            return (max(numbers) - min(numbers)) / mean if mean else 0.0
+
+        return {
+            "latency_ms_by_zone": latency_means,
+            "throughput_kbps_by_zone": throughput_means,
+            "latency_relative_spread": relative_spread(latency_means),
+            "throughput_relative_spread": relative_spread(
+                throughput_means
+            ),
+        }
+
+    # -- Table 16: ISP diversity ----------------------------------------------------------------
+
+    def isp_diversity(self) -> Dict[str, dict]:
+        """Distinct downstream ISPs per region and zone, plus the
+        unevenness of the route spread."""
+        vantages = self.world.traceroute_vantages()
+        routing = self.world.routing
+        cloud_ranges = self.world.ec2.published_range_set()
+        result: Dict[str, dict] = {}
+        for region_name in self.regions:
+            region = self.world.ec2.region(region_name)
+            zone_ases: Dict[int, set] = defaultdict(set)
+            route_counter: Counter = Counter()
+            for zone in range(region.num_zones):
+                for _ in range(self.config.traceroute_instances_per_zone):
+                    instance = self.world.ec2.launch_instance(
+                        account_id=WAN_ACCOUNT,
+                        region_name=region_name,
+                        physical_zone=zone,
+                        itype=InstanceType.M1_MEDIUM,
+                        role=InstanceRole.PROBE,
+                    )
+                    for vantage in vantages:
+                        hops = routing.traceroute(instance, vantage)
+                        hop = routing.first_non_cloud_hop(
+                            hops, cloud_ranges
+                        )
+                        if hop is None:
+                            continue
+                        asys = routing.registry.whois(hop.address)
+                        if asys is None:
+                            continue
+                        zone_ases[zone].add(asys.number)
+                        route_counter[asys.number] += 1
+            total_routes = sum(route_counter.values()) or 1
+            top_share = (
+                route_counter.most_common(1)[0][1] / total_routes
+                if route_counter else 0.0
+            )
+            result[region_name] = {
+                "per_zone": {
+                    zone: len(ases) for zone, ases in zone_ases.items()
+                },
+                "region_total": len(
+                    set().union(*zone_ases.values()) if zone_ases else set()
+                ),
+                "top_isp_route_share": top_share,
+            }
+        return result

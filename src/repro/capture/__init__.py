@@ -1,0 +1,23 @@
+"""Packet-capture substrate: flow records, the capture generator, and a
+Bro-like analyzer.
+
+The real dataset was 1.4 TB of full packets at the UW-Madison border,
+reduced by Bro to application-level logs.  We model the post-Bro view
+directly — flow records carrying the fields Bro extracts (addresses,
+ports, protocol, byte counts, HTTP hostnames and content types, TLS
+certificate common names) — and generate a week of such records from
+the deployed tenant population.
+"""
+
+from repro.capture.flow import FlowRecord, Trace, registrable_domain
+from repro.capture.generator import CaptureConfig, CaptureGenerator
+from repro.capture.analyzer import BroAnalyzer
+
+__all__ = [
+    "FlowRecord",
+    "Trace",
+    "registrable_domain",
+    "CaptureConfig",
+    "CaptureGenerator",
+    "BroAnalyzer",
+]

@@ -1,0 +1,269 @@
+"""The Bro-like trace analyzer.
+
+Consumes a :class:`Trace` plus the published cloud IP ranges and
+produces the aggregates behind §3: per-cloud volume (Table 1), protocol
+mix (Table 2), per-domain traffic ranking via HTTP hostnames and TLS
+common names (Table 5), HTTP content types (Table 6), and per-domain
+flow-count / flow-size distributions (Figure 3).
+
+The analyzer sees only what Bro saw: packet-derived fields.  Cloud
+attribution is by destination address against published ranges, domain
+attribution by hostname/common-name aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.capture.flow import FlowRecord, Trace, registrable_domain
+from repro.net.prefixset import PrefixSet
+
+
+@dataclass
+class ProtocolStats:
+    """Byte and flow tallies for one protocol class."""
+
+    bytes: int = 0
+    flows: int = 0
+
+
+@dataclass
+class DomainTraffic:
+    """Per-domain HTTP(S) traffic."""
+
+    domain: str
+    provider: str
+    http_bytes: int = 0
+    https_bytes: int = 0
+    http_flows: int = 0
+    https_flows: int = 0
+    http_flow_sizes: List[int] = field(default_factory=list)
+    https_flow_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.http_bytes + self.https_bytes
+
+
+@dataclass
+class ContentTypeStats:
+    """Aggregate for one HTTP content type (Table 6)."""
+
+    content_type: str
+    bytes: int = 0
+    count: int = 0
+    max_bytes: int = 0
+
+    @property
+    def mean_bytes(self) -> float:
+        return self.bytes / self.count if self.count else 0.0
+
+
+class BroAnalyzer:
+    """Runs the paper's §3 aggregations over a trace."""
+
+    def __init__(self, cloud_ranges: Dict[str, PrefixSet]):
+        self.cloud_ranges = cloud_ranges
+
+    # -- classification ------------------------------------------------------
+
+    def cloud_of(self, flow: FlowRecord) -> Optional[str]:
+        for provider, ranges in self.cloud_ranges.items():
+            if flow.dst in ranges:
+                return provider
+        return None
+
+    @staticmethod
+    def protocol_of(flow: FlowRecord) -> str:
+        if flow.proto == "icmp":
+            return "ICMP"
+        if flow.proto == "tcp":
+            if flow.dport == 80:
+                return "HTTP (TCP)"
+            if flow.dport == 443:
+                return "HTTPS (TCP)"
+            return "Other (TCP)"
+        if flow.proto == "udp":
+            if flow.dport == 53:
+                return "DNS (UDP)"
+            return "Other (UDP)"
+        return "Other (TCP)"
+
+    # -- Table 1 ------------------------------------------------------------
+
+    def cloud_shares(self, trace: Trace) -> Dict[str, ProtocolStats]:
+        """Bytes/flows per cloud (flows initiated inside the campus)."""
+        shares: Dict[str, ProtocolStats] = defaultdict(ProtocolStats)
+        for flow in trace:
+            cloud = self.cloud_of(flow)
+            if cloud is None:
+                continue
+            shares[cloud].bytes += flow.total_bytes
+            shares[cloud].flows += 1
+        return dict(shares)
+
+    # -- Table 2 ------------------------------------------------------------
+
+    def protocol_breakdown(
+        self, trace: Trace
+    ) -> Dict[str, Dict[str, ProtocolStats]]:
+        """Per-cloud and overall protocol mix.
+
+        Returns {'ec2': {...}, 'azure': {...}, 'overall': {...}} keyed
+        by protocol label.
+        """
+        result: Dict[str, Dict[str, ProtocolStats]] = {
+            "ec2": defaultdict(ProtocolStats),
+            "azure": defaultdict(ProtocolStats),
+            "overall": defaultdict(ProtocolStats),
+        }
+        for flow in trace:
+            cloud = self.cloud_of(flow)
+            if cloud is None:
+                continue
+            label = self.protocol_of(flow)
+            for bucket in (cloud, "overall"):
+                stats = result[bucket][label]
+                stats.bytes += flow.total_bytes
+                stats.flows += 1
+        return {k: dict(v) for k, v in result.items()}
+
+    # -- Table 5 / Figure 3 ---------------------------------------------------
+
+    def domain_traffic(self, trace: Trace) -> Dict[str, DomainTraffic]:
+        """HTTP(S) traffic aggregated by registrable domain.
+
+        HTTP flows are attributed via the Host header; HTTPS flows via
+        the server certificate's common name (TLS hides the Host).
+        """
+        domains: Dict[str, DomainTraffic] = {}
+        for flow in trace:
+            cloud = self.cloud_of(flow)
+            if cloud is None:
+                continue
+            if flow.dport == 80 and flow.http_host:
+                name = registrable_domain(flow.http_host)
+                entry = domains.setdefault(
+                    name, DomainTraffic(domain=name, provider=cloud)
+                )
+                entry.http_bytes += flow.total_bytes
+                entry.http_flows += 1
+                entry.http_flow_sizes.append(flow.total_bytes)
+            elif flow.dport == 443 and flow.tls_common_name:
+                name = registrable_domain(flow.tls_common_name)
+                entry = domains.setdefault(
+                    name, DomainTraffic(domain=name, provider=cloud)
+                )
+                entry.https_bytes += flow.total_bytes
+                entry.https_flows += 1
+                entry.https_flow_sizes.append(flow.total_bytes)
+        return domains
+
+    def top_domains_by_volume(
+        self, trace: Trace, provider: str, count: int = 15
+    ) -> List[DomainTraffic]:
+        domains = [
+            d for d in self.domain_traffic(trace).values()
+            if d.provider == provider
+        ]
+        domains.sort(key=lambda d: d.total_bytes, reverse=True)
+        return domains[:count]
+
+    # -- Table 6 ---------------------------------------------------------------
+
+    def content_types(self, trace: Trace) -> List[ContentTypeStats]:
+        """HTTP content-type aggregates, sorted by byte count."""
+        stats: Dict[str, ContentTypeStats] = {}
+        for flow in trace:
+            if flow.content_type is None or flow.content_length is None:
+                continue
+            if self.cloud_of(flow) is None:
+                continue
+            entry = stats.setdefault(
+                flow.content_type, ContentTypeStats(flow.content_type)
+            )
+            entry.bytes += flow.content_length
+            entry.count += 1
+            entry.max_bytes = max(entry.max_bytes, flow.content_length)
+        return sorted(stats.values(), key=lambda s: s.bytes, reverse=True)
+
+    # -- Figure 3 -----------------------------------------------------------------
+
+    def flow_count_distribution(
+        self, trace: Trace, provider: str, protocol: str
+    ) -> List[int]:
+        """Per-domain flow counts (the Figure 3a/3b CDF inputs).
+
+        ``protocol`` is 'http' or 'https'.
+        """
+        domains = self.domain_traffic(trace)
+        attr = "http_flows" if protocol == "http" else "https_flows"
+        return sorted(
+            getattr(d, attr)
+            for d in domains.values()
+            if d.provider == provider and getattr(d, attr) > 0
+        )
+
+    def flow_size_distribution(
+        self, trace: Trace, provider: str, protocol: str
+    ) -> List[int]:
+        """All flow sizes for one cloud+protocol (Figure 3c/3d)."""
+        domains = self.domain_traffic(trace)
+        attr = (
+            "http_flow_sizes" if protocol == "http" else "https_flow_sizes"
+        )
+        sizes: List[int] = []
+        for d in domains.values():
+            if d.provider == provider:
+                sizes.extend(getattr(d, attr))
+        sizes.sort()
+        return sizes
+
+    def hourly_volume(self, trace: Trace) -> List[int]:
+        """Bytes per hour-of-day across the capture week.
+
+        The border traffic is diurnal — campus clients work during the
+        day — which is why the capture's peak hours dominate volume.
+        """
+        buckets = [0] * 24
+        for flow in trace:
+            if self.cloud_of(flow) is None:
+                continue
+            hour = int(flow.ts % 86400.0) // 3600
+            buckets[hour] += flow.total_bytes
+        return buckets
+
+    def flow_duration_distribution(
+        self, trace: Trace, provider: str, protocol: str
+    ) -> List[float]:
+        """All flow durations for one cloud+protocol (§3.3's omitted
+        duration CDFs: heavy-tailed, with flows lasting hours)."""
+        port = 80 if protocol == "http" else 443
+        durations = [
+            flow.duration
+            for flow in trace
+            if flow.dport == port
+            and flow.proto == "tcp"
+            and self.cloud_of(flow) == provider
+        ]
+        durations.sort()
+        return durations
+
+    def top_domain_flow_concentration(
+        self, trace: Trace, provider: str, top_n: int = 100
+    ) -> float:
+        """Fraction of the cloud's HTTP flows from its top-N domains."""
+        counts = sorted(
+            (
+                d.http_flows
+                for d in self.domain_traffic(trace).values()
+                if d.provider == provider
+            ),
+            reverse=True,
+        )
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return sum(counts[:top_n]) / total

@@ -1,0 +1,92 @@
+"""Trace persistence: Bro-style tab-separated flow logs.
+
+The real study's packet capture could not be released, but its Bro
+reduction is exactly what this format holds: one flow per line,
+tab-separated, ``-`` for absent fields — round-trippable so captures
+can be generated once and analyzed offline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.capture.flow import FlowRecord, Trace
+from repro.net.ipv4 import IPv4Address
+
+_COLUMNS = (
+    "ts", "duration", "src", "dst", "proto", "dport", "total_bytes",
+    "http_host", "content_type", "content_length", "tls_common_name",
+)
+_HEADER = "#fields\t" + "\t".join(_COLUMNS)
+
+
+def _render_field(value) -> str:
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _parse_optional(text: str):
+    return None if text == "-" else text
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Write a trace as a flow log; returns the number of flows."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(_HEADER + "\n")
+        for flow in trace:
+            fh.write("\t".join(_render_field(v) for v in (
+                f"{flow.ts:.3f}",
+                f"{flow.duration:.4f}",
+                flow.src,
+                flow.dst,
+                flow.proto,
+                flow.dport,
+                flow.total_bytes,
+                flow.http_host,
+                flow.content_type,
+                flow.content_length,
+                flow.tls_common_name,
+            )) + "\n")
+    return len(trace)
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a flow log written by :func:`write_trace`."""
+    path = Path(path)
+    trace = Trace()
+    with path.open() as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError(
+                f"{path} is not a flow log (bad header: {header!r})"
+            )
+        for line_number, line in enumerate(fh, start=2):
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) != len(_COLUMNS):
+                raise ValueError(
+                    f"{path}:{line_number}: expected "
+                    f"{len(_COLUMNS)} fields, got {len(parts)}"
+                )
+            (ts, duration, src, dst, proto, dport, total_bytes,
+             http_host, content_type, content_length,
+             tls_common_name) = parts
+            raw_length = _parse_optional(content_length)
+            trace.add(FlowRecord(
+                ts=float(ts),
+                duration=float(duration),
+                src=src,
+                dst=IPv4Address.parse(dst),
+                proto=proto,
+                dport=int(dport),
+                total_bytes=int(total_bytes),
+                http_host=_parse_optional(http_host),
+                content_type=_parse_optional(content_type),
+                content_length=(
+                    int(raw_length) if raw_length is not None else None
+                ),
+                tls_common_name=_parse_optional(tls_common_name),
+            ))
+    return trace

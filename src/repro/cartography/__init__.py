@@ -1,0 +1,33 @@
+"""Cloud cartography: identifying EC2 availability zones from outside.
+
+Implements both techniques of §4.3 (after Ristenpart et al. CCS'09):
+
+* **latency method** — TCP-ping each target from probe instances in
+  every zone; the zone whose probe sees the smallest minimum RTT (below
+  a threshold, with no tie) is the estimate;
+* **address-proximity method** — sample many instances under multiple
+  accounts, undo EC2's per-account zone-label permutation by matching
+  /16 co-occupancy, then assign a target the zone of any sampled
+  instance sharing its /16 internal prefix;
+* **combined** — proximity where available, latency as fallback, with
+  an accuracy cross-check (Table 13).
+"""
+
+from repro.cartography.latency_method import (
+    LatencyZoneIdentifier,
+    ZoneEstimate,
+)
+from repro.cartography.proximity_method import (
+    ProximityZoneIdentifier,
+    ZoneSample,
+)
+from repro.cartography.combined import CombinedZoneIdentifier, AccuracyReport
+
+__all__ = [
+    "LatencyZoneIdentifier",
+    "ZoneEstimate",
+    "ProximityZoneIdentifier",
+    "ZoneSample",
+    "CombinedZoneIdentifier",
+    "AccuracyReport",
+]

@@ -1,0 +1,135 @@
+"""Combining the two zone-identification methods (§4.3, Table 13).
+
+The two methods express estimates in different label spaces (each
+account's zone labels are independently permuted).  The combiner first
+aligns the latency method's label space to the proximity method's by
+choosing, per region, the bijection that maximizes agreement over
+targets both methods identified; it then prefers proximity estimates
+and falls back to latency ones, and reports the latency method's error
+rate against proximity-as-ground-truth exactly as Table 13 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cartography.latency_method import LatencyZoneIdentifier
+from repro.cartography.proximity_method import ProximityZoneIdentifier
+from repro.net.ipv4 import IPv4Address
+
+
+@dataclass
+class AccuracyReport:
+    """Table 13 row: latency method scored against proximity."""
+
+    region: str
+    count: int = 0
+    match: int = 0
+    unknown: int = 0
+    mismatch: int = 0
+
+    @property
+    def error_rate(self) -> Optional[float]:
+        denominator = self.count - self.unknown
+        if denominator <= 0:
+            return None
+        return self.mismatch / denominator
+
+
+@dataclass
+class CombinedResult:
+    """Zone identifications for one region's targets."""
+
+    region: str
+    #: target IP → merged-space zone label (proximity label space).
+    zones: Dict[IPv4Address, Optional[int]] = field(default_factory=dict)
+    accuracy: Optional[AccuracyReport] = None
+
+    @property
+    def identified_fraction(self) -> float:
+        if not self.zones:
+            return 0.0
+        known = sum(1 for z in self.zones.values() if z is not None)
+        return known / len(self.zones)
+
+
+class CombinedZoneIdentifier:
+    """Proximity-first zone identification with latency fallback."""
+
+    def __init__(
+        self,
+        latency: LatencyZoneIdentifier,
+        proximity: ProximityZoneIdentifier,
+    ):
+        self.latency = latency
+        self.proximity = proximity
+        self._alignment: Dict[str, Tuple[int, ...]] = {}
+
+    def _align_label_spaces(
+        self,
+        region_name: str,
+        latency_labels: Dict[IPv4Address, Optional[int]],
+        proximity_labels: Dict[IPv4Address, Optional[int]],
+    ) -> Tuple[int, ...]:
+        """Bijection latency-label → proximity-label maximizing
+        agreement over doubly identified targets."""
+        num_zones = self.latency.ec2.region(region_name).num_zones
+        pairs = [
+            (latency_labels[t], proximity_labels[t])
+            for t in latency_labels
+            if latency_labels[t] is not None
+            and proximity_labels.get(t) is not None
+        ]
+        best_perm = tuple(range(num_zones))
+        best_score = -1
+        for perm in permutations(range(num_zones)):
+            score = sum(1 for lat, prox in pairs if perm[lat] == prox)
+            if score > best_score:
+                best_score = score
+                best_perm = perm
+        self._alignment[region_name] = best_perm
+        return best_perm
+
+    def identify_region(
+        self, region_name: str, targets: Sequence[IPv4Address]
+    ) -> CombinedResult:
+        """Identify every target; score the latency method on the way."""
+        latency_raw = {
+            est.target: est.zone_label
+            for est in self.latency.identify_all(region_name, targets)
+        }
+        proximity_labels = {
+            target: self.proximity.identify(region_name, target)
+            for target in targets
+        }
+        perm = self._align_label_spaces(
+            region_name, latency_raw, proximity_labels
+        )
+        aligned_latency = {
+            target: (perm[label] if label is not None else None)
+            for target, label in latency_raw.items()
+        }
+        accuracy = AccuracyReport(region=region_name, count=len(targets))
+        for target in targets:
+            lat = aligned_latency.get(target)
+            prox = proximity_labels.get(target)
+            if lat is None or prox is None:
+                accuracy.unknown += 1
+            elif lat == prox:
+                accuracy.match += 1
+            else:
+                accuracy.mismatch += 1
+        result = CombinedResult(region=region_name, accuracy=accuracy)
+        for target in targets:
+            prox = proximity_labels.get(target)
+            result.zones[target] = (
+                prox if prox is not None else aligned_latency.get(target)
+            )
+        return result
+
+    def label_to_physical(self, region_name: str, label: int) -> int:
+        """Ground-truth translation of a combined (proximity-space)
+        label (scoring only)."""
+        return self.proximity.label_to_physical(region_name, label)

@@ -1,0 +1,186 @@
+"""Address-proximity availability-zone identification (§4.3).
+
+Two instances sharing a /16 of EC2's internal 10/8 space are very
+likely in the same zone.  We therefore launch sampling instances under
+several accounts, collect (account, zone label, internal IP) triples,
+undo the per-account zone-label permutation by finding, for each
+account pair, the label bijection that maximizes /16 co-occupancy
+agreement (the paper's greedy pairwise merge), and build a /16 → merged
+zone label map.  A target instance is assigned the label of its /16 if
+sampled, else unknown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.base import InstanceRole, InstanceType
+from repro.cloud.ec2 import EC2Cloud
+from repro.net.ipv4 import IPv4Address, IPv4Network
+
+#: Accounts used for sampling (the paper aggregated 5,096 instances
+#: launched under several accounts over years).
+SAMPLE_ACCOUNTS = (
+    "carto-sample-a", "carto-sample-b", "carto-sample-c",
+    "carto-sample-d", "carto-sample-e",
+)
+
+
+@dataclass(frozen=True)
+class ZoneSample:
+    """One sampled data point: where one of our instances landed."""
+
+    account_id: str
+    region: str
+    zone_label: int  # the account's own label position
+    internal_ip: IPv4Address
+
+    @property
+    def slash16(self) -> IPv4Network:
+        return self.internal_ip.slash16()
+
+
+class ProximityZoneIdentifier:
+    """Builds the /16 → zone map from samples and answers queries."""
+
+    def __init__(
+        self,
+        ec2: EC2Cloud,
+        samples_per_account_zone: int = 40,
+    ):
+        self.ec2 = ec2
+        self.samples_per_account_zone = samples_per_account_zone
+        self.samples: List[ZoneSample] = []
+        #: (region, /16) → merged zone label.
+        self._block_label: Dict[Tuple[str, IPv4Network], int] = {}
+        self._merged_regions: set = set()
+
+    # -- sampling -----------------------------------------------------------
+
+    def collect_samples(self, region_name: str) -> List[ZoneSample]:
+        """Launch sampling instances in every zone of every account."""
+        region = self.ec2.region(region_name)
+        new: List[ZoneSample] = []
+        for account_id in SAMPLE_ACCOUNTS:
+            self.ec2.create_account(account_id)
+            for label_pos in range(region.num_zones):
+                for _ in range(self.samples_per_account_zone):
+                    instance = self.ec2.launch_instance(
+                        account_id=account_id,
+                        region_name=region_name,
+                        zone_label_pos=label_pos,
+                        itype=InstanceType.T1_MICRO,
+                        role=InstanceRole.PROBE,
+                        public=False,
+                    )
+                    new.append(ZoneSample(
+                        account_id=account_id,
+                        region=region_name,
+                        zone_label=label_pos,
+                        internal_ip=instance.internal_ip,
+                    ))
+        self.samples.extend(new)
+        return new
+
+    # -- merging account label spaces ---------------------------------------------
+
+    def _account_blocks(
+        self, region_name: str, account_id: str
+    ) -> Dict[IPv4Network, Counter]:
+        """/16 → Counter(zone label) for one account's samples."""
+        blocks: Dict[IPv4Network, Counter] = defaultdict(Counter)
+        for sample in self.samples:
+            if sample.region == region_name and sample.account_id == account_id:
+                blocks[sample.slash16][sample.zone_label] += 1
+        return blocks
+
+    def _best_permutation(
+        self,
+        reference: Dict[IPv4Network, Counter],
+        other: Dict[IPv4Network, Counter],
+        num_zones: int,
+    ) -> Tuple[int, ...]:
+        """The label bijection other→reference maximizing agreement on
+        shared /16 blocks."""
+        shared = set(reference) & set(other)
+        best_perm = tuple(range(num_zones))
+        best_score = -1
+        for perm in permutations(range(num_zones)):
+            score = 0
+            for block in shared:
+                ref_label = reference[block].most_common(1)[0][0]
+                other_label = other[block].most_common(1)[0][0]
+                if perm[other_label] == ref_label:
+                    score += 1
+            if score > best_score:
+                best_score = score
+                best_perm = perm
+        return best_perm
+
+    def merge_region(self, region_name: str) -> None:
+        """Merge all accounts' samples into one label space (the first
+        account's) and build the /16 → label map."""
+        if region_name in self._merged_regions:
+            return
+        if not any(s.region == region_name for s in self.samples):
+            self.collect_samples(region_name)
+        num_zones = self.ec2.region(region_name).num_zones
+        reference = self._account_blocks(region_name, SAMPLE_ACCOUNTS[0])
+        merged: Dict[IPv4Network, Counter] = defaultdict(Counter)
+        for block, counts in reference.items():
+            merged[block].update(counts)
+        for account_id in SAMPLE_ACCOUNTS[1:]:
+            other = self._account_blocks(region_name, account_id)
+            perm = self._best_permutation(merged, other, num_zones)
+            for block, counts in other.items():
+                for label, count in counts.items():
+                    merged[block][perm[label]] += count
+        for block, counts in merged.items():
+            self._block_label[(region_name, block)] = (
+                counts.most_common(1)[0][0]
+            )
+        self._merged_regions.add(region_name)
+
+    # -- queries -----------------------------------------------------------------
+
+    def identify(
+        self, region_name: str, target_public_ip: IPv4Address
+    ) -> Optional[int]:
+        """Merged-space zone label for a target, or None if its /16 was
+        never sampled or the target's internal address is unknown."""
+        self.merge_region(region_name)
+        internal = self.ec2.internal_ip_of(target_public_ip)
+        if internal is None:
+            return None
+        return self._block_label.get((region_name, internal.slash16()))
+
+    def coverage(self, region_name: str) -> int:
+        """Number of /16 blocks mapped in a region."""
+        self.merge_region(region_name)
+        return sum(
+            1 for (region, _block) in self._block_label
+            if region == region_name
+        )
+
+    def label_to_physical(self, region_name: str, label: int) -> int:
+        """Translate a merged-space label (= first sample account's
+        label space) to the physical zone index (scoring only)."""
+        account = self.ec2.account(SAMPLE_ACCOUNTS[0])
+        return account.zone_permutation[region_name][label]
+
+    def sample_points(
+        self, region_name: str
+    ) -> List[Tuple[IPv4Address, int]]:
+        """(internal IP, merged label) pairs — the Figure 7 scatter."""
+        self.merge_region(region_name)
+        points = []
+        for sample in self.samples:
+            if sample.region != region_name:
+                continue
+            label = self._block_label.get((region_name, sample.slash16))
+            if label is not None:
+                points.append((sample.internal_ip, label))
+        return points

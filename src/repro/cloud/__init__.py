@@ -1,0 +1,67 @@
+"""Cloud provider substrate: EC2 and Azure as the paper observed them.
+
+Implements, from scratch, every provider-side feature whose externally
+visible behaviour the paper measures:
+
+* regions and availability zones with per-zone internal address blocks
+  and per-account zone-label permutations (EC2);
+* VM instances with internal + public IPv4 addresses;
+* Elastic Load Balancers (logical CNAMEs, shared physical proxies,
+  rotating DNS answers);
+* PaaS platforms: Elastic Beanstalk (always fronted by an ELB) and
+  Heroku (a shared proxy fleet multiplexing many apps over few IPs);
+* CloudFront (separate address range) and the Azure CDN (shared ranges,
+  ``msecnd.net`` CNAMEs);
+* Route53-style DNS hosting;
+* Azure Cloud Services behind transparent proxies and Traffic Manager's
+  DNS-level load balancing;
+* published public IP range lists, the ground truth for the paper's
+  cloud-usage classification.
+"""
+
+from repro.cloud.base import (
+    Account,
+    AvailabilityZone,
+    CloudProvider,
+    Instance,
+    InstanceRole,
+    InstanceType,
+    Region,
+)
+from repro.cloud.addressing import AddressPlan, ZoneInternalAllocator
+from repro.cloud.ec2 import EC2Cloud, EC2_REGION_SPECS
+from repro.cloud.elb import ElasticLoadBalancer, ELBFleet
+from repro.cloud.paas import BeanstalkPlatform, HerokuPlatform
+from repro.cloud.cdn import CloudFront, AzureCDN
+from repro.cloud.route53 import Route53
+from repro.cloud.azure import (
+    AzureCloud,
+    AZURE_REGION_SPECS,
+    CloudService,
+    TrafficManager,
+)
+
+__all__ = [
+    "Account",
+    "AvailabilityZone",
+    "CloudProvider",
+    "Instance",
+    "InstanceRole",
+    "InstanceType",
+    "Region",
+    "AddressPlan",
+    "ZoneInternalAllocator",
+    "EC2Cloud",
+    "EC2_REGION_SPECS",
+    "ElasticLoadBalancer",
+    "ELBFleet",
+    "BeanstalkPlatform",
+    "HerokuPlatform",
+    "CloudFront",
+    "AzureCDN",
+    "Route53",
+    "AzureCloud",
+    "AZURE_REGION_SPECS",
+    "CloudService",
+    "TrafficManager",
+]

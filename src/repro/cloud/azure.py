@@ -1,0 +1,256 @@
+"""Windows Azure as of the paper's measurement window.
+
+Azure differs from EC2 in exactly the ways the paper's heuristics have
+to care about: a client cannot distinguish VM, PaaS, or load-balancer
+front ends (all are "Cloud Services" behind a transparent proxy with a
+``cloudapp.net`` name and one public IP), there are no availability
+zones, and Traffic Manager does all its load balancing in DNS —
+``trafficmanager.net`` CNAMEs resolve to a specific Cloud Service's
+CNAME rather than to proxy addresses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.addressing import AddressPlan, ZoneInternalAllocator
+from repro.cloud.base import (
+    AvailabilityZone,
+    CloudProvider,
+    Instance,
+    InstanceRole,
+    InstanceType,
+    Region,
+)
+from repro.cloud.ec2 import RegionSpec
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import DynamicName, Zone
+from repro.net.geo import GeoPoint, haversine_km
+from repro.net.ipv4 import IPv4Address, IPv4Network
+from repro.net.prefixset import PrefixSet
+from repro.sim import StreamRegistry
+
+#: The eight Azure regions of early 2013 (Table 9).
+AZURE_REGION_SPECS: Tuple[RegionSpec, ...] = (
+    RegionSpec("us-east", "Virginia, USA", GeoPoint(37.54, -77.44), 1),
+    RegionSpec("us-west", "California, USA", GeoPoint(37.78, -122.42), 1),
+    RegionSpec("us-north", "Illinois, USA", GeoPoint(41.88, -87.63), 1),
+    RegionSpec("us-south", "Texas, USA", GeoPoint(29.42, -98.49), 1),
+    RegionSpec("eu-west", "Ireland", GeoPoint(53.35, -6.26), 1),
+    RegionSpec("eu-north", "Netherlands", GeoPoint(52.37, 4.90), 1),
+    RegionSpec("ap-southeast", "Singapore", GeoPoint(1.35, 103.82), 1),
+    RegionSpec("ap-east", "Hong Kong", GeoPoint(22.32, 114.17), 1),
+)
+
+#: Synthetic stand-ins for the Azure Datacenter IP Ranges download [8].
+_AZURE_SUPERNETS = ("23.96.0.0/13", "137.116.0.0/14", "168.60.0.0/14")
+
+
+class ServiceKind:
+    """What a Cloud Service contains (invisible to clients)."""
+
+    SINGLE_VM = "single-vm"
+    VM_GROUP = "vm-group"
+    PAAS = "paas"
+
+
+@dataclass
+class CloudService:
+    """One Azure Cloud Service: a public IP behind a transparent proxy."""
+
+    name: str
+    region_name: str
+    kind: str
+    cname: str
+    public_ip: IPv4Address
+    backends: List[Instance] = field(default_factory=list)
+
+
+@dataclass
+class TrafficManager:
+    """A Traffic Manager profile: DNS-level balancing across services."""
+
+    name: str
+    cname: str
+    policy: str
+    services: List[CloudService] = field(default_factory=list)
+
+
+class AzureCloud(CloudProvider):
+    """Azure: regions, Cloud Services, Traffic Manager."""
+
+    name = "azure"
+
+    POLICY_PERFORMANCE = "performance"
+    POLICY_FAILOVER = "failover"
+    POLICY_ROUND_ROBIN = "round-robin"
+
+    def __init__(self, streams: StreamRegistry, dns: DnsInfrastructure):
+        super().__init__()
+        self.streams = streams
+        self.dns = dns
+        self.rng = streams.stream("azure", "services")
+        self.plan = AddressPlan(
+            provider_name=self.name,
+            supernets=[IPv4Network.parse(s) for s in _AZURE_SUPERNETS],
+            per_region_slash16s=2,
+        )
+        self._allocators: Dict[str, ZoneInternalAllocator] = {}
+        for spec in AZURE_REGION_SPECS:
+            region = Region(
+                provider_name=self.name,
+                name=spec.name,
+                location=spec.location,
+                zones=[AvailabilityZone(self.name, spec.name, 0)],
+            )
+            self.add_region(region)
+            self.plan.assign_region(spec.name)
+            self._allocators[spec.name] = ZoneInternalAllocator(
+                region_name=spec.name, num_zones=1
+            )
+        self._specs = {spec.name: spec for spec in AZURE_REGION_SPECS}
+        self.zone_cloudapp = Zone("cloudapp.net", axfr_allowed=False)
+        self.zone_tm = Zone("trafficmanager.net", axfr_allowed=False)
+        dns.add_zone(self.zone_cloudapp)
+        dns.add_zone(self.zone_tm)
+        self._cs_counter = itertools.count(1)
+        self._tm_counter = itertools.count(1)
+        self.cloud_services: Dict[str, CloudService] = {}
+        self.traffic_managers: Dict[str, TrafficManager] = {}
+
+    # -- published ranges ---------------------------------------------------
+
+    def published_ranges(self) -> List[IPv4Network]:
+        return [net for net, _ in self.plan.published_ranges()]
+
+    def published_range_set(self) -> PrefixSet:
+        return self.plan.prefix_set()
+
+    def region_of_ip(self, addr: IPv4Address) -> Optional[str]:
+        return self.plan.prefix_set().lookup(addr)
+
+    def spec(self, region_name: str) -> RegionSpec:
+        return self._specs[region_name]
+
+    # -- cloud services -------------------------------------------------------
+
+    def create_cloud_service(
+        self,
+        region_name: str,
+        kind: str = ServiceKind.SINGLE_VM,
+        name: Optional[str] = None,
+        backend_count: int = 1,
+        account_id: str = "azure-tenant",
+    ) -> CloudService:
+        """Create a Cloud Service with a ``cloudapp.net`` name.
+
+        The service's single public IP fronts ``backend_count`` internal
+        VMs or PaaS nodes; from outside all three kinds look identical.
+        """
+        region = self.region(region_name)
+        name = name or f"cs{next(self._cs_counter):07d}"
+        cname = f"{name}.cloudapp.net"
+        public_ip = self.plan.allocate_public_ip(region_name, self.rng)
+        backends = []
+        for _ in range(max(1, backend_count)):
+            internal_ip = self._allocators[region_name].allocate(0, self.rng)
+            instance = Instance(
+                instance_id=self._next_instance_id("az"),
+                provider_name=self.name,
+                region_name=region_name,
+                zone_index=0,
+                itype=InstanceType.M1_MEDIUM,
+                role=(
+                    InstanceRole.PAAS_NODE
+                    if kind == ServiceKind.PAAS
+                    else InstanceRole.WEB
+                ),
+                internal_ip=internal_ip,
+                public_ip=None,
+                account_id=account_id,
+            )
+            self._register_instance(instance)
+            backends.append(instance)
+        service = CloudService(
+            name=name,
+            region_name=region_name,
+            kind=kind,
+            cname=cname,
+            public_ip=public_ip,
+            backends=backends,
+        )
+        # The transparent proxy is what owns the public address; register
+        # a synthetic instance for it so probes resolve to something.
+        proxy = Instance(
+            instance_id=self._next_instance_id("azlb"),
+            provider_name=self.name,
+            region_name=region_name,
+            zone_index=0,
+            itype=InstanceType.M1_MEDIUM,
+            role=InstanceRole.ELB_PROXY,
+            internal_ip=self._allocators[region_name].allocate(0, self.rng),
+            public_ip=public_ip,
+            account_id="azure-fabric",
+        )
+        self._register_instance(proxy)
+        self.zone_cloudapp.add(
+            ResourceRecord(cname, RRType.A, public_ip, ttl=60)
+        )
+        self.cloud_services[cname] = service
+        return service
+
+    # -- traffic manager ------------------------------------------------------
+
+    def create_traffic_manager(
+        self,
+        services: Sequence[CloudService],
+        policy: str = POLICY_PERFORMANCE,
+        name: Optional[str] = None,
+    ) -> TrafficManager:
+        """Create a TM profile balancing across ``services`` in DNS."""
+        if not services:
+            raise ValueError("Traffic Manager needs at least one service")
+        if policy not in (
+            self.POLICY_PERFORMANCE,
+            self.POLICY_FAILOVER,
+            self.POLICY_ROUND_ROBIN,
+        ):
+            raise ValueError(f"unknown TM policy: {policy}")
+        name = name or f"tm{next(self._tm_counter):05d}"
+        cname = f"{name}.trafficmanager.net"
+        profile = TrafficManager(
+            name=name, cname=cname, policy=policy, services=list(services)
+        )
+
+        def answer(qname, rtype, vantage, query_index):
+            if rtype not in (RRType.A, RRType.CNAME):
+                return []
+            service = self._tm_pick(profile, vantage, query_index)
+            return [
+                ResourceRecord(qname, RRType.CNAME, service.cname, ttl=30)
+            ]
+
+        self.zone_tm.add_dynamic(DynamicName(cname, answer))
+        self.traffic_managers[cname] = profile
+        return profile
+
+    def _tm_pick(
+        self, profile: TrafficManager, vantage: object, query_index: int
+    ) -> CloudService:
+        services = profile.services
+        if profile.policy == self.POLICY_ROUND_ROBIN:
+            return services[query_index % len(services)]
+        if profile.policy == self.POLICY_FAILOVER:
+            return services[0]
+        location = getattr(vantage, "location", None)
+        if location is None:
+            return services[0]
+        return min(
+            services,
+            key=lambda s: haversine_km(
+                self.region(s.region_name).location, location
+            ),
+        )

@@ -1,0 +1,201 @@
+"""Common cloud-provider model: regions, zones, accounts, instances."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.geo import GeoPoint
+from repro.net.ipv4 import IPv4Address, IPv4Network
+from repro.net.prefixset import PrefixSet
+
+
+class InstanceType(enum.Enum):
+    """EC2 instance types used in the paper's cartography experiments.
+
+    ``rtt_jitter_ms`` is the extra per-probe RTT noise scale the type
+    contributes (smaller instances share hosts more heavily and jitter
+    more) — visible in Table 11's spread across types.
+    """
+
+    T1_MICRO = ("t1.micro", 0.10)
+    M1_SMALL = ("m1.small", 0.07)
+    M1_MEDIUM = ("m1.medium", 0.05)
+    M1_XLARGE = ("m1.xlarge", 0.03)
+    M3_2XLARGE = ("m3.2xlarge", 0.03)
+
+    def __init__(self, label: str, rtt_jitter_ms: float):
+        self.label = label
+        self.rtt_jitter_ms = rtt_jitter_ms
+
+    @classmethod
+    def from_label(cls, label: str) -> "InstanceType":
+        for itype in cls:
+            if itype.label == label:
+                return itype
+        raise ValueError(f"unknown instance type: {label}")
+
+
+class InstanceRole(enum.Enum):
+    """What a launched instance is for (affects nothing but bookkeeping)."""
+
+    WEB = "web"
+    ELB_PROXY = "elb-proxy"
+    PAAS_NODE = "paas-node"
+    NAME_SERVER = "name-server"
+    PROBE = "probe"
+    CDN_EDGE = "cdn-edge"
+
+
+@dataclass(frozen=True)
+class AvailabilityZone:
+    """One availability zone: separate power/network within a region.
+
+    ``index`` is the *physical* zone index; customer-visible labels
+    ('a', 'b', ...) are permuted per account, as EC2 really does — the
+    complication the proximity cartography method must undo.
+    """
+
+    provider_name: str
+    region_name: str
+    index: int
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.region_name}#{self.index}"
+
+
+@dataclass
+class Region:
+    """A geographically distinct data center with one or more zones."""
+
+    provider_name: str
+    name: str
+    location: GeoPoint
+    zones: List[AvailabilityZone] = field(default_factory=list)
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    def zone(self, index: int) -> AvailabilityZone:
+        return self.zones[index]
+
+
+@dataclass(frozen=True)
+class Account:
+    """A tenant account.
+
+    ``zone_permutation`` maps the account's zone-label position to the
+    physical zone index, per region: label 'a' in region r is physical
+    zone ``zone_permutation[r][0]``.
+    """
+
+    account_id: str
+    zone_permutation: Dict[str, tuple] = field(default_factory=dict, hash=False)
+
+    def physical_zone_index(self, region_name: str, label_pos: int) -> int:
+        perm = self.zone_permutation.get(region_name)
+        if perm is None:
+            return label_pos
+        return perm[label_pos % len(perm)]
+
+
+@dataclass
+class Instance:
+    """A running VM (or VM-like unit: ELB proxy, PaaS node, CDN edge)."""
+
+    instance_id: str
+    provider_name: str
+    region_name: str
+    zone_index: int
+    itype: InstanceType
+    role: InstanceRole
+    internal_ip: IPv4Address
+    public_ip: Optional[IPv4Address]
+    account_id: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.instance_id} ({self.itype.label}, "
+            f"{self.region_name}#{self.zone_index}, {self.public_ip})"
+        )
+
+
+class CloudProvider:
+    """Base class for EC2 and Azure.
+
+    Owns the region table, the address plan, the instance registry, and
+    the mapping from public to internal IPs (the cloud-internal DNS view
+    used by cartography probes).
+    """
+
+    name: str = "cloud"
+
+    def __init__(self) -> None:
+        self.regions: Dict[str, Region] = {}
+        self.instances: Dict[str, Instance] = {}
+        self._instances_by_public_ip: Dict[IPv4Address, Instance] = {}
+        self._instances_by_internal: Dict[tuple, Instance] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- regions -------------------------------------------------------
+
+    def add_region(self, region: Region) -> Region:
+        self.regions[region.name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no region {name!r}; "
+                f"known: {sorted(self.regions)}"
+            ) from None
+
+    def region_names(self) -> List[str]:
+        return list(self.regions)
+
+    # -- published ranges (implemented by subclasses) -------------------
+
+    def published_ranges(self) -> List[IPv4Network]:
+        """The public IP ranges this provider publishes, as EC2 and
+        Azure did on their forums/download pages."""
+        raise NotImplementedError
+
+    def published_range_set(self) -> PrefixSet:
+        raise NotImplementedError
+
+    # -- instance registry ----------------------------------------------
+
+    def _next_instance_id(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._id_counter):08x}"
+
+    def _register_instance(self, instance: Instance) -> Instance:
+        self.instances[instance.instance_id] = instance
+        if instance.public_ip is not None:
+            self._instances_by_public_ip[instance.public_ip] = instance
+        self._instances_by_internal[
+            (instance.region_name, instance.internal_ip)
+        ] = instance
+        return instance
+
+    def instance_by_public_ip(self, public_ip: IPv4Address) -> Optional[Instance]:
+        return self._instances_by_public_ip.get(public_ip)
+
+    def instance_by_internal_ip(
+        self, region_name: str, internal_ip: IPv4Address
+    ) -> Optional[Instance]:
+        return self._instances_by_internal.get((region_name, internal_ip))
+
+    def internal_ip_of(self, public_ip: IPv4Address) -> Optional[IPv4Address]:
+        """Public→internal mapping, as resolved by the cloud's internal
+        DNS from inside the region (used by cartography probes)."""
+        instance = self._instances_by_public_ip.get(public_ip)
+        return instance.internal_ip if instance else None
+
+    def all_instances(self) -> List[Instance]:
+        return list(self.instances.values())

@@ -1,0 +1,151 @@
+"""Content-distribution networks: Amazon CloudFront and the Azure CDN.
+
+The detection asymmetry the paper exploits is modelled faithfully:
+CloudFront answers from its *own* published address range (so CloudFront
+use is detected by IP), while the Azure CDN shares Azure's ranges and is
+only detectable through its ``msecnd.net`` CNAMEs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cloud.addressing import AddressPlan
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import DynamicName, Zone
+from repro.net.geo import GeoPoint, haversine_km
+from repro.net.ipv4 import IPv4Address, IPv4Network
+from repro.net.prefixset import PrefixSet
+from repro.sim import StreamRegistry
+
+#: CloudFront's published ranges are disjoint from the rest of EC2.
+_CLOUDFRONT_SUPERNETS = ("216.136.0.0/13", "204.240.0.0/13")
+
+#: Edge locations (a subset of CloudFront's 2013 POPs).
+_EDGE_SITES: Tuple[Tuple[str, GeoPoint], ...] = (
+    ("ashburn", GeoPoint(39.04, -77.49)),
+    ("dallas", GeoPoint(32.78, -96.80)),
+    ("palo-alto", GeoPoint(37.44, -122.14)),
+    ("london", GeoPoint(51.51, -0.13)),
+    ("frankfurt", GeoPoint(50.11, 8.68)),
+    ("tokyo", GeoPoint(35.68, 139.69)),
+    ("singapore", GeoPoint(1.35, 103.82)),
+    ("sao-paulo", GeoPoint(-23.55, -46.63)),
+    ("sydney", GeoPoint(-33.87, 151.21)),
+)
+
+_IPS_PER_EDGE = 8
+
+
+@dataclass
+class EdgeSite:
+    """One CDN point of presence."""
+
+    name: str
+    location: GeoPoint
+    addresses: List[IPv4Address] = field(default_factory=list)
+
+
+class CloudFront:
+    """Amazon's CDN: geo-routed DNS answers from a dedicated IP range."""
+
+    def __init__(self, streams: StreamRegistry, dns: DnsInfrastructure):
+        self.dns = dns
+        self.rng = streams.stream("cloudfront")
+        self.plan = AddressPlan(
+            provider_name="cloudfront",
+            supernets=[IPv4Network.parse(s) for s in _CLOUDFRONT_SUPERNETS],
+            per_region_slash16s=1,
+        )
+        self.zone = Zone("cloudfront.net", axfr_allowed=False)
+        dns.add_zone(self.zone)
+        self.edges: List[EdgeSite] = []
+        for site_name, location in _EDGE_SITES:
+            self.plan.assign_region(site_name)
+            edge = EdgeSite(name=site_name, location=location)
+            for _ in range(_IPS_PER_EDGE):
+                edge.addresses.append(
+                    self.plan.allocate_public_ip(site_name, self.rng)
+                )
+            self.edges.append(edge)
+        self._dist_counter = itertools.count(1)
+        self.distributions: List[str] = []
+
+    def published_range_set(self) -> PrefixSet:
+        return PrefixSet(self.published_ranges())
+
+    def published_ranges(self) -> List[IPv4Network]:
+        return [net for net, _ in self.plan.published_ranges()]
+
+    def nearest_edge(self, location: Optional[GeoPoint]) -> EdgeSite:
+        if location is None:
+            return self.edges[0]
+        return min(
+            self.edges, key=lambda e: haversine_km(e.location, location)
+        )
+
+    def create_distribution(self, name: Optional[str] = None) -> str:
+        """Create a distribution; returns its ``cloudfront.net`` CNAME."""
+        dist_id = name or f"d{next(self._dist_counter):012x}"
+        cname = f"{dist_id}.cloudfront.net"
+
+        def answer(qname, rtype, vantage, query_index):
+            if rtype not in (RRType.A, RRType.CNAME):
+                return []
+            location = getattr(vantage, "location", None)
+            edge = self.nearest_edge(location)
+            shift = query_index % len(edge.addresses)
+            rotated = edge.addresses[shift:] + edge.addresses[:shift]
+            return [
+                ResourceRecord(qname, RRType.A, ip, ttl=60)
+                for ip in rotated[:2]
+            ]
+
+        self.zone.add_dynamic(DynamicName(cname, answer))
+        self.distributions.append(cname)
+        return cname
+
+
+class AzureCDN:
+    """Azure's CDN: ``msecnd.net`` CNAMEs over ordinary Azure ranges."""
+
+    def __init__(self, azure_cloud) -> None:
+        self.azure = azure_cloud
+        self.rng = azure_cloud.streams.stream("azure", "cdn")
+        self.zone = Zone("msecnd.net", axfr_allowed=False)
+        azure_cloud.dns.add_zone(self.zone)
+        self._endpoint_counter = itertools.count(1)
+        self.endpoints: List[str] = []
+
+    def create_endpoint(self, name: Optional[str] = None) -> str:
+        """Create a CDN endpoint; returns its ``msecnd.net`` CNAME.
+
+        Endpoint addresses come from several Azure regions (the CDN
+        rides the same ranges as everything else in Azure).
+        """
+        endpoint = name or f"az{next(self._endpoint_counter):06d}"
+        cname = f"{endpoint}.vo.msecnd.net"
+        region_names = self.rng.sample(
+            self.azure.region_names(), k=min(3, len(self.azure.regions))
+        )
+        addresses = [
+            self.azure.plan.allocate_public_ip(region_name, self.rng)
+            for region_name in region_names
+        ]
+
+        def answer(qname, rtype, vantage, query_index):
+            if rtype not in (RRType.A, RRType.CNAME):
+                return []
+            shift = query_index % len(addresses)
+            rotated = addresses[shift:] + addresses[:shift]
+            return [
+                ResourceRecord(qname, RRType.A, ip, ttl=60)
+                for ip in rotated[:2]
+            ]
+
+        self.zone.add_dynamic(DynamicName(cname, answer))
+        self.endpoints.append(cname)
+        return cname

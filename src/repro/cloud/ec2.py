@@ -1,0 +1,207 @@
+"""Amazon EC2 as of the paper's measurement window (spring 2013).
+
+Eight regions; us-east-1 dominant.  The model covers what the paper's
+methodology can observe from outside plus what its cartography probes
+observe from inside: published public ranges per region, per-zone
+internal /16 banding, per-account zone-label permutations, and the
+public→internal DNS mapping available to in-region instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.addressing import AddressPlan, ZoneInternalAllocator
+from repro.cloud.base import (
+    Account,
+    AvailabilityZone,
+    CloudProvider,
+    Instance,
+    InstanceRole,
+    InstanceType,
+    Region,
+)
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.net.geo import GeoPoint
+from repro.net.ipv4 import IPv4Address, IPv4Network
+from repro.net.prefixset import PrefixSet
+from repro.sim import StreamRegistry
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Static facts about one region."""
+
+    name: str
+    location_name: str
+    location: GeoPoint
+    num_zones: int
+
+
+#: The eight EC2 regions of early 2013 (Table 9), with the zone counts
+#: the paper could launch probes into (Tables 12/14/16).
+EC2_REGION_SPECS: Tuple[RegionSpec, ...] = (
+    RegionSpec("us-east-1", "Virginia, USA", GeoPoint(38.95, -77.45), 3),
+    RegionSpec("us-west-1", "N. California, USA", GeoPoint(37.36, -121.93), 2),
+    RegionSpec("us-west-2", "Oregon, USA", GeoPoint(45.84, -119.29), 3),
+    RegionSpec("eu-west-1", "Ireland", GeoPoint(53.34, -6.27), 3),
+    RegionSpec("ap-southeast-1", "Singapore", GeoPoint(1.35, 103.82), 2),
+    RegionSpec("ap-northeast-1", "Tokyo, Japan", GeoPoint(35.68, 139.69), 2),
+    RegionSpec("sa-east-1", "São Paulo, Brazil", GeoPoint(-23.55, -46.63), 2),
+    RegionSpec("ap-southeast-2", "Sydney, Australia", GeoPoint(-33.87, 151.21), 2),
+)
+
+#: Synthetic stand-ins for the forum-published EC2 public ranges [12].
+_EC2_SUPERNETS = ("54.192.0.0/11", "50.16.0.0/14", "107.20.0.0/14")
+
+#: Base intra-region RTT structure (ms): same zone vs zone distance,
+#: calibrated to Table 11 (a↔a ~0.5, a↔c ~1.5, a↔d ~1.9).
+SAME_ZONE_RTT_MS = 0.5
+CROSS_ZONE_BASE_MS = 1.1
+CROSS_ZONE_STEP_MS = 0.4
+
+
+def intra_region_rtt_ms(zone_a: int, zone_b: int) -> float:
+    """Deterministic base RTT between two zones of one region."""
+    if zone_a == zone_b:
+        return SAME_ZONE_RTT_MS
+    return CROSS_ZONE_BASE_MS + CROSS_ZONE_STEP_MS * abs(zone_a - zone_b)
+
+
+class EC2Cloud(CloudProvider):
+    """EC2: regions, zones, accounts, instances, and service platforms.
+
+    The value-added services (ELB, Beanstalk, Heroku, CloudFront,
+    Route53) are attached by :class:`repro.world.World` after
+    construction so each lives in its own module; this class provides
+    the raw substrate they build on.
+    """
+
+    name = "ec2"
+
+    def __init__(self, streams: StreamRegistry, dns: DnsInfrastructure):
+        super().__init__()
+        self.streams = streams
+        self.dns = dns
+        self.plan = AddressPlan(
+            provider_name=self.name,
+            supernets=[IPv4Network.parse(s) for s in _EC2_SUPERNETS],
+            per_region_slash16s=5,
+        )
+        self._allocators: Dict[str, ZoneInternalAllocator] = {}
+        self._accounts: Dict[str, Account] = {}
+        self._launch_rng = streams.stream("ec2", "launch")
+        self._account_rng = streams.stream("ec2", "accounts")
+        for spec in EC2_REGION_SPECS:
+            region = Region(
+                provider_name=self.name,
+                name=spec.name,
+                location=spec.location,
+                zones=[
+                    AvailabilityZone(self.name, spec.name, z)
+                    for z in range(spec.num_zones)
+                ],
+            )
+            self.add_region(region)
+            self.plan.assign_region(spec.name)
+            self._allocators[spec.name] = ZoneInternalAllocator(
+                region_name=spec.name, num_zones=spec.num_zones
+            )
+        self._specs = {spec.name: spec for spec in EC2_REGION_SPECS}
+
+    # -- published ranges ------------------------------------------------
+
+    def published_ranges(self) -> List[IPv4Network]:
+        return [net for net, _ in self.plan.published_ranges()]
+
+    def published_range_set(self) -> PrefixSet:
+        return self.plan.prefix_set()
+
+    def region_of_ip(self, addr: IPv4Address) -> Optional[str]:
+        """Region name for a public EC2 address, from published ranges."""
+        return self.plan.prefix_set().lookup(addr)
+
+    def spec(self, region_name: str) -> RegionSpec:
+        return self._specs[region_name]
+
+    # -- accounts ----------------------------------------------------------
+
+    def create_account(self, account_id: str) -> Account:
+        """Create a tenant account with random per-region zone labels."""
+        if account_id in self._accounts:
+            return self._accounts[account_id]
+        permutation: Dict[str, tuple] = {}
+        for region in self.regions.values():
+            indices = list(range(region.num_zones))
+            self._account_rng.shuffle(indices)
+            permutation[region.name] = tuple(indices)
+        account = Account(account_id=account_id, zone_permutation=permutation)
+        self._accounts[account_id] = account
+        return account
+
+    def account(self, account_id: str) -> Account:
+        return self._accounts[account_id]
+
+    # -- instances ---------------------------------------------------------
+
+    def allocator(self, region_name: str) -> ZoneInternalAllocator:
+        return self._allocators[region_name]
+
+    def launch_instance(
+        self,
+        account_id: str,
+        region_name: str,
+        zone_label_pos: Optional[int] = None,
+        physical_zone: Optional[int] = None,
+        itype: InstanceType = InstanceType.M1_MEDIUM,
+        role: InstanceRole = InstanceRole.WEB,
+        public: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> Instance:
+        """Launch a VM.
+
+        Callers either pass ``zone_label_pos`` (the account-relative
+        zone label position, what a real tenant specifies) or
+        ``physical_zone`` (used by internal services like the ELB fleet
+        that place proxies directly).  Omitting both picks a physical
+        zone uniformly at random.
+        """
+        rng = rng or self._launch_rng
+        region = self.region(region_name)
+        account = self.create_account(account_id)
+        if physical_zone is None:
+            if zone_label_pos is None:
+                physical_zone = rng.randrange(region.num_zones)
+            else:
+                physical_zone = account.physical_zone_index(
+                    region_name, zone_label_pos
+                )
+        if not 0 <= physical_zone < region.num_zones:
+            raise ValueError(
+                f"zone {physical_zone} out of range for {region_name}"
+            )
+        internal_ip = self._allocators[region_name].allocate(
+            physical_zone, rng
+        )
+        public_ip = (
+            self.plan.allocate_public_ip(region_name, rng) if public else None
+        )
+        instance = Instance(
+            instance_id=self._next_instance_id("i"),
+            provider_name=self.name,
+            region_name=region_name,
+            zone_index=physical_zone,
+            itype=itype,
+            role=role,
+            internal_ip=internal_ip,
+            public_ip=public_ip,
+            account_id=account.account_id,
+        )
+        return self._register_instance(instance)
+
+    def zone_of_instance_ip(self, public_ip: IPv4Address) -> Optional[int]:
+        """Ground-truth zone of a public address (scoring only)."""
+        instance = self.instance_by_public_ip(public_ip)
+        return instance.zone_index if instance else None

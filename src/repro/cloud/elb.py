@@ -1,0 +1,175 @@
+"""Amazon Elastic Load Balancer.
+
+Each tenant-visible ELB is *logical*: a DNS name under
+``elb.amazonaws.com``.  The actual HTTP proxying is done by *physical*
+proxy instances that Amazon manages and shares across tenants.  DNS
+answers for the logical name rotate the proxy IP order to spread load —
+the behaviour the paper observes ("traffic is routed to zone-specific
+ELB proxies by rotating the order of ELB proxy IPs in DNS replies").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.base import Instance, InstanceRole, InstanceType
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import DynamicName, Zone
+
+#: Account under which Amazon launches the shared proxy fleet.
+_ELB_ACCOUNT = "amazon-elb-service"
+_ELB_ZONE_ORIGIN = "elb.amazonaws.com"
+
+#: Probability that a new logical ELB reuses an existing proxy in a zone
+#: instead of getting a fresh one (drives proxy sharing across tenants).
+DEFAULT_REUSE_PROBABILITY = 0.70
+
+
+@dataclass
+class ElasticLoadBalancer:
+    """One logical ELB and the physical proxies backing it."""
+
+    name: str
+    region_name: str
+    cname: str
+    proxies: List[Instance] = field(default_factory=list)
+    workers: List[Instance] = field(default_factory=list)
+
+    @property
+    def proxy_ips(self) -> List:
+        return [p.public_ip for p in self.proxies]
+
+    @property
+    def zones(self) -> List[int]:
+        return sorted({p.zone_index for p in self.proxies})
+
+
+class ELBFleet:
+    """Manages the shared proxy pool and logical ELB creation."""
+
+    def __init__(self, ec2: EC2Cloud):
+        self.ec2 = ec2
+        self.rng = ec2.streams.stream("ec2", "elb")
+        self.zone = Zone(_ELB_ZONE_ORIGIN, axfr_allowed=False)
+        ec2.dns.add_zone(self.zone)
+        self._pool: Dict[tuple, List[Instance]] = {}
+        self._share_count: Dict[str, int] = {}
+        self._elbs: Dict[str, ElasticLoadBalancer] = {}
+        self._name_counter = itertools.count(1)
+
+    # -- physical proxies --------------------------------------------------
+
+    def _proxy_in_zone(
+        self, region_name: str, zone_index: int, reuse_probability: float
+    ) -> Instance:
+        pool = self._pool.setdefault((region_name, zone_index), [])
+        if pool and self.rng.random() < reuse_probability:
+            # Preferential attachment: proxies already serving more
+            # tenants are more likely to pick up another, producing the
+            # heavy-tailed sharing the paper saw (~4% of proxies shared
+            # by 10+ subdomains).
+            weights = [
+                self._share_count[p.instance_id] + 1 for p in pool
+            ]
+            proxy = self.rng.choices(pool, weights=weights, k=1)[0]
+        else:
+            proxy = self.ec2.launch_instance(
+                account_id=_ELB_ACCOUNT,
+                region_name=region_name,
+                physical_zone=zone_index,
+                itype=InstanceType.M1_MEDIUM,
+                role=InstanceRole.ELB_PROXY,
+                rng=self.rng,
+            )
+            pool.append(proxy)
+            self._share_count[proxy.instance_id] = 0
+        self._share_count[proxy.instance_id] += 1
+        return proxy
+
+    # -- logical ELBs --------------------------------------------------------
+
+    def create_load_balancer(
+        self,
+        region_name: str,
+        zone_indices: Sequence[int],
+        proxies_per_zone: int = 1,
+        total_proxies: Optional[int] = None,
+        workers: Sequence[Instance] = (),
+        reuse_probability: float = DEFAULT_REUSE_PROBABILITY,
+        name: Optional[str] = None,
+    ) -> ElasticLoadBalancer:
+        """Create a logical ELB backed by proxies in ``zone_indices``.
+
+        ``total_proxies`` (if given) distributes that many proxies
+        round-robin over the zones instead of ``proxies_per_zone`` each.
+        Registers a rotating dynamic DNS name
+        ``{name}.{region}.elb.amazonaws.com``.
+        """
+        if not zone_indices:
+            raise ValueError("an ELB needs at least one zone")
+        name = name or f"lb-{next(self._name_counter):07d}"
+        cname = f"{name}.{region_name}.{_ELB_ZONE_ORIGIN}"
+        elb = ElasticLoadBalancer(
+            name=name,
+            region_name=region_name,
+            cname=cname,
+            workers=list(workers),
+        )
+        if total_proxies is None:
+            placements = [
+                zone_index
+                for zone_index in zone_indices
+                for _ in range(proxies_per_zone)
+            ]
+        else:
+            placements = [
+                zone_indices[i % len(zone_indices)]
+                for i in range(max(total_proxies, len(zone_indices)))
+            ]
+        seen_ids = set()
+        for zone_index in placements:
+            proxy = self._proxy_in_zone(
+                region_name, zone_index, reuse_probability
+            )
+            if proxy.instance_id in seen_ids:
+                # A shared proxy can serve an ELB only once; get a
+                # fresh instance so the requested width is honoured.
+                proxy = self._proxy_in_zone(region_name, zone_index, 0.0)
+            seen_ids.add(proxy.instance_id)
+            elb.proxies.append(proxy)
+        self._elbs[cname] = elb
+        self.zone.add_dynamic(DynamicName(cname, self._make_answer_fn(elb)))
+        return elb
+
+    def _make_answer_fn(self, elb: ElasticLoadBalancer):
+        def answer(name, rtype, vantage, query_index):
+            if rtype not in (RRType.A, RRType.CNAME):
+                return []
+            ips = elb.proxy_ips
+            if not ips:
+                return []
+            shift = query_index % len(ips)
+            rotated = ips[shift:] + ips[:shift]
+            return [
+                ResourceRecord(name, RRType.A, ip, ttl=60) for ip in rotated
+            ]
+
+        return answer
+
+    def get(self, cname: str) -> Optional[ElasticLoadBalancer]:
+        return self._elbs.get(cname)
+
+    def all_load_balancers(self) -> List[ElasticLoadBalancer]:
+        return list(self._elbs.values())
+
+    def physical_proxies(self) -> List[Instance]:
+        return [
+            proxy for pool in self._pool.values() for proxy in pool
+        ]
+
+    def share_count(self, instance_id: str) -> int:
+        """How many logical ELBs a physical proxy serves."""
+        return self._share_count.get(instance_id, 0)

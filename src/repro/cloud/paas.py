@@ -1,0 +1,174 @@
+"""Platform-as-a-service atop EC2: Elastic Beanstalk and Heroku.
+
+Beanstalk environments are always fronted by an ELB (pattern P2 with
+PaaS nodes).  Heroku multiplexes a large number of apps over a small
+shared proxy/routing fleet — the paper found 58K Heroku subdomains
+behind just 94 unique IPs, with a third of them sharing the literal
+CNAME ``proxy.heroku.com`` — and only occasionally fronts an app with
+an ELB.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from repro.cloud.base import Instance, InstanceRole, InstanceType
+from repro.cloud.ec2 import EC2Cloud
+from repro.cloud.elb import ELBFleet
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import DynamicName, Zone
+
+_BEANSTALK_ACCOUNT = "amazon-beanstalk"
+_HEROKU_ACCOUNT = "heroku-platform"
+_HEROKU_HOME_REGION = "us-east-1"
+#: Size of Heroku's shared routing fleet (the paper observed 94 IPs).
+HEROKU_FLEET_SIZE = 94
+#: Fraction of non-ELB Heroku apps that resolve via the single shared
+#: ``proxy.heroku.com`` CNAME.
+HEROKU_SHARED_PROXY_FRACTION = 1.0 / 3.0
+
+
+class BeanstalkPlatform:
+    """AWS Elastic Beanstalk: managed environments behind ELBs."""
+
+    def __init__(self, ec2: EC2Cloud, elb_fleet: ELBFleet):
+        self.ec2 = ec2
+        self.elb_fleet = elb_fleet
+        self.rng = ec2.streams.stream("ec2", "beanstalk")
+        self.zone = Zone("elasticbeanstalk.com", axfr_allowed=False)
+        ec2.dns.add_zone(self.zone)
+        self._env_counter = itertools.count(1)
+        self.environments: List[dict] = []
+
+    def create_environment(
+        self,
+        region_name: str,
+        zone_indices: Sequence[int],
+        name: Optional[str] = None,
+    ) -> str:
+        """Create an environment; returns its public CNAME.
+
+        The environment CNAME chains to a fresh ELB whose workers are
+        PaaS nodes in the requested zones.
+        """
+        name = name or f"env-{next(self._env_counter):06d}"
+        nodes = [
+            self.ec2.launch_instance(
+                account_id=_BEANSTALK_ACCOUNT,
+                region_name=region_name,
+                physical_zone=zone,
+                itype=InstanceType.M1_SMALL,
+                role=InstanceRole.PAAS_NODE,
+                public=False,
+                rng=self.rng,
+            )
+            for zone in zone_indices
+        ]
+        elb = self.elb_fleet.create_load_balancer(
+            region_name=region_name,
+            zone_indices=list(zone_indices),
+            workers=nodes,
+        )
+        cname = f"{name}.{region_name}.elasticbeanstalk.com"
+        self.zone.add(ResourceRecord(cname, RRType.CNAME, elb.cname, ttl=300))
+        self.environments.append(
+            {"name": name, "cname": cname, "elb": elb, "nodes": nodes}
+        )
+        return cname
+
+
+class HerokuPlatform:
+    """Heroku: many apps multiplexed over a small shared proxy fleet."""
+
+    def __init__(
+        self,
+        ec2: EC2Cloud,
+        elb_fleet: ELBFleet,
+        fleet_size: int = HEROKU_FLEET_SIZE,
+    ):
+        self.ec2 = ec2
+        self.elb_fleet = elb_fleet
+        self.rng = ec2.streams.stream("ec2", "heroku")
+        self.zone = Zone("herokuapp.com", axfr_allowed=False)
+        self.core_zone = Zone("heroku.com", axfr_allowed=False)
+        # TLS-terminating apps historically got *.herokussl.com names
+        # (one of the four CNAME fragments the paper's filter matches).
+        self.ssl_zone = Zone("herokussl.com", axfr_allowed=False)
+        ec2.dns.add_zone(self.zone)
+        ec2.dns.add_zone(self.core_zone)
+        ec2.dns.add_zone(self.ssl_zone)
+        self._app_counter = itertools.count(1)
+        self.apps: List[dict] = []
+        # The shared routing fleet, all in Heroku's home region.
+        home = ec2.region(_HEROKU_HOME_REGION)
+        self.fleet: List[Instance] = [
+            ec2.launch_instance(
+                account_id=_HEROKU_ACCOUNT,
+                region_name=_HEROKU_HOME_REGION,
+                physical_zone=i % home.num_zones,
+                itype=InstanceType.M1_XLARGE,
+                role=InstanceRole.PAAS_NODE,
+                rng=self.rng,
+            )
+            for i in range(fleet_size)
+        ]
+        # proxy.heroku.com rotates through a slice of the fleet.
+        shared_slice = self.fleet[: max(4, fleet_size // 16)]
+
+        def shared_answer(name, rtype, vantage, query_index):
+            if rtype not in (RRType.A, RRType.CNAME):
+                return []
+            shift = query_index % len(shared_slice)
+            rotated = shared_slice[shift:] + shared_slice[:shift]
+            return [
+                ResourceRecord(name, RRType.A, inst.public_ip, ttl=60)
+                for inst in rotated[:3]
+            ]
+
+        self.core_zone.add_dynamic(
+            DynamicName("proxy.heroku.com", shared_answer)
+        )
+
+    def create_app(
+        self, name: Optional[str] = None, use_elb: bool = False
+    ) -> str:
+        """Create an app; returns its ``herokuapp.com`` CNAME target.
+
+        With ``use_elb`` the app is fronted by an ELB whose workers are
+        fleet nodes; otherwise the app either shares
+        ``proxy.heroku.com`` or maps to a static subset of fleet IPs.
+        """
+        name = name or f"app-{next(self._app_counter):06d}"
+        app_zone = (
+            self.ssl_zone if self.rng.random() < 0.10 else self.zone
+        )
+        cname = f"{name}.{app_zone.origin}"
+        record: dict = {"name": name, "cname": cname, "use_elb": use_elb}
+        if use_elb:
+            workers = self.rng.sample(self.fleet, k=2)
+            elb = self.elb_fleet.create_load_balancer(
+                region_name=_HEROKU_HOME_REGION,
+                zone_indices=sorted({w.zone_index for w in workers}),
+                workers=workers,
+            )
+            app_zone.add(
+                ResourceRecord(cname, RRType.CNAME, elb.cname, ttl=300)
+            )
+            record["elb"] = elb
+        elif self.rng.random() < HEROKU_SHARED_PROXY_FRACTION:
+            app_zone.add(
+                ResourceRecord(
+                    cname, RRType.CNAME, "proxy.heroku.com", ttl=300
+                )
+            )
+            record["shared_proxy"] = True
+        else:
+            nodes = self.rng.sample(self.fleet, k=self.rng.randint(2, 3))
+            for node in nodes:
+                app_zone.add(
+                    ResourceRecord(cname, RRType.A, node.public_ip, ttl=60)
+                )
+            record["nodes"] = nodes
+        self.apps.append(record)
+        return cname

@@ -1,0 +1,64 @@
+"""Route53-style managed DNS hosting.
+
+The paper found 2,062 of the name servers behind cloud-using subdomains
+hosted in CloudFront's address range, most with ``route53`` in their
+hostnames — Amazon serves Route53 from the CloudFront infrastructure.
+We reproduce exactly that fingerprint: delegations hand out
+``ns-*.route53-*.awsdns.com`` hostnames whose addresses come from the
+CloudFront plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.cloud.cdn import CloudFront
+from repro.dns.infrastructure import DnsInfrastructure, NameServer
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import Zone
+
+
+class Route53:
+    """Managed DNS: allocates name-server sets for tenant zones."""
+
+    def __init__(self, cloudfront: CloudFront, dns: DnsInfrastructure):
+        self.cloudfront = cloudfront
+        self.dns = dns
+        self.rng = cloudfront.rng
+        self.zone = Zone("awsdns.com", axfr_allowed=False)
+        dns.add_zone(self.zone)
+        self._ns_counter = itertools.count(1)
+        self.nameservers: List[NameServer] = []
+
+    def _new_nameserver(self) -> NameServer:
+        n = next(self._ns_counter)
+        hostname = f"ns-{n}.route53-{(n % 50):02d}.awsdns.com"
+        site = self.rng.choice(self.cloudfront.edges)
+        address = self.cloudfront.plan.allocate_public_ip(
+            site.name, self.rng
+        )
+        self.zone.add(ResourceRecord(hostname, RRType.A, address, ttl=3600))
+        server = NameServer(hostname=hostname, address=address)
+        self.dns.register_nameserver(server)
+        self.nameservers.append(server)
+        return server
+
+    def create_delegation(self, count: int = 4) -> List[NameServer]:
+        """A fresh set of ``count`` name servers for one hosted zone.
+
+        Route53 reuses its server fleet across zones; with moderate
+        probability we hand back servers already serving other zones.
+        """
+        servers: List[NameServer] = []
+        seen = set()
+        while len(servers) < count:
+            if self.nameservers and self.rng.random() < 0.35:
+                candidate = self.rng.choice(self.nameservers)
+                if candidate.hostname in seen:
+                    candidate = self._new_nameserver()
+            else:
+                candidate = self._new_nameserver()
+            seen.add(candidate.hostname)
+            servers.append(candidate)
+        return servers

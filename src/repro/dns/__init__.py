@@ -1,0 +1,34 @@
+"""DNS substrate: records, zones, authoritative servers, a caching stub
+resolver, and a dnsmap-style brute-force subdomain enumerator.
+
+The paper's Alexa-subdomains dataset is produced entirely through DNS:
+zone transfers where permitted, wordlist brute force otherwise, then
+distributed ``dig`` lookups from PlanetLab vantage points.  This package
+implements enough of the DNS data model and resolution behaviour for that
+methodology to run unchanged against a simulated namespace, including
+CNAME chains, per-vantage (geo) answers, rotating answers (as ELB uses
+for load balancing), TTL caching, and AXFR refusal.
+"""
+
+from repro.dns.records import RRType, ResourceRecord, DnsResponse
+from repro.dns.zone import Zone, DynamicName, TransferRefused
+from repro.dns.infrastructure import DnsInfrastructure, NameServer
+from repro.dns.resolver import StubResolver
+from repro.dns.enumeration import (
+    SubdomainEnumerator,
+    default_wordlist,
+)
+
+__all__ = [
+    "RRType",
+    "ResourceRecord",
+    "DnsResponse",
+    "Zone",
+    "DynamicName",
+    "TransferRefused",
+    "DnsInfrastructure",
+    "NameServer",
+    "StubResolver",
+    "SubdomainEnumerator",
+    "default_wordlist",
+]

@@ -1,0 +1,111 @@
+"""The global DNS namespace: zones plus the name servers hosting them.
+
+:class:`DnsInfrastructure` is the single authority the stub resolvers
+query.  It performs longest-suffix zone matching (a stand-in for the
+delegation walk a real recursive resolver performs) and tracks, for every
+zone, which :class:`NameServer` hosts it — the paper classifies those
+server addresses against cloud IP ranges in §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dns.records import RRType, ResourceRecord, normalize_name, parent_of
+from repro.dns.zone import Zone
+from repro.net.ipv4 import IPv4Address
+
+
+@dataclass(frozen=True)
+class NameServer:
+    """An authoritative name server: a hostname and its address."""
+
+    hostname: str
+    address: IPv4Address
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hostname", normalize_name(self.hostname))
+
+
+class DnsInfrastructure:
+    """Registry of zones and the servers that host them."""
+
+    def __init__(self) -> None:
+        self._zones: Dict[str, Zone] = {}
+        self._nameservers: Dict[str, NameServer] = {}
+
+    # -- registration -------------------------------------------------
+
+    def add_zone(self, zone: Zone) -> Zone:
+        if zone.origin in self._zones:
+            raise ValueError(f"zone {zone.origin} already registered")
+        self._zones[zone.origin] = zone
+        return zone
+
+    def register_nameserver(self, server: NameServer) -> NameServer:
+        self._nameservers[server.hostname] = server
+        return server
+
+    # -- lookup -------------------------------------------------------
+
+    def zone_for(self, qname: str) -> Optional[Zone]:
+        """The most specific registered zone enclosing ``qname``."""
+        name: Optional[str] = normalize_name(qname)
+        while name is not None:
+            zone = self._zones.get(name)
+            if zone is not None:
+                return zone
+            name = parent_of(name)
+        return None
+
+    def get_zone(self, origin: str) -> Optional[Zone]:
+        return self._zones.get(normalize_name(origin))
+
+    def zones(self) -> List[Zone]:
+        return list(self._zones.values())
+
+    def nameserver(self, hostname: str) -> Optional[NameServer]:
+        return self._nameservers.get(normalize_name(hostname))
+
+    def authoritative_lookup(
+        self, qname: str, rtype: RRType, vantage: object = None
+    ) -> List[ResourceRecord]:
+        """Answer records for one query, or [] (NXDOMAIN / no data).
+
+        NS queries for a name with no NS records of its own fall back to
+        the enclosing zone's apex NS set, matching what a ``dig NS``
+        against the zone's servers reports for a subdomain.
+        """
+        zone = self.zone_for(qname)
+        if zone is None:
+            return []
+        answers = zone.lookup(qname, rtype, vantage)
+        if rtype is RRType.NS:
+            # A CNAME at the name does not make it a zone cut; report
+            # the enclosing zone's apex NS set, like a dig NS would.
+            answers = [a for a in answers if a.rtype is RRType.NS]
+            if not answers:
+                return zone.lookup(zone.origin, RRType.NS, vantage)
+        return answers
+
+    def name_exists(self, qname: str) -> bool:
+        """True if any zone has data (of any type) at ``qname``."""
+        zone = self.zone_for(qname)
+        return zone is not None and zone.has_name(qname)
+
+    def nameserver_address(self, hostname: str) -> Optional[IPv4Address]:
+        """Resolve a name-server hostname to its address.
+
+        Prefers the registered :class:`NameServer` table and falls back
+        to an authoritative A lookup (name servers for small sites are
+        often plain A records in someone else's zone).
+        """
+        server = self.nameserver(hostname)
+        if server is not None:
+            return server.address
+        answers = self.authoritative_lookup(hostname, RRType.A)
+        for record in answers:
+            if record.rtype is RRType.A:
+                return record.value
+        return None

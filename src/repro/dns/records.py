@@ -1,0 +1,101 @@
+"""DNS resource records and responses.
+
+Names are handled as lowercase, trailing-dot-free strings throughout the
+codebase; :func:`normalize_name` is the single canonicalization point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.ipv4 import IPv4Address
+
+
+class RRType(enum.Enum):
+    """The record types the methodology touches."""
+
+    A = "A"
+    CNAME = "CNAME"
+    NS = "NS"
+    SOA = "SOA"
+    AXFR = "AXFR"
+
+
+def normalize_name(name: str) -> str:
+    """Lowercase and strip any trailing dot from a domain name."""
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    if not name:
+        raise ValueError("empty domain name")
+    return name
+
+
+def parent_of(name: str) -> Optional[str]:
+    """The name with its leftmost label removed, or None at a TLD/root."""
+    _, dot, rest = name.partition(".")
+    return rest if dot else None
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS resource record.
+
+    ``value`` is an :class:`IPv4Address` for A records and a domain name
+    string for CNAME/NS records.
+    """
+
+    name: str
+    rtype: RRType
+    value: object
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.rtype is RRType.A and not isinstance(self.value, IPv4Address):
+            object.__setattr__(self, "value", IPv4Address.parse(str(self.value)))
+        elif self.rtype in (RRType.CNAME, RRType.NS):
+            object.__setattr__(self, "value", normalize_name(str(self.value)))
+        if self.ttl < 0:
+            raise ValueError(f"negative TTL: {self.ttl}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ttl} IN {self.rtype.value} {self.value}"
+
+
+@dataclass
+class DnsResponse:
+    """The answer a stub resolver hands back for one query.
+
+    ``chain`` is the followed CNAME chain in order (empty when the name
+    resolves directly to addresses); ``addresses`` the terminal A-record
+    values; ``ns_names`` populated for NS queries.  ``exists`` is False
+    for NXDOMAIN.
+    """
+
+    qname: str
+    qtype: RRType
+    exists: bool = False
+    chain: List[str] = field(default_factory=list)
+    addresses: List[IPv4Address] = field(default_factory=list)
+    ns_names: List[str] = field(default_factory=list)
+    from_cache: bool = False
+    ttl: int = 0
+
+    @property
+    def final_cname(self) -> Optional[str]:
+        """The last CNAME in the chain, if any."""
+        return self.chain[-1] if self.chain else None
+
+    def cname_contains(self, *fragments: str) -> bool:
+        """True if any CNAME in the chain contains any given fragment.
+
+        This is how the paper's heuristics detect ELB
+        (``elb.amazonaws.com``), Heroku, Beanstalk, Cloud Services
+        (``cloudapp.net``), Traffic Manager, and the Azure CDN.
+        """
+        return any(
+            fragment in cname for cname in self.chain for fragment in fragments
+        )

@@ -1,0 +1,236 @@
+"""Longitudinal cloud-usage tracking (the paper's closing call).
+
+"We believe our work will spark further research on tracking cloud
+usage" — this module makes the study repeatable over a changing
+world.  A :class:`WorldEvolution` mutates the deployed population the
+way 2013-era adoption actually moved: more domains adopt the cloud,
+existing tenants add regions, and some migrate between providers.
+:class:`LongitudinalStudy` re-runs the full §2.1 pipeline before and
+after (with virtual time advanced so resolver caches expire) and
+reports the drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.clouduse import CloudUseAnalysis
+from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
+from repro.analysis.regions import RegionAnalysis
+from repro.cloud.base import InstanceRole, InstanceType
+from repro.dns.records import RRType, ResourceRecord
+from repro.workload.mixtures import sample_discrete
+from repro.workload.plans import SubdomainPlan
+from repro.world import World
+
+
+@dataclass
+class Snapshot:
+    """One measurement epoch's summary."""
+
+    label: str
+    taken_at: float
+    cloud_domains: int
+    cloud_subdomains: int
+    ec2_share: float
+    multi_region_fraction: float
+    region_subdomains: Dict[str, int] = field(default_factory=dict)
+    dataset: Optional[AlexaSubdomainsDataset] = None
+
+
+@dataclass
+class Drift:
+    """The difference between two snapshots."""
+
+    domains_added: int
+    subdomains_added: int
+    cloud_share_change: float
+    multi_region_change: float
+    fastest_growing_region: Optional[str]
+
+
+class WorldEvolution:
+    """Applies adoption/expansion/migration steps to a live world."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.rng = world.streams.stream("evolution")
+
+    # -- growth steps --------------------------------------------------------
+
+    def adopt_cloud(self, count: int) -> int:
+        """``count`` previously cloud-free domains put a subdomain on
+        EC2 (adoption in the wild: one app at a time, us-east first)."""
+        candidates = [
+            plan for plan in self.world.plans if not plan.is_cloud_using
+        ]
+        adopted = 0
+        for plan in self.rng.sample(
+            candidates, k=min(count, len(candidates))
+        ):
+            region = sample_discrete(
+                self.rng, self.world.config.mixtures.ec2_region_weights
+            )
+            label = self.rng.choice(("app", "api", "beta", "cloud"))
+            fqdn = f"{label}.{plan.domain}"
+            zone = self.world.dns.get_zone(plan.domain)
+            if zone is None or zone.has_name(fqdn):
+                continue
+            instance = self.world.ec2.launch_instance(
+                account_id=f"acct-{plan.domain}",
+                region_name=region,
+                itype=InstanceType.M1_MEDIUM,
+                role=InstanceRole.WEB,
+                rng=self.rng,
+            )
+            zone.add(ResourceRecord(fqdn, RRType.A, instance.public_ip,
+                                    ttl=300))
+            plan.category = "ec2_other"
+            plan.home_region_ec2 = region
+            plan.subdomains.append(SubdomainPlan(
+                fqdn=fqdn, kind="cloud", provider="ec2", frontend="vm",
+                regions=(region,), zone_indices=((instance.zone_index,),),
+                n_vms=1,
+            ))
+            adopted += 1
+        return adopted
+
+    def expand_to_second_region(self, count: int) -> int:
+        """``count`` single-region VM front ends add a replica region —
+        the paper's own recommendation being taken up."""
+        expanded = 0
+        candidates = []
+        for plan in self.world.plans:
+            for sub in plan.cloud_subdomains():
+                if (
+                    sub.provider == "ec2"
+                    and sub.frontend == "vm"
+                    and len(sub.regions) == 1
+                ):
+                    candidates.append((plan, sub))
+        for plan, sub in self.rng.sample(
+            candidates, k=min(count, len(candidates))
+        ):
+            zone = self.world.dns.get_zone(plan.domain)
+            if zone is None:
+                continue
+            current = sub.regions[0]
+            options = [
+                r for r in self.world.ec2.region_names() if r != current
+            ]
+            region = self.rng.choice(options)
+            instance = self.world.ec2.launch_instance(
+                account_id=f"acct-{plan.domain}",
+                region_name=region,
+                itype=InstanceType.M1_MEDIUM,
+                role=InstanceRole.WEB,
+                rng=self.rng,
+            )
+            zone.add(ResourceRecord(
+                sub.fqdn, RRType.A, instance.public_ip, ttl=300
+            ))
+            sub.regions = sub.regions + (region,)
+            sub.zone_indices = sub.zone_indices + (
+                (instance.zone_index,),
+            )
+            expanded += 1
+        return expanded
+
+    def migrate_to_ec2(self, count: int) -> int:
+        """``count`` Azure-hosted subdomains move to EC2 (replace their
+        records rather than accrete — a true migration)."""
+        migrated = 0
+        candidates = []
+        for plan in self.world.plans:
+            for sub in plan.cloud_subdomains():
+                if sub.provider == "azure" and sub.frontend in (
+                    "cs_direct", "cs_cname"
+                ):
+                    candidates.append((plan, sub))
+        for plan, sub in self.rng.sample(
+            candidates, k=min(count, len(candidates))
+        ):
+            zone = self.world.dns.get_zone(plan.domain)
+            if zone is None:
+                continue
+            region = sample_discrete(
+                self.rng, self.world.config.mixtures.ec2_region_weights
+            )
+            instance = self.world.ec2.launch_instance(
+                account_id=f"acct-{plan.domain}",
+                region_name=region,
+                itype=InstanceType.M1_MEDIUM,
+                role=InstanceRole.WEB,
+                rng=self.rng,
+            )
+            zone.remove(sub.fqdn)
+            zone.add(ResourceRecord(
+                sub.fqdn, RRType.A, instance.public_ip, ttl=300
+            ))
+            sub.provider = "ec2"
+            sub.frontend = "vm"
+            sub.regions = (region,)
+            sub.zone_indices = ((instance.zone_index,),)
+            sub.n_vms = 1
+            migrated += 1
+        return migrated
+
+    def advance_epoch(self, seconds: float = 180 * 86400.0) -> None:
+        """Move virtual time forward so resolver caches expire."""
+        self.world.clock.advance(seconds)
+
+
+class LongitudinalStudy:
+    """Runs the measurement pipeline at multiple epochs and diffs."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.snapshots: List[Snapshot] = []
+
+    def take_snapshot(self, label: str) -> Snapshot:
+        dataset = DatasetBuilder(self.world).build()
+        clouduse = CloudUseAnalysis(self.world, dataset)
+        regions = RegionAnalysis(self.world, dataset)
+        report = clouduse.report()
+        region_counts = {
+            f"{p}.{r}": v["subdomains"]
+            for (p, r), v in regions.region_counts().items()
+        }
+        multi = 1.0 - regions.single_region_fraction("ec2")
+        snapshot = Snapshot(
+            label=label,
+            taken_at=self.world.clock.now,
+            cloud_domains=report.total_domains,
+            cloud_subdomains=report.total_subdomains,
+            ec2_share=(
+                report.ec2_total_domains / report.total_domains
+                if report.total_domains else 0.0
+            ),
+            multi_region_fraction=multi,
+            region_subdomains=region_counts,
+            dataset=dataset,
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    @staticmethod
+    def drift(before: Snapshot, after: Snapshot) -> Drift:
+        growth = {
+            region: after.region_subdomains.get(region, 0)
+            - before.region_subdomains.get(region, 0)
+            for region in set(before.region_subdomains)
+            | set(after.region_subdomains)
+        }
+        fastest = max(growth, key=growth.get) if growth else None
+        return Drift(
+            domains_added=after.cloud_domains - before.cloud_domains,
+            subdomains_added=(
+                after.cloud_subdomains - before.cloud_subdomains
+            ),
+            cloud_share_change=after.ec2_share - before.ec2_share,
+            multi_region_change=(
+                after.multi_region_fraction - before.multi_region_fraction
+            ),
+            fastest_growing_region=fastest,
+        )

@@ -1,0 +1,24 @@
+"""The experiment harness: one runnable unit per paper table/figure.
+
+Each experiment regenerates its table or figure from a shared
+:class:`ExperimentContext` (which builds the world and the datasets
+once) and reports the measured values next to the paper's, so that
+EXPERIMENTS.md can record paper-vs-measured for every artifact.
+"""
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    experiment_ids,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentContext",
+    "all_experiments",
+    "get_experiment",
+    "experiment_ids",
+]

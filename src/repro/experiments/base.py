@@ -1,0 +1,46 @@
+"""Experiment plumbing: results that pair measured values with the
+paper's reported ones."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of regenerating one table or figure."""
+
+    experiment_id: str
+    title: str
+    #: Rendered table / ASCII figure, ready to print.
+    rendered: str
+    #: Key measured quantities (scale-free where possible).
+    measured: Dict[str, object] = field(default_factory=dict)
+    #: The paper's corresponding values, same keys where comparable.
+    paper: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def summary(self) -> str:
+        lines = [f"[{self.experiment_id}] {self.title}", self.rendered]
+        if self.paper:
+            lines.append("paper vs measured:")
+            for key, paper_value in self.paper.items():
+                measured = self.measured.get(key, "—")
+                lines.append(f"  {key}: paper={paper_value} measured={measured}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable experiment."""
+
+    experiment_id: str
+    title: str
+    paper_section: str
+    runner: Callable[["ExperimentContext"], ExperimentResult]
+
+    def run(self, context) -> ExperimentResult:
+        return self.runner(context)

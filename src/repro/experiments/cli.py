@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Usage::
+
+    repro-experiments                      # run everything
+    repro-experiments table03 figure12     # run a subset
+    repro-experiments --domains 5000 --seed 11 table09
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import (
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+)
+from repro.world import WorldConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Next Stop, the "
+            "Cloud' (IMC 2013) from the simulated measurement study."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all). Known: "
+             f"{', '.join(experiment_ids())}",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--domains", type=int, default=6000,
+        help="Alexa list size (the paper's 1M, scaled)",
+    )
+    parser.add_argument(
+        "--wan-rounds", type=int, default=36,
+        help="measurement rounds for the §5 campaign (paper: 288)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the summaries to FILE",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp in all_experiments():
+            print(f"{exp.experiment_id:10s} §{exp.paper_section:4s} "
+                  f"{exp.title}")
+        return 0
+    from repro.analysis.wan import WanConfig
+
+    context = ExperimentContext(
+        WorldConfig(seed=args.seed, num_domains=args.domains),
+        WanConfig(rounds=args.wan_rounds),
+    )
+    if args.experiments:
+        experiments = [get_experiment(e) for e in args.experiments]
+    else:
+        experiments = all_experiments()
+    summaries = []
+    for exp in experiments:
+        start = time.time()
+        result = exp.run(context)
+        elapsed = time.time() - start
+        summary = result.summary()
+        summaries.append(summary)
+        print(summary)
+        print(f"({elapsed:.1f}s)\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(summaries) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

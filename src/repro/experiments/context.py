@@ -1,0 +1,89 @@
+"""Shared, lazily built state for experiment runs.
+
+Building the world, the Alexa dataset, the capture, and the WAN
+campaign dominates runtime; experiments share one context so each
+expensive artifact is produced exactly once per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
+from repro.analysis.clouduse import CloudUseAnalysis
+from repro.analysis.patterns import PatternAnalysis
+from repro.analysis.regions import RegionAnalysis
+from repro.analysis.traffic import TrafficAnalysis
+from repro.analysis.wan import WanAnalysis, WanConfig
+from repro.analysis.zones import ZoneAnalysis
+from repro.world import World, WorldConfig
+
+
+class ExperimentContext:
+    """Caches the world and every derived dataset/analysis."""
+
+    def __init__(
+        self,
+        world_config: Optional[WorldConfig] = None,
+        wan_config: Optional[WanConfig] = None,
+    ):
+        self.world_config = world_config or WorldConfig()
+        self.wan_config = wan_config or WanConfig()
+        self._world: Optional[World] = None
+        self._dataset: Optional[AlexaSubdomainsDataset] = None
+        self._clouduse: Optional[CloudUseAnalysis] = None
+        self._patterns: Optional[PatternAnalysis] = None
+        self._regions: Optional[RegionAnalysis] = None
+        self._zones: Optional[ZoneAnalysis] = None
+        self._traffic: Optional[TrafficAnalysis] = None
+        self._wan: Optional[WanAnalysis] = None
+
+    @property
+    def world(self) -> World:
+        if self._world is None:
+            self._world = World(self.world_config)
+        return self._world
+
+    @property
+    def dataset(self) -> AlexaSubdomainsDataset:
+        if self._dataset is None:
+            self._dataset = DatasetBuilder(self.world).build()
+        return self._dataset
+
+    @property
+    def clouduse(self) -> CloudUseAnalysis:
+        if self._clouduse is None:
+            self._clouduse = CloudUseAnalysis(self.world, self.dataset)
+        return self._clouduse
+
+    @property
+    def patterns(self) -> PatternAnalysis:
+        if self._patterns is None:
+            self._patterns = PatternAnalysis(self.world, self.dataset)
+        return self._patterns
+
+    @property
+    def regions(self) -> RegionAnalysis:
+        if self._regions is None:
+            self._regions = RegionAnalysis(self.world, self.dataset)
+        return self._regions
+
+    @property
+    def zones(self) -> ZoneAnalysis:
+        if self._zones is None:
+            self._zones = ZoneAnalysis(
+                self.world, self.dataset, self.patterns
+            )
+        return self._zones
+
+    @property
+    def traffic(self) -> TrafficAnalysis:
+        if self._traffic is None:
+            self._traffic = TrafficAnalysis(self.world)
+        return self._traffic
+
+    @property
+    def wan(self) -> WanAnalysis:
+        if self._wan is None:
+            self._wan = WanAnalysis(self.world, self.wan_config)
+        return self._wan

@@ -1,0 +1,160 @@
+"""Extension experiments: claims the paper states but does not run.
+
+These are not reproductions of printed tables/figures; they execute
+the paper's availability hypotheticals (§4.2/§4.3), its routing
+proposals (§5.1), its compression implication (§3.3), and regenerate
+the abstract's headline numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.availability import AvailabilityAnalysis
+from repro.analysis.compression import CompressionAnalysis
+from repro.analysis.headline import measure_headline
+from repro.analysis.scheduling import RequestScheduler
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.faults import region_outage, service_outage
+from repro.report.table import TextTable
+
+
+def run_ext_outages(ctx: ExperimentContext) -> ExperimentResult:
+    availability = AvailabilityAnalysis(
+        ctx.world, ctx.dataset, ctx.patterns, ctx.zones
+    )
+    table = TextTable(
+        ["Scenario", "Dark", "Degraded", "% of ranking hit"],
+        title="Outage drills over the measured deployments",
+    )
+    us_east = availability.evaluate(region_outage("ec2", "us-east-1"))
+    table.add_row([
+        us_east.scenario_name, us_east.unavailable, us_east.degraded,
+        f"{100 * us_east.alexa_share_hit:.2f}",
+    ])
+    zone_reports = availability.zone_blast_radius("us-east-1")
+    for zone, report in sorted(zone_reports.items()):
+        table.add_row([
+            report.scenario_name, report.unavailable, report.degraded,
+            f"{100 * report.alexa_share_hit:.2f}",
+        ])
+    elb = availability.evaluate(service_outage("elb"))
+    table.add_row([
+        elb.scenario_name, elb.unavailable, elb.degraded,
+        f"{100 * elb.alexa_share_hit:.2f}",
+    ])
+    zone_counts = [r.unavailable for r in zone_reports.values()]
+    measured = {
+        "us_east_ranking_hit_pct": round(
+            100 * us_east.alexa_share_hit, 2
+        ),
+        "zone_blast_asymmetric": max(zone_counts) > min(zone_counts),
+        "elb_smaller_than_region": elb.unavailable < us_east.unavailable,
+    }
+    paper = {
+        "us_east_ranking_hit_pct": ">= 2.3 (stated lower bound)",
+        "zone_blast_asymmetric": True,
+        "elb_smaller_than_region": True,
+    }
+    return ExperimentResult(
+        "ext-outages", "Availability hypotheticals, executed",
+        table.render(), measured, paper,
+    )
+
+
+def run_ext_scheduling(ctx: ExperimentContext) -> ExperimentResult:
+    scheduler = RequestScheduler(ctx.wan)
+    outcomes = scheduler.compare()
+    table = TextTable(
+        ["Policy", "Mean ms", "p95 ms", "Server load"],
+        title="Request-routing policies over the Figure 12 campaign",
+    )
+    for outcome in outcomes:
+        table.add_row([
+            outcome.policy,
+            f"{outcome.mean_latency_ms:.1f}",
+            f"{outcome.p95_latency_ms:.1f}",
+            f"x{outcome.server_load_factor:.0f}",
+        ])
+    by_name = {o.policy: o for o in outcomes}
+    measured = {
+        "multi_region_beats_static": (
+            by_name["geo-nearest"].mean_latency_ms
+            < by_name["static-home"].mean_latency_ms
+        ),
+        "parallel_load_factor": by_name["parallel-k"].server_load_factor,
+        "oracle_gain_over_geo_pct": round(
+            100 * scheduler.geo_penalty(by_name["geo-nearest"].regions), 1
+        ),
+    }
+    paper = {
+        "multi_region_beats_static": True,
+        "parallel_load_factor": "k (the stated cost of racing)",
+        "oracle_gain_over_geo_pct": "small unless paths are congested",
+    }
+    return ExperimentResult(
+        "ext-scheduling", "Global scheduling vs parallel requests",
+        table.render(), measured, paper,
+    )
+
+
+def run_ext_compression(ctx: ExperimentContext) -> ExperimentResult:
+    analysis = CompressionAnalysis(ctx.traffic.analyzer)
+    report = analysis.report(ctx.traffic.trace)
+    table = TextTable(
+        ["Content type", "MB", "Saved MB", "Saving"],
+        title="Compression opportunity in the capture's HTTP bytes",
+    )
+    for opportunity in report.per_type[:8]:
+        table.add_row([
+            opportunity.content_type,
+            f"{opportunity.original_bytes / 1e6:.1f}",
+            f"{opportunity.saved_bytes / 1e6:.1f}",
+            f"{100 * opportunity.saving_fraction:.0f}%",
+        ])
+    measured = {
+        "overall_saving_pct": round(
+            100 * report.overall_saving_fraction, 1
+        ),
+        "text_is_top_saver": report.per_type[0].content_type.startswith(
+            "text/"
+        ),
+    }
+    paper = {
+        "overall_saving_pct": "substantial (implied by §3.3)",
+        "text_is_top_saver": True,
+    }
+    return ExperimentResult(
+        "ext-compression", "WAN savings from compressing text",
+        table.render(), measured, paper,
+    )
+
+
+def run_ext_headline(ctx: ExperimentContext) -> ExperimentResult:
+    numbers = measure_headline(ctx.world, ctx.dataset, ctx.wan)
+    measured = {
+        "cloud_share_pct": round(numbers.cloud_share_pct, 1),
+        "vm_front_share_pct": round(numbers.vm_front_share_pct, 1),
+        "single_region_pct": round(numbers.single_region_pct, 1),
+        "k3_latency_gain_pct": round(numbers.k3_latency_gain_pct, 1),
+    }
+    paper = {
+        "cloud_share_pct": 4.0,
+        "vm_front_share_pct": 71.5,
+        "single_region_pct": 97.0,
+        "k3_latency_gain_pct": 33.0,
+    }
+    return ExperimentResult(
+        "ext-headline", "The abstract, regenerated",
+        numbers.render_abstract(), measured, paper,
+    )
+
+
+EXTENSION_EXPERIMENTS = [
+    Experiment("ext-outages", "Outage drills", "4.2/4.3", run_ext_outages),
+    Experiment("ext-scheduling", "Routing policies", "5.1",
+               run_ext_scheduling),
+    Experiment("ext-compression", "Compression opportunity", "3.3",
+               run_ext_compression),
+    Experiment("ext-headline", "Abstract regenerated", "abstract",
+               run_ext_headline),
+]

@@ -1,0 +1,413 @@
+"""Figure experiments: one per figure in the paper's evaluation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.report.ascii_plot import ascii_cdf, ascii_series
+from repro.report.table import TextTable
+
+
+# -- Figure 3: flow count and size CDFs ---------------------------------------
+
+def run_figure03(ctx: ExperimentContext) -> ExperimentResult:
+    parts = []
+    measured = {}
+    for provider in ("ec2", "azure"):
+        for protocol in ("http", "https"):
+            counts = ctx.traffic.flow_count_cdf(provider, protocol)
+            sizes = ctx.traffic.flow_size_cdf(provider, protocol)
+            if counts:
+                parts.append(ascii_cdf(
+                    counts.points(), log_x=True,
+                    label=f"{provider} {protocol} flows/domain CDF",
+                ))
+            if provider == "ec2" and sizes:
+                measured[f"{protocol}_median_flow_bytes"] = int(
+                    sizes.median
+                )
+    http_sizes = ctx.traffic.flow_size_cdf("ec2", "http")
+    https_sizes = ctx.traffic.flow_size_cdf("ec2", "https")
+    measured["https_flows_larger"] = bool(
+        http_sizes and https_sizes
+        and https_sizes.median > http_sizes.median
+    )
+    measured["top100_http_flow_share_pct"] = round(
+        100.0 * ctx.traffic.analyzer.top_domain_flow_concentration(
+            ctx.traffic.trace, "ec2", 100
+        ), 1
+    )
+    paper = {
+        "http_median_flow_bytes": 2000,
+        "https_median_flow_bytes": 10000,
+        "https_flows_larger": True,
+        "top100_http_flow_share_pct": 80.0,
+    }
+    return ExperimentResult(
+        "figure03", "HTTP/HTTPS flow count and size CDFs",
+        "\n\n".join(parts), measured, paper,
+    )
+
+
+# -- Figure 4: feature instances per subdomain ---------------------------------
+
+def run_figure04(ctx: ExperimentContext) -> ExperimentResult:
+    vm_cdf = ctx.patterns.vm_instances_cdf()
+    elb_cdf = ctx.patterns.elb_instances_cdf()
+    parts = []
+    if vm_cdf:
+        parts.append(ascii_cdf(
+            vm_cdf.points(), label="front-end VMs per subdomain CDF"
+        ))
+    if elb_cdf:
+        parts.append(ascii_cdf(
+            elb_cdf.points(), label="physical ELBs per subdomain CDF"
+        ))
+    measured = {
+        "vm_two_or_fewer_pct": (
+            round(100.0 * vm_cdf.at(2), 1) if vm_cdf else None
+        ),
+        "vm_three_plus_pct": (
+            round(100.0 * (1 - vm_cdf.at(2)), 1) if vm_cdf else None
+        ),
+        "elb_five_or_fewer_pct": (
+            round(100.0 * elb_cdf.at(5), 1) if elb_cdf else None
+        ),
+        "elb_max": int(elb_cdf.quantile(1.0)) if elb_cdf else None,
+    }
+    paper = {
+        "vm_two_or_fewer_pct": 85.0,
+        "vm_three_plus_pct": 15.0,
+        "elb_five_or_fewer_pct": 95.0,
+        "elb_max": 90,
+    }
+    return ExperimentResult(
+        "figure04", "Feature instances per subdomain",
+        "\n\n".join(parts), measured, paper,
+    )
+
+
+# -- Figure 5: DNS servers per subdomain ----------------------------------------
+
+def run_figure05(ctx: ExperimentContext) -> ExperimentResult:
+    stats = ctx.patterns.dns_statistics()
+    cdf = stats["ns_per_subdomain_cdf"]
+    rendered = ascii_cdf(
+        cdf.points(), label="name servers per subdomain CDF"
+    ) if cdf else "(no data)"
+    in_3_10 = (cdf.at(10) - cdf.at(2)) if cdf else 0.0
+    location = stats["location_counts"]
+    total_ns = stats["total_nameservers"] or 1
+    measured = {
+        "three_to_ten_pct": round(100.0 * in_3_10, 1),
+        "cloudfront_ns_share_pct": round(
+            100.0 * location.get("cloudfront", 0) / total_ns, 1
+        ),
+        "ec2_vm_ns_share_pct": round(
+            100.0 * location.get("ec2_vm", 0) / total_ns, 1
+        ),
+        "outside_ns_share_pct": round(
+            100.0 * location.get("outside", 0) / total_ns, 1
+        ),
+    }
+    paper = {
+        "three_to_ten_pct": 80.0,
+        "cloudfront_ns_share_pct": 8.9,
+        "ec2_vm_ns_share_pct": 5.4,
+        "outside_ns_share_pct": 85.6,
+    }
+    return ExperimentResult(
+        "figure05", "DNS servers per subdomain",
+        rendered, measured, paper,
+    )
+
+
+# -- Figure 6: regions per subdomain / domain --------------------------------------
+
+def run_figure06(ctx: ExperimentContext) -> ExperimentResult:
+    parts = []
+    measured = {}
+    for provider in ("ec2", "azure"):
+        sub_cdf = ctx.regions.regions_per_subdomain_cdf(provider)
+        dom_cdf = ctx.regions.regions_per_domain_cdf(provider)
+        if sub_cdf:
+            parts.append(ascii_cdf(
+                sub_cdf.points(),
+                label=f"{provider} regions per subdomain CDF",
+            ))
+            measured[f"{provider}_single_region_pct"] = round(
+                100.0 * sub_cdf.at(1), 1
+            )
+        if dom_cdf:
+            measured[f"{provider}_single_region_domain_pct"] = round(
+                100.0 * dom_cdf.at(1), 1
+            )
+    paper = {
+        "ec2_single_region_pct": 97.0,
+        "azure_single_region_pct": 92.0,
+        "azure_single_region_domain_pct": 83.0,
+    }
+    return ExperimentResult(
+        "figure06", "Regions per subdomain and per domain",
+        "\n\n".join(parts), measured, paper,
+    )
+
+
+# -- Figure 7: proximity sampling scatter --------------------------------------------
+
+def run_figure07(ctx: ExperimentContext) -> ExperimentResult:
+    points = ctx.zones.proximity_scatter("us-east-1")
+    # Render as zone bands over the internal address space.
+    by_zone: Counter = Counter(label for _, label in points)
+    table = TextTable(
+        ["Zone label", "Samples", "Distinct /16s"],
+        title="Figure 7: proximity samples per zone (us-east-1)",
+    )
+    slash16s = {}
+    for ip_value, label in points:
+        slash16s.setdefault(label, set()).add(ip_value >> 16)
+    for label in sorted(by_zone):
+        table.add_row([
+            label, by_zone[label], len(slash16s.get(label, ())),
+        ])
+    overlap = 0
+    seen = {}
+    for ip_value, label in points:
+        block = ip_value >> 16
+        if block in seen and seen[block] != label:
+            overlap += 1
+        seen[block] = label
+    measured = {
+        "zones_sampled": len(by_zone),
+        "slash16_zone_conflicts": overlap,
+    }
+    paper = {
+        "zones_sampled": 4,
+        "slash16_zone_conflicts": 0,
+    }
+    return ExperimentResult(
+        "figure07", "Internal-address banding by zone",
+        table.render(), measured, paper,
+        notes="Our us-east-1 models 3 zones (the paper sampled 4).",
+    )
+
+
+# -- Figure 8: zones per subdomain / domain --------------------------------------------
+
+def run_figure08(ctx: ExperimentContext) -> ExperimentResult:
+    sub_cdf = ctx.zones.zones_per_subdomain_cdf()
+    dom_cdf = ctx.zones.zones_per_domain_cdf()
+    parts = []
+    measured = {}
+    if sub_cdf:
+        parts.append(ascii_cdf(
+            sub_cdf.points(), label="zones per subdomain CDF"
+        ))
+        measured["one_zone_pct"] = round(100.0 * sub_cdf.at(1), 1)
+        measured["two_zone_pct"] = round(
+            100.0 * (sub_cdf.at(2) - sub_cdf.at(1)), 1
+        )
+        measured["three_plus_zone_pct"] = round(
+            100.0 * (1.0 - sub_cdf.at(2)), 1
+        )
+    if dom_cdf:
+        measured["domains_single_zone_pct"] = round(
+            100.0 * dom_cdf.at(1), 1
+        )
+    measured["multi_zone_cross_region_pct"] = round(
+        100.0 * ctx.zones.multi_region_zone_fraction(), 1
+    )
+    paper = {
+        "one_zone_pct": 33.2,
+        "two_zone_pct": 44.5,
+        "three_plus_zone_pct": 22.3,
+        "domains_single_zone_pct": 70.0,
+        "multi_zone_cross_region_pct": 3.1,
+    }
+    return ExperimentResult(
+        "figure08", "Zones per subdomain and per domain",
+        "\n\n".join(parts), measured, paper,
+    )
+
+
+# -- Figures 9 and 10: per-client US-region performance --------------------------------
+
+def _client_region_table(ctx: ExperimentContext, metric: str) -> TextTable:
+    rows = ctx.wan.per_client_region_averages(max_clients=15)
+    prefix = "latency_ms" if metric == "latency" else "throughput_kbps"
+    unit = "ms" if metric == "latency" else "KB/s"
+    table = TextTable(
+        ["Client", f"us-east-1 ({unit})", f"us-west-1 ({unit})",
+         f"us-west-2 ({unit})"],
+        title=f"Per-client average {metric} to US regions",
+    )
+    for row in rows:
+        table.add_row([
+            row["client"],
+            f"{row[f'{prefix}:us-east-1']:.0f}",
+            f"{row[f'{prefix}:us-west-1']:.0f}",
+            f"{row[f'{prefix}:us-west-2']:.0f}",
+        ])
+    return table
+
+
+def run_figure09(ctx: ExperimentContext) -> ExperimentResult:
+    table = _client_region_table(ctx, "throughput")
+    west1 = ctx.wan.region_average("us-west-1", "throughput")
+    west2 = ctx.wan.region_average("us-west-2", "throughput")
+    seattle = next(
+        (
+            row for row in ctx.wan.per_client_region_averages(
+                max_clients=40
+            )
+            if "seattle" in row["client"]
+        ),
+        None,
+    )
+    seattle_gain = None
+    if seattle:
+        east = seattle["throughput_kbps:us-east-1"] or 1.0
+        west = seattle["throughput_kbps:us-west-2"]
+        seattle_gain = round(west / east, 1)
+    measured = {
+        "us_west_1_avg_kbps": round(west1, 0),
+        "us_west_2_avg_kbps": round(west2, 0),
+        "west1_beats_west2": west1 > west2,
+        "seattle_west2_vs_east_factor": seattle_gain,
+    }
+    paper = {
+        "us_west_1_avg_kbps": 1143,
+        "us_west_2_avg_kbps": 895,
+        "west1_beats_west2": True,
+        "seattle_west2_vs_east_factor": 5.0,
+    }
+    return ExperimentResult(
+        "figure09", "Average throughput to US regions",
+        table.render(), measured, paper,
+    )
+
+
+def run_figure10(ctx: ExperimentContext) -> ExperimentResult:
+    table = _client_region_table(ctx, "latency")
+    west1 = ctx.wan.region_average("us-west-1", "latency")
+    west2 = ctx.wan.region_average("us-west-2", "latency")
+    seattle = next(
+        (
+            row for row in ctx.wan.per_client_region_averages(
+                max_clients=40
+            )
+            if "seattle" in row["client"]
+        ),
+        None,
+    )
+    seattle_gain = None
+    if seattle:
+        west = seattle["latency_ms:us-west-2"] or 1.0
+        east = seattle["latency_ms:us-east-1"]
+        seattle_gain = round(east / west, 1)
+    measured = {
+        "us_west_1_avg_ms": round(west1, 0),
+        "us_west_2_avg_ms": round(west2, 0),
+        "west1_beats_west2": west1 < west2,
+        "seattle_east_vs_west2_factor": seattle_gain,
+    }
+    paper = {
+        "us_west_1_avg_ms": 130,
+        "us_west_2_avg_ms": 145,
+        "west1_beats_west2": True,
+        "seattle_east_vs_west2_factor": 6.0,
+    }
+    return ExperimentResult(
+        "figure10", "Average latency to US regions",
+        table.render(), measured, paper,
+    )
+
+
+# -- Figure 11: best region changes over time ---------------------------------------------
+
+def run_figure11(ctx: ExperimentContext) -> ExperimentResult:
+    boulder = next(
+        c.name for c in ctx.wan.clients if "boulder" in c.name
+    )
+    seattle = next(
+        c.name for c in ctx.wan.clients if "seattle" in c.name
+    )
+    series = [
+        (region, ctx.wan.latency_series(boulder, region))
+        for region in ("us-east-1", "us-west-1", "us-west-2")
+    ]
+    rendered = ascii_series(series)
+    boulder_flips = ctx.wan.best_region_flips(boulder)
+    seattle_flips = ctx.wan.best_region_flips(seattle)
+    measured = {
+        "boulder_best_region_flips": boulder_flips["flips"],
+        "boulder_distinct_best": boulder_flips["distinct_best"],
+        "seattle_distinct_best": seattle_flips["distinct_best"],
+    }
+    paper = {
+        "boulder_best_region_flips": ">0 (changes over time)",
+        "boulder_distinct_best": ">=2",
+        "seattle_distinct_best": 1,
+    }
+    return ExperimentResult(
+        "figure11", "Boulder's best US region changes over time",
+        rendered, measured, paper,
+    )
+
+
+# -- Figure 12: optimal k-region deployments ------------------------------------------------
+
+def run_figure12(ctx: ExperimentContext) -> ExperimentResult:
+    latency_frontier = ctx.wan.optimal_k_regions("latency")
+    throughput_frontier = ctx.wan.optimal_k_regions("throughput")
+    table = TextTable(
+        ["k", "Best latency ms", "Latency regions",
+         "Best throughput KB/s"],
+        title="Figure 12: optimal k-region deployments",
+    )
+    for lat_row, thr_row in zip(latency_frontier, throughput_frontier):
+        table.add_row([
+            lat_row["k"],
+            f"{lat_row['score']:.1f}",
+            ",".join(lat_row["regions"]),
+            f"{thr_row['score']:.0f}",
+        ])
+    k3 = ctx.wan.improvement_at_k(latency_frontier, 3)
+    k4 = ctx.wan.improvement_at_k(latency_frontier, 4)
+    k8 = ctx.wan.improvement_at_k(
+        latency_frontier, len(latency_frontier)
+    )
+    measured = {
+        "latency_gain_at_k3_pct": round(100.0 * k3, 1),
+        "latency_gain_at_k4_pct": round(100.0 * k4, 1),
+        "diminishing_after_k3": bool((k4 - k3) < k3 / 2),
+        "k1_best_region": latency_frontier[0]["regions"][0],
+        "total_gain_pct": round(100.0 * k8, 1),
+    }
+    paper = {
+        "latency_gain_at_k3_pct": 33.0,
+        "latency_gain_at_k4_pct": 39.0,
+        "diminishing_after_k3": True,
+        "k1_best_region": "us-east-1",
+        "total_gain_pct": "~45",
+    }
+    return ExperimentResult(
+        "figure12", "Optimal k-region latency/throughput",
+        table.render(), measured, paper,
+    )
+
+
+FIGURE_EXPERIMENTS = [
+    Experiment("figure03", "Flow CDFs", "3.3", run_figure03),
+    Experiment("figure04", "Feature instance CDFs", "4.1", run_figure04),
+    Experiment("figure05", "DNS server CDF", "4.1", run_figure05),
+    Experiment("figure06", "Region CDFs", "4.2", run_figure06),
+    Experiment("figure07", "Proximity scatter", "4.3", run_figure07),
+    Experiment("figure08", "Zone CDFs", "4.3", run_figure08),
+    Experiment("figure09", "US throughput", "5.1", run_figure09),
+    Experiment("figure10", "US latency", "5.1", run_figure10),
+    Experiment("figure11", "Best-region flips", "5.1", run_figure11),
+    Experiment("figure12", "Optimal k regions", "5.1", run_figure12),
+]

@@ -1,0 +1,35 @@
+"""Registry of all experiments, keyed by id."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.base import Experiment
+from repro.experiments.extensions import EXTENSION_EXPERIMENTS
+from repro.experiments.figures import FIGURE_EXPERIMENTS
+from repro.experiments.tables import TABLE_EXPERIMENTS
+
+_ALL: Dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        TABLE_EXPERIMENTS + FIGURE_EXPERIMENTS + EXTENSION_EXPERIMENTS
+    )
+}
+
+
+def all_experiments() -> List[Experiment]:
+    return list(_ALL.values())
+
+
+def experiment_ids() -> List[str]:
+    return list(_ALL)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return _ALL[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(_ALL)}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Fault injection: outage scenarios over the simulated infrastructure.
+
+The paper's availability findings are hypotheticals — "a failure of
+ec2.us-east-1a would impact ~419K subdomains" — derived from the
+measured deployment postures.  This package makes the hypotheticals
+executable: an :class:`OutageScenario` marks parts of the
+infrastructure failed (a region, an availability zone, a value-added
+service like ELB, or a downstream ISP), and the availability analysis
+in :mod:`repro.analysis.availability` evaluates, from the *measured*
+dataset, which web services go dark, which degrade, and which ride it
+out.
+"""
+
+from repro.faults.scenarios import (
+    OutageScenario,
+    region_outage,
+    zone_outage,
+    service_outage,
+    isp_outage,
+)
+
+__all__ = [
+    "OutageScenario",
+    "region_outage",
+    "zone_outage",
+    "service_outage",
+    "isp_outage",
+]

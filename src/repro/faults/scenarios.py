@@ -1,0 +1,98 @@
+"""Outage scenario definitions.
+
+A scenario is pure data: which (provider, region) pairs are fully
+down, which (provider, region, zone) triples are down, which
+value-added services are broken (the ELB control/data plane — the
+2012 US-East outages the paper cites [4, 6] took out ELB while plain
+VMs survived), and which downstream ISPs are unreachable.
+
+Scenarios compose with ``|`` so drills can stack failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class OutageScenario:
+    """A set of simultaneous failures."""
+
+    name: str
+    #: (provider, region) pairs that are completely down.
+    regions: FrozenSet[Tuple[str, str]] = frozenset()
+    #: (provider, region, zone index) triples that are down.
+    zones: FrozenSet[Tuple[str, str, int]] = frozenset()
+    #: Failed value-added services: 'elb', 'heroku', 'beanstalk',
+    #: 'cloudfront', 'traffic-manager', 'route53'.
+    services: FrozenSet[str] = frozenset()
+    #: Failed downstream ISPs, by AS number.
+    isp_as_numbers: FrozenSet[int] = frozenset()
+
+    def __or__(self, other: "OutageScenario") -> "OutageScenario":
+        return OutageScenario(
+            name=f"{self.name}+{other.name}",
+            regions=self.regions | other.regions,
+            zones=self.zones | other.zones,
+            services=self.services | other.services,
+            isp_as_numbers=self.isp_as_numbers | other.isp_as_numbers,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def region_down(self, provider: str, region: str) -> bool:
+        return (provider, region) in self.regions
+
+    def zone_down(self, provider: str, region: str, zone: int) -> bool:
+        return (
+            self.region_down(provider, region)
+            or (provider, region, zone) in self.zones
+        )
+
+    def service_down(self, service: str) -> bool:
+        return service in self.services
+
+    def isp_down(self, as_number: int) -> bool:
+        return as_number in self.isp_as_numbers
+
+
+def region_outage(provider: str, region: str) -> OutageScenario:
+    """The catastrophic case: a whole region offline."""
+    return OutageScenario(
+        name=f"{provider}.{region}-outage",
+        regions=frozenset({(provider, region)}),
+    )
+
+
+def zone_outage(provider: str, region: str, zone: int) -> OutageScenario:
+    """One availability zone offline (power/network domain failure)."""
+    return OutageScenario(
+        name=f"{provider}.{region}#{zone}-outage",
+        zones=frozenset({(provider, region, zone)}),
+    )
+
+
+def service_outage(service: str) -> OutageScenario:
+    """A value-added service failing while plain VMs survive.
+
+    Models the EC2 events the paper cites: deployments that only used
+    VMs were unaffected, while everything behind ELB went down.
+    """
+    known = {
+        "elb", "heroku", "beanstalk", "cloudfront",
+        "traffic-manager", "route53",
+    }
+    if service not in known:
+        raise ValueError(f"unknown service {service!r}; known: {known}")
+    return OutageScenario(
+        name=f"{service}-outage", services=frozenset({service})
+    )
+
+
+def isp_outage(*as_numbers: int) -> OutageScenario:
+    """Downstream ISP(s) failing (the §5.2 routing-failure case)."""
+    return OutageScenario(
+        name=f"isp-outage-{'-'.join(map(str, as_numbers))}",
+        isp_as_numbers=frozenset(as_numbers),
+    )

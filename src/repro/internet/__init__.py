@@ -1,0 +1,28 @@
+"""Wide-area Internet substrate.
+
+Provides everything outside the clouds: geo-placed vantage points (the
+stand-ins for PlanetLab nodes and for the campus capture point), an RTT
+model grounded in great-circle propagation with persistent per-path
+quality and time-varying congestion episodes, an AS-level topology with
+per-region downstream ISP multihoming for traceroute analysis, and a
+TCP-flavoured throughput model.
+"""
+
+from repro.internet.vantage import (
+    VantagePoint,
+    planetlab_sites,
+    CAMPUS_VANTAGE,
+)
+from repro.internet.latency import LatencyModel
+from repro.internet.routing import RoutingModel, TracerouteHop
+from repro.internet.throughput import ThroughputModel
+
+__all__ = [
+    "VantagePoint",
+    "planetlab_sites",
+    "CAMPUS_VANTAGE",
+    "LatencyModel",
+    "RoutingModel",
+    "TracerouteHop",
+    "ThroughputModel",
+]

@@ -1,0 +1,79 @@
+"""TCP-flavoured throughput model for the HTTP-download measurements.
+
+The paper measured throughput by fetching a 2 MB file and dividing by
+the download time (cancelled past 10 s).  The dominant real-world
+effects are window-limited steady state (rate ∝ 1/RTT), a per-path
+bottleneck capacity, slow-start ramp for short transfers, and noisy
+contention.  All four appear here, each deliberately simple.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.internet.latency import LatencyModel
+from repro.sim import StreamRegistry, derive_rng
+
+#: Effective receive-window (bytes) limiting steady-state rate.
+WINDOW_BYTES = 128 * 1024
+#: Initial congestion window for the slow-start ramp (bytes).
+INIT_CWND_BYTES = 14600
+#: Per-path bottleneck capacity range (bytes/second).
+BOTTLENECK_MIN_BPS = 3_000_000
+BOTTLENECK_MAX_BPS = 20_000_000
+
+
+class ThroughputModel:
+    """Computes download times between endpoints."""
+
+    def __init__(self, streams: StreamRegistry, latency: LatencyModel):
+        self.streams = streams
+        self.latency = latency
+        self._noise_rng = streams.stream("throughput", "noise")
+        self._bottleneck_cache: Dict[Tuple, float] = {}
+
+    def _bottleneck_bps(self, key_a, key_b) -> float:
+        key = (min(key_a, key_b), max(key_a, key_b))
+        rate = self._bottleneck_cache.get(key)
+        if rate is None:
+            rng = derive_rng(self.streams.seed, "bottleneck", *key)
+            rate = BOTTLENECK_MIN_BPS + rng.random() * (
+                BOTTLENECK_MAX_BPS - BOTTLENECK_MIN_BPS
+            )
+            self._bottleneck_cache[key] = rate
+        return rate
+
+    def download(
+        self, client, server, size_bytes: int, time_s: float = 0.0
+    ) -> Tuple[float, float]:
+        """Simulate one HTTP GET; returns (duration_s, rate_bytes_per_s).
+
+        The duration includes connection setup (1 RTT), the slow-start
+        ramp, and the window- or bottleneck-limited bulk transfer, with
+        multiplicative contention noise.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        key_a, _, _ = self.latency._describe(client)
+        key_b, _, _ = self.latency._describe(server)
+        rtt_s = self.latency.base_rtt_ms(client, server, time_s) / 1000.0
+        bottleneck = self._bottleneck_bps(key_a, key_b)
+        steady_rate = min(bottleneck, WINDOW_BYTES / rtt_s)
+        # Bytes moved during slow start, and the rounds it takes.
+        ramp_rounds = 0
+        ramp_bytes = 0
+        cwnd = INIT_CWND_BYTES
+        while ramp_bytes < size_bytes and cwnd < steady_rate * rtt_s:
+            ramp_bytes += cwnd
+            cwnd *= 2
+            ramp_rounds += 1
+        remaining = max(0, size_bytes - ramp_bytes)
+        duration = (
+            rtt_s  # connect + request
+            + ramp_rounds * rtt_s
+            + remaining / steady_rate
+        )
+        noise = math.exp(self._noise_rng.gauss(0.0, 0.18))
+        duration *= noise
+        return duration, size_bytes / duration

@@ -1,0 +1,134 @@
+"""Vantage points: the simulation's PlanetLab nodes and campus border.
+
+The paper used 150 nodes for enumeration, 200 for distributed DNS
+lookups and traceroute targets, and 80 for latency/throughput probing.
+:func:`planetlab_sites` deterministically expands a curated seed list of
+real PlanetLab host cities into any requested count, preserving the
+paper's continental mix (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement host somewhere on the Internet."""
+
+    name: str
+    location: GeoPoint
+    country: str
+    continent: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: (city, lat, lon, country, continent) — a geographic spread matching
+#: Figure 2: North America, South America, Europe, Asia, Australia.
+_SEED_SITES: Tuple[Tuple[str, float, float, str, str], ...] = (
+    ("seattle", 47.61, -122.33, "US", "NA"),
+    ("berkeley", 37.87, -122.27, "US", "NA"),
+    ("san-diego", 32.72, -117.16, "US", "NA"),
+    ("boulder", 40.01, -105.27, "US", "NA"),
+    ("salt-lake-city", 40.76, -111.89, "US", "NA"),
+    ("austin", 30.27, -97.74, "US", "NA"),
+    ("houston", 29.76, -95.37, "US", "NA"),
+    ("chicago", 41.88, -87.63, "US", "NA"),
+    ("urbana", 40.11, -88.21, "US", "NA"),
+    ("madison", 43.07, -89.40, "US", "NA"),
+    ("minneapolis", 44.98, -93.27, "US", "NA"),
+    ("atlanta", 33.75, -84.39, "US", "NA"),
+    ("gainesville", 29.65, -82.32, "US", "NA"),
+    ("boston", 42.36, -71.06, "US", "NA"),
+    ("princeton", 40.34, -74.66, "US", "NA"),
+    ("new-york", 40.71, -74.01, "US", "NA"),
+    ("washington", 38.91, -77.04, "US", "NA"),
+    ("pittsburgh", 40.44, -79.99, "US", "NA"),
+    ("toronto", 43.65, -79.38, "CA", "NA"),
+    ("vancouver", 49.28, -123.12, "CA", "NA"),
+    ("mexico-city", 19.43, -99.13, "MX", "NA"),
+    ("sao-paulo", -23.55, -46.63, "BR", "SA"),
+    ("rio-de-janeiro", -22.91, -43.17, "BR", "SA"),
+    ("santiago", -33.45, -70.67, "CL", "SA"),
+    ("buenos-aires", -34.60, -58.38, "AR", "SA"),
+    ("london", 51.51, -0.13, "GB", "EU"),
+    ("cambridge-uk", 52.21, 0.12, "GB", "EU"),
+    ("paris", 48.86, 2.35, "FR", "EU"),
+    ("madrid", 40.42, -3.70, "ES", "EU"),
+    ("lisbon", 38.72, -9.14, "PT", "EU"),
+    ("rome", 41.90, 12.50, "IT", "EU"),
+    ("zurich", 47.37, 8.54, "CH", "EU"),
+    ("munich", 48.14, 11.58, "DE", "EU"),
+    ("berlin", 52.52, 13.40, "DE", "EU"),
+    ("amsterdam", 52.37, 4.90, "NL", "EU"),
+    ("brussels", 50.85, 4.35, "BE", "EU"),
+    ("copenhagen", 55.68, 12.57, "DK", "EU"),
+    ("stockholm", 59.33, 18.07, "SE", "EU"),
+    ("helsinki", 60.17, 24.94, "FI", "EU"),
+    ("oslo", 59.91, 10.75, "NO", "EU"),
+    ("warsaw", 52.23, 21.01, "PL", "EU"),
+    ("prague", 50.08, 14.44, "CZ", "EU"),
+    ("vienna", 48.21, 16.37, "AT", "EU"),
+    ("athens", 37.98, 23.73, "GR", "EU"),
+    ("moscow", 55.76, 37.62, "RU", "EU"),
+    ("istanbul", 41.01, 28.98, "TR", "EU"),
+    ("tel-aviv", 32.09, 34.78, "IL", "AS"),
+    ("mumbai", 19.08, 72.88, "IN", "AS"),
+    ("bangalore", 12.97, 77.59, "IN", "AS"),
+    ("singapore", 1.35, 103.82, "SG", "AS"),
+    ("kuala-lumpur", 3.14, 101.69, "MY", "AS"),
+    ("bangkok", 13.76, 100.50, "TH", "AS"),
+    ("hong-kong", 22.32, 114.17, "HK", "AS"),
+    ("taipei", 25.03, 121.57, "TW", "AS"),
+    ("shanghai", 31.23, 121.47, "CN", "AS"),
+    ("beijing", 39.90, 116.41, "CN", "AS"),
+    ("seoul", 37.57, 126.98, "KR", "AS"),
+    ("tokyo", 35.68, 139.69, "JP", "AS"),
+    ("osaka", 34.69, 135.50, "JP", "AS"),
+    ("sydney", -33.87, 151.21, "AU", "OC"),
+    ("melbourne", -37.81, 144.96, "AU", "OC"),
+    ("brisbane", -27.47, 153.03, "AU", "OC"),
+    ("auckland", -36.85, 174.76, "NZ", "OC"),
+)
+
+
+def planetlab_sites(count: int) -> List[VantagePoint]:
+    """The first ``count`` vantage points, cycling the seed list.
+
+    Replicas beyond the seed list get a numeric suffix and a small
+    deterministic coordinate offset (a second host at the same site).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    sites: List[VantagePoint] = []
+    for i in range(count):
+        city, lat, lon, country, continent = _SEED_SITES[i % len(_SEED_SITES)]
+        replica = i // len(_SEED_SITES)
+        if replica == 0:
+            name = f"pl-{city}"
+        else:
+            name = f"pl-{city}-{replica + 1}"
+            lat = max(-89.9, min(89.9, lat + 0.05 * replica))
+        sites.append(
+            VantagePoint(
+                name=name,
+                location=GeoPoint(lat, lon),
+                country=country,
+                continent=continent,
+            )
+        )
+    return sites
+
+
+#: The UW-Madison border router, where the packet capture was taken.
+CAMPUS_VANTAGE = VantagePoint(
+    name="uw-madison-border",
+    location=GeoPoint(43.07, -89.40),
+    country="US",
+    continent="NA",
+)

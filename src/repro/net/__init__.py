@@ -1,0 +1,36 @@
+"""Low-level network substrate: IPv4 addresses, CIDR blocks, prefix sets,
+geographic coordinates, and an AS-number registry.
+
+This package is the foundation everything else builds on.  It deliberately
+re-implements the small slice of IP arithmetic the paper's methodology
+needs (range matching against published cloud IP lists, /16 proximity,
+address allocation) rather than leaning on :mod:`ipaddress`, so the whole
+reproduction is self-contained and the performance-sensitive pieces
+(interval-based prefix sets consulted millions of times during dataset
+construction) are tuned for our access patterns.
+"""
+
+from repro.net.ipv4 import (
+    IPv4Address,
+    IPv4Network,
+    ip_to_int,
+    int_to_ip,
+    parse_network,
+)
+from repro.net.prefixset import PrefixSet
+from repro.net.geo import GeoPoint, haversine_km, propagation_delay_ms
+from repro.net.asn import ASRegistry, AutonomousSystem
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "ip_to_int",
+    "int_to_ip",
+    "parse_network",
+    "PrefixSet",
+    "GeoPoint",
+    "haversine_km",
+    "propagation_delay_ms",
+    "ASRegistry",
+    "AutonomousSystem",
+]

@@ -1,0 +1,59 @@
+"""Geographic primitives for the wide-area latency model.
+
+Latency between a client and a cloud region is grounded in great-circle
+distance: light in fibre covers roughly 200 km/ms one-way, and observed
+Internet RTTs run ~2x the geodesic minimum because routes are not
+geodesics.  Those constants live here so the whole model is auditable in
+one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0
+#: Speed of light in fibre, in km per millisecond (approximately 0.67c).
+FIBRE_KM_PER_MS = 200.0
+#: Multiplier capturing route circuitousness relative to the geodesic.
+PATH_INFLATION = 2.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_delay_ms(a: GeoPoint, b: GeoPoint) -> float:
+    """Round-trip propagation delay in ms between two points.
+
+    Distance is inflated by :data:`PATH_INFLATION` to account for
+    non-geodesic routing, then doubled for the round trip.
+    """
+    one_way_km = haversine_km(a, b) * PATH_INFLATION
+    return 2.0 * one_way_km / FIBRE_KM_PER_MS

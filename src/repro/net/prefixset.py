@@ -1,0 +1,126 @@
+"""Fast membership testing against collections of CIDR blocks.
+
+The paper's core classification step — "does this resolved IP fall within
+EC2 or Azure's published address ranges?" — runs once per DNS answer over
+hundreds of thousands of subdomains.  :class:`PrefixSet` compiles a list
+of CIDR blocks into a sorted, merged interval table queried with binary
+search, and can also answer *which* labelled block matched (used to map an
+address back to a cloud region).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Optional, Tuple
+
+from repro.net.ipv4 import IPv4Address, IPv4Network, ip_to_int
+
+
+class PrefixSet:
+    """An immutable set of IPv4 CIDR blocks with O(log n) lookups.
+
+    Blocks may carry an arbitrary label (e.g. a region name); ``lookup``
+    returns the label of the most specific original block containing the
+    address.  Construction merges adjacent/overlapping intervals for the
+    plain membership table while keeping the original labelled blocks for
+    attribution.
+    """
+
+    def __init__(self, blocks: Iterable[IPv4Network | str | Tuple] = ()):
+        labelled = []
+        for item in blocks:
+            if isinstance(item, tuple):
+                net, label = item
+            else:
+                net, label = item, None
+            if isinstance(net, str):
+                net = IPv4Network.parse(net)
+            labelled.append((net, label))
+        self._labelled = sorted(
+            labelled, key=lambda pair: (pair[0].first, -pair[0].prefix_len)
+        )
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for first, last in _merge_intervals(
+            (net.first, net.last) for net, _ in self._labelled
+        ):
+            self._starts.append(first)
+            self._ends.append(last)
+        self._attr_starts = [net.first for net, _ in self._labelled]
+        # Widest original block, bounding how far left of an address a
+        # containing block's start can lie.  Lets attribution lookups
+        # terminate their leftward scan early.
+        self._max_span = max(
+            (net.num_addresses for net, _ in self._labelled), default=1
+        )
+
+    def __len__(self) -> int:
+        return len(self._labelled)
+
+    def __bool__(self) -> bool:
+        return bool(self._labelled)
+
+    @property
+    def blocks(self) -> list[IPv4Network]:
+        return [net for net, _ in self._labelled]
+
+    def num_addresses(self) -> int:
+        """Total addresses covered (after interval merging)."""
+        return sum(
+            end - start + 1 for start, end in zip(self._starts, self._ends)
+        )
+
+    @staticmethod
+    def _value_of(addr) -> int:
+        if isinstance(addr, IPv4Address):
+            return addr.value
+        if isinstance(addr, int):
+            return addr
+        return ip_to_int(addr)
+
+    def __contains__(self, addr) -> bool:
+        value = self._value_of(addr)
+        idx = bisect_right(self._starts, value) - 1
+        return idx >= 0 and value <= self._ends[idx]
+
+    def _best_match(self, value: int) -> Optional[Tuple[IPv4Network, object]]:
+        """Most specific ``(block, label)`` containing ``value``, else None.
+
+        Scans leftwards from the binary-search insertion point; the scan
+        stops once a block starts before ``value - max_span + 1``, past
+        which no registered block is wide enough to still contain the
+        address.
+        """
+        idx = bisect_right(self._attr_starts, value) - 1
+        lower_bound = value - self._max_span + 1
+        best: Optional[Tuple[IPv4Network, object]] = None
+        while idx >= 0 and self._attr_starts[idx] >= lower_bound:
+            net, label = self._labelled[idx]
+            if net.last >= value and (
+                best is None or net.prefix_len > best[0].prefix_len
+            ):
+                best = (net, label)
+            idx -= 1
+        return best
+
+    def lookup(self, addr) -> Optional[object]:
+        """Label of the most specific block containing ``addr``, else None."""
+        best = self._best_match(self._value_of(addr))
+        return best[1] if best else None
+
+    def matching_block(self, addr) -> Optional[IPv4Network]:
+        """The most specific original block containing ``addr``, else None."""
+        best = self._best_match(self._value_of(addr))
+        return best[0] if best else None
+
+
+def _merge_intervals(intervals) -> Iterable[Tuple[int, int]]:
+    """Merge overlapping/adjacent ``(first, last)`` inclusive intervals."""
+    merged: list[list[int]] = []
+    for first, last in sorted(intervals):
+        if merged and first <= merged[-1][1] + 1:
+            merged[-1][1] = max(merged[-1][1], last)
+        else:
+            merged.append([first, last])
+    for first, last in merged:
+        yield first, last

@@ -1,0 +1,22 @@
+"""Active measurement tools: the simulation's hping3, traceroute and
+HTTP download clients.
+
+These are thin, tool-shaped drivers over the internet substrate: they
+take endpoints (vantage points or cloud instances) or raw IPs, resolve
+IPs through an :class:`EndpointDirectory`, and return the observations
+real tools would produce — including probe timeouts for unresponsive
+targets, which the paper's Table 12 shows were common (~27% of target
+IPs never answered).
+"""
+
+from repro.probing.directory import EndpointDirectory
+from repro.probing.ping import Prober, PingResult
+from repro.probing.httpget import HttpDownloader, DownloadResult
+
+__all__ = [
+    "EndpointDirectory",
+    "Prober",
+    "PingResult",
+    "HttpDownloader",
+    "DownloadResult",
+]

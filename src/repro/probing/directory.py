@@ -1,0 +1,47 @@
+"""Resolving raw IP addresses back to simulated endpoints.
+
+Probing tools are pointed at IP addresses (that is all the measurement
+pipeline knows); the directory finds the cloud instance behind an
+address so the latency model can be consulted.  Addresses that belong
+to no registered instance simply time out, exactly like probing an
+unused cloud IP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cloud.base import CloudProvider, Instance
+from repro.net.ipv4 import IPv4Address
+
+
+class EndpointDirectory:
+    """Looks up instances across all registered providers by public IP."""
+
+    def __init__(self, providers: Iterable[CloudProvider] = ()):
+        self._providers = list(providers)
+
+    def add_provider(self, provider: CloudProvider) -> None:
+        self._providers.append(provider)
+
+    def instance_for_ip(self, address: IPv4Address) -> Optional[Instance]:
+        for provider in self._providers:
+            instance = provider.instance_by_public_ip(address)
+            if instance is not None:
+                return instance
+        return None
+
+    def instance_for_internal_ip(
+        self, region_name: str, address: IPv4Address
+    ) -> Optional[Instance]:
+        """Find an instance by internal address within a region (what an
+        in-region probe reaches after the public→internal DNS mapping)."""
+        for provider in self._providers:
+            instance = provider.instance_by_internal_ip(region_name, address)
+            if instance is not None:
+                return instance
+        return None
+
+    def provider_of_ip(self, address: IPv4Address) -> Optional[str]:
+        instance = self.instance_for_ip(address)
+        return instance.provider_name if instance else None

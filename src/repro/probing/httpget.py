@@ -1,0 +1,54 @@
+"""HTTP download measurement (the paper's 2 MB Apache fetches)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.internet.throughput import ThroughputModel
+
+#: The paper cancelled downloads that exceeded 10 seconds.
+DEFAULT_TIMEOUT_S = 10.0
+#: Size of the benchmark object the paper served.
+DEFAULT_OBJECT_BYTES = 2 * 1024 * 1024
+
+
+@dataclass
+class DownloadResult:
+    """Outcome of one HTTP GET measurement."""
+
+    completed: bool
+    duration_s: Optional[float]
+    rate_bytes_per_s: Optional[float]
+
+    @property
+    def rate_kb_per_s(self) -> Optional[float]:
+        if self.rate_bytes_per_s is None:
+            return None
+        return self.rate_bytes_per_s / 1024.0
+
+
+class HttpDownloader:
+    """Fetches a fixed-size object and reports file_size/download_time."""
+
+    def __init__(self, throughput: ThroughputModel):
+        self.throughput = throughput
+
+    def get(
+        self,
+        client,
+        server,
+        size_bytes: int = DEFAULT_OBJECT_BYTES,
+        time_s: float = 0.0,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> DownloadResult:
+        duration, rate = self.throughput.download(
+            client, server, size_bytes, time_s
+        )
+        if duration > timeout_s:
+            return DownloadResult(
+                completed=False, duration_s=None, rate_bytes_per_s=None
+            )
+        return DownloadResult(
+            completed=True, duration_s=duration, rate_bytes_per_s=rate
+        )

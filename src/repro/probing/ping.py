@@ -1,0 +1,113 @@
+"""TCP ping (the simulation's hping3).
+
+Sends ``count`` probes between endpoints and reports per-probe RTTs.
+Targets can be endpoint objects or raw IP addresses; raw addresses are
+resolved through the directory, and unresolvable or unresponsive
+targets produce timeouts.  Whether a given instance answers probes at
+all is a persistent property of the target (security-group filtering),
+drawn deterministically per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.cloud.base import Instance
+from repro.internet.latency import LatencyModel
+from repro.internet.vantage import VantagePoint
+from repro.net.ipv4 import IPv4Address
+from repro.probing.directory import EndpointDirectory
+from repro.sim import derive_rng
+
+#: Fraction of tenant instances that answer unsolicited TCP probes.
+DEFAULT_RESPONSE_RATE = 0.74
+
+
+@dataclass
+class PingResult:
+    """The outcome of one ping run."""
+
+    rtts_ms: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def responded(self) -> bool:
+        return any(rtt is not None for rtt in self.rtts_ms)
+
+    @property
+    def min_ms(self) -> Optional[float]:
+        values = [rtt for rtt in self.rtts_ms if rtt is not None]
+        return min(values) if values else None
+
+    @property
+    def median_ms(self) -> Optional[float]:
+        values = sorted(rtt for rtt in self.rtts_ms if rtt is not None)
+        if not values:
+            return None
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2.0
+
+
+class Prober:
+    """Runs TCP pings over the latency model."""
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        directory: EndpointDirectory,
+        response_rate: float = DEFAULT_RESPONSE_RATE,
+    ):
+        self.latency = latency
+        self.directory = directory
+        self.response_rate = response_rate
+
+    def _resolve_target(
+        self, target: Union[IPv4Address, Instance, VantagePoint], region_hint=None
+    ):
+        if isinstance(target, IPv4Address):
+            instance = self.directory.instance_for_ip(target)
+            if instance is None and region_hint is not None:
+                instance = self.directory.instance_for_internal_ip(
+                    region_hint, target
+                )
+            return instance
+        return target
+
+    def _target_responds(self, target) -> bool:
+        if not isinstance(target, Instance):
+            return True
+        # Amazon-managed endpoints (ELB proxies, PaaS routers) always
+        # answer, as do our own probe instances (we control their
+        # security groups); tenant VMs only if their firewall allows it.
+        if target.role.value in ("elb-proxy", "paas-node", "cdn-edge", "probe"):
+            return True
+        rng = derive_rng(
+            self.latency.streams.seed, "probe-response", target.instance_id
+        )
+        return rng.random() < self.response_rate
+
+    def tcp_ping(
+        self,
+        source,
+        target,
+        count: int = 10,
+        time_s: float = 0.0,
+        region_hint: Optional[str] = None,
+    ) -> PingResult:
+        """``count`` TCP probes from ``source`` to ``target``.
+
+        ``region_hint`` lets in-region probes address targets by
+        internal IP (the probe instance's region scopes the lookup).
+        """
+        resolved = self._resolve_target(target, region_hint)
+        result = PingResult()
+        if resolved is None or not self._target_responds(resolved):
+            result.rtts_ms = [None] * count
+            return result
+        for _ in range(count):
+            result.rtts_ms.append(
+                self.latency.probe_rtt_ms(source, resolved, time_s)
+            )
+        return result

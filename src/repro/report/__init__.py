@@ -1,0 +1,14 @@
+"""Reporting utilities: CDFs, text tables, and ASCII plots for the
+experiment harness."""
+
+from repro.report.cdf import CDF
+from repro.report.table import TextTable, format_percent
+from repro.report.ascii_plot import ascii_cdf, ascii_series
+
+__all__ = [
+    "CDF",
+    "TextTable",
+    "format_percent",
+    "ascii_cdf",
+    "ascii_series",
+]

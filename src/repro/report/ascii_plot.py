@@ -1,0 +1,64 @@
+"""Minimal ASCII plots so figure benches can show shapes in a terminal."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def ascii_cdf(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    label: str = "",
+) -> str:
+    """Render (x, F(x)) points as a small ASCII chart."""
+    if not points:
+        return "(empty)"
+    xs = [p[0] for p in points]
+    if log_x:
+        xs = [math.log10(max(x, 1e-9)) for x in xs]
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), lx in zip(points, xs):
+        col = int((lx - x_min) / span * (width - 1))
+        row = height - 1 - int(y * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    axis = f"x: {points[0][0]:.3g} .. {points[-1][0]:.3g}"
+    if log_x:
+        axis += " (log)"
+    header = [label] if label else []
+    return "\n".join(header + lines + [axis])
+
+
+def ascii_series(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Overlay several named series (index on x, value on y)."""
+    if not series:
+        return "(empty)"
+    all_values = [v for _, values in series for v in values]
+    if not all_values:
+        return "(empty)"
+    v_min, v_max = min(all_values), max(all_values)
+    span = (v_max - v_min) or 1.0
+    n = max(len(values) for _, values in series)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@"
+    for s_idx, (_name, values) in enumerate(series):
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(values):
+            col = int(i / max(1, n - 1) * (width - 1))
+            row = height - 1 - int((value - v_min) / span * (height - 1))
+            grid[row][col] = marker
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, (name, _) in enumerate(series)
+    )
+    lines = ["".join(row) for row in grid]
+    return "\n".join(lines + [f"y: {v_min:.3g} .. {v_max:.3g}", legend])

@@ -1,0 +1,64 @@
+"""Empirical CDFs — the paper's favourite figure type."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Tuple
+
+
+class CDF:
+    """An empirical cumulative distribution over numeric samples."""
+
+    def __init__(self, samples: Iterable[float]):
+        self.samples: List[float] = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __bool__(self) -> bool:
+        return bool(self.samples)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        if not self.samples:
+            raise ValueError("empty CDF")
+        return bisect_right(self.samples, x) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1)."""
+        if not self.samples:
+            raise ValueError("empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 1.0:
+            return self.samples[-1]
+        index = int(q * len(self.samples))
+        return self.samples[min(index, len(self.samples) - 1)]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("empty CDF")
+        return sum(self.samples) / len(self.samples)
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(x, P(X<=x)) pairs, decimated for plotting."""
+        n = len(self.samples)
+        if n == 0:
+            return []
+        step = max(1, n // max_points)
+        pts = [
+            (self.samples[i], (i + 1) / n)
+            for i in range(0, n, step)
+        ]
+        if pts[-1][0] != self.samples[-1]:
+            pts.append((self.samples[-1], 1.0))
+        return pts
+
+    def fraction_below(self, x: float) -> float:
+        """Alias of :meth:`at`, reads better in assertions."""
+        return self.at(x)

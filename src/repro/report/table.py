@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+class TextTable:
+    """A fixed-column text table with an optional title.
+
+    >>> t = TextTable(["a", "b"], title="demo")
+    >>> t.add_row(["x", 1])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Sequence[object]) -> None:
+        cells = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(self.headers))
+        lines.append(fmt(["-" * w for w in widths]))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

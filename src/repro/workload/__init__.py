@@ -1,0 +1,38 @@
+"""Synthetic workload generation.
+
+Builds the population the measurement pipeline studies: an Alexa-like
+top-site ranking, per-domain deployment plans drawn from paper-calibrated
+mixtures (front-end patterns, providers, regions, zones, DNS hosting),
+their materialization into cloud resources and DNS zones, customer
+geo-distributions, and the campus packet capture.
+
+The crucial discipline: generators write *ground truth* into the
+simulated world; every reported statistic is then re-derived by the
+measurement pipeline in :mod:`repro.analysis` using only external
+observations (DNS answers, published IP ranges, probes).  Calibration
+constants live in :mod:`repro.workload.mixtures` with their paper
+sources annotated.
+"""
+
+from repro.workload.alexa import AlexaRanking, AlexaSite
+from repro.workload.mixtures import Mixtures
+from repro.workload.names import DomainNameFactory, SubdomainLabelFactory
+from repro.workload.notable import NOTABLE_TENANTS, NotableSpec
+from repro.workload.plans import DomainPlan, SubdomainPlan, PlanGenerator
+from repro.workload.deploy import Deployer
+from repro.workload.customers import CustomerModel
+
+__all__ = [
+    "AlexaRanking",
+    "AlexaSite",
+    "Mixtures",
+    "DomainNameFactory",
+    "SubdomainLabelFactory",
+    "NOTABLE_TENANTS",
+    "NotableSpec",
+    "DomainPlan",
+    "SubdomainPlan",
+    "PlanGenerator",
+    "Deployer",
+    "CustomerModel",
+]

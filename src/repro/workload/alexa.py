@@ -1,0 +1,73 @@
+"""The Alexa-like top-sites ranking.
+
+A ranked list of registrable domains with the paper's notable tenants
+planted at their true ranks (when the configured list size reaches that
+deep).  The ranking is what the paper starts from: its *content* is
+synthetic, but its *shape* (a popularity-ranked list of domains, 4% of
+which turn out to be cloud-using with rank skew) is what the pipeline
+consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.workload.names import DomainNameFactory
+from repro.workload.notable import NotableSpec, alexa_notables
+
+
+@dataclass(frozen=True)
+class AlexaSite:
+    """One row of the top-sites list."""
+
+    rank: int
+    domain: str
+
+
+class AlexaRanking:
+    """A ranked top-``size`` domain list with notables planted."""
+
+    def __init__(
+        self,
+        size: int,
+        rng: random.Random,
+        notables: Optional[Iterable[NotableSpec]] = None,
+    ):
+        if size <= 0:
+            raise ValueError("ranking size must be positive")
+        self.size = size
+        specs = list(notables) if notables is not None else alexa_notables()
+        planted: Dict[int, str] = {}
+        for spec in specs:
+            if spec.rank is not None and spec.rank <= size:
+                planted[spec.rank] = spec.domain
+        factory = DomainNameFactory(rng)
+        for spec in specs:
+            factory.reserve(spec.domain)
+        self.sites: List[AlexaSite] = []
+        self._rank_of: Dict[str, int] = {}
+        for rank in range(1, size + 1):
+            domain = planted.get(rank) or factory.fresh()
+            self.sites.append(AlexaSite(rank=rank, domain=domain))
+            self._rank_of[domain] = rank
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self.sites)
+
+    def domains(self) -> List[str]:
+        return [site.domain for site in self.sites]
+
+    def rank_of(self, domain: str) -> Optional[int]:
+        return self._rank_of.get(domain)
+
+    def quartile_of(self, rank: int) -> int:
+        """0-based rank quartile (the paper reports cloud-usage skew by
+        250K slices of the 1M list)."""
+        if not 1 <= rank <= self.size:
+            raise ValueError(f"rank {rank} outside 1..{self.size}")
+        return min(3, (rank - 1) * 4 // self.size)

@@ -1,0 +1,384 @@
+"""The paper's named tenants, encoded as deployment specs.
+
+The aggregate statistics of the reproduction come from sampled
+mixtures, but the paper's per-domain tables (4, 5, 8, 10, 15) name real
+domains.  We plant those domains in the synthetic population with
+deployments shaped to match their table rows, so the top-domain
+analyses recover recognisable results.
+
+Where the paper's numbers exceed what the model supports (e.g.
+amazon.com spanning 4 zones while our us-east-1 models 3), the spec is
+capped and the discrepancy is noted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class NotableSub:
+    """One planned cloud-using subdomain of a notable domain.
+
+    ``frontend`` is one of vm | elb | beanstalk | heroku | heroku_elb |
+    other_cname | cs_direct | cs_cname | tm | cloudfront | other_cdn |
+    azure_cdn.  ``regions`` lists provider region names (front ends are
+    replicated to each).  ``zones`` is the number of distinct zones the
+    front ends span in each region.
+    """
+
+    frontend: str
+    regions: Tuple[str, ...]
+    zones: int = 1
+    n_vms: int = 1
+    elb_physical: int = 0
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class NotableSpec:
+    """A notable domain: identity, deployment, and capture traffic."""
+
+    domain: str
+    rank: Optional[int]
+    provider: str  # 'ec2' | 'azure'
+    total_subdomains: int
+    subs: Tuple[NotableSub, ...]
+    customer_country: str = "US"
+    #: Share of the capture's total HTTP(S) bytes (Table 5), 0 if the
+    #: domain was not observed at the campus border.
+    capture_share: float = 0.0
+    #: Of this domain's capture bytes, the fraction carried over HTTPS.
+    https_fraction: float = 0.25
+    #: Marks domains on DeepField's top-15 list (Table 5's "(d)").
+    deepfield: bool = False
+
+    @property
+    def cloud_subdomains(self) -> int:
+        return len(self.subs)
+
+    @property
+    def in_alexa(self) -> bool:
+        return self.rank is not None
+
+
+def _e(
+    frontend: str,
+    regions: Sequence[str] = ("us-east-1",),
+    zones: int = 1,
+    n_vms: int = 1,
+    elb_physical: int = 0,
+    label: Optional[str] = None,
+) -> NotableSub:
+    return NotableSub(
+        frontend=frontend,
+        regions=tuple(regions),
+        zones=zones,
+        n_vms=n_vms,
+        elb_physical=elb_physical,
+        label=label,
+    )
+
+
+def _repeat(sub: NotableSub, count: int) -> List[NotableSub]:
+    return [sub] * count
+
+
+NOTABLE_TENANTS: Tuple[NotableSpec, ...] = (
+    # ------------------------------------------------------------------
+    # Table 4 / 8 / 10 / 15: top EC2-using domains by Alexa rank.
+    # ------------------------------------------------------------------
+    NotableSpec(
+        domain="amazon.com", rank=9, provider="ec2", total_subdomains=68,
+        subs=(
+            _e("beanstalk", zones=3, elb_physical=14),
+            _e("elb", zones=3, elb_physical=13),
+        ),
+    ),
+    NotableSpec(
+        domain="linkedin.com", rank=13, provider="ec2",
+        total_subdomains=142,
+        subs=(
+            _e("heroku", zones=1),
+            _e("elb", zones=2, elb_physical=2),
+            _e("vm", regions=("us-west-1",), zones=2, n_vms=2),
+        ),
+    ),
+    NotableSpec(
+        domain="163.com", rank=29, provider="ec2", total_subdomains=181,
+        customer_country="CN",
+        subs=tuple(_repeat(_e("other_cdn", zones=1), 4)),
+    ),
+    NotableSpec(
+        domain="pinterest.com", rank=35, provider="ec2",
+        total_subdomains=24, capture_share=0.59, deepfield=True,
+        subs=tuple(
+            _repeat(_e("vm", zones=1, n_vms=1), 3)
+            + [_e("vm", zones=3, n_vms=3)]
+            + _repeat(_e("other_cname", zones=1), 7)
+            + _repeat(_e("other_cname", zones=3, n_vms=3), 7)
+        ),
+    ),
+    NotableSpec(
+        domain="fc2.com", rank=36, provider="ec2", total_subdomains=89,
+        customer_country="JP",
+        subs=tuple(
+            [_e("vm", zones=2, n_vms=2) for _ in range(9)]
+            + [_e("vm", regions=("ap-northeast-1",), zones=2, n_vms=2)]
+            + [
+                _e("elb", zones=2, elb_physical=17),
+                _e("elb", zones=2, elb_physical=17),
+                _e("elb", zones=3, elb_physical=17),
+                _e("elb", regions=("ap-northeast-1",), zones=2,
+                   elb_physical=17),
+            ]
+        ),
+    ),
+    NotableSpec(
+        domain="conduit.com", rank=38, provider="ec2",
+        total_subdomains=40,
+        subs=(_e("beanstalk", zones=2, elb_physical=3),),
+    ),
+    NotableSpec(
+        domain="ask.com", rank=42, provider="ec2", total_subdomains=97,
+        subs=(_e("vm", zones=1, n_vms=1),),
+    ),
+    NotableSpec(
+        domain="apple.com", rank=47, provider="ec2", total_subdomains=73,
+        subs=(_e("vm", zones=1, n_vms=1),),
+    ),
+    NotableSpec(
+        domain="imdb.com", rank=48, provider="ec2", total_subdomains=26,
+        subs=(_e("vm", zones=1, n_vms=1), _e("cloudfront")),
+    ),
+    NotableSpec(
+        domain="hao123.com", rank=51, provider="ec2",
+        total_subdomains=45, customer_country="CN",
+        subs=(_e("other_cdn", zones=1),),
+    ),
+    NotableSpec(
+        domain="go.com", rank=59, provider="ec2", total_subdomains=21,
+        subs=tuple(_repeat(_e("vm", zones=1, n_vms=2), 4)),
+    ),
+    # ------------------------------------------------------------------
+    # Table 10: top Azure-using domains.
+    # ------------------------------------------------------------------
+    NotableSpec(
+        domain="live.com", rank=7, provider="azure", total_subdomains=25,
+        capture_share=1.35, https_fraction=0.55,
+        subs=tuple(
+            _repeat(_e("cs_cname", regions=("us-north",)), 6)
+            + _repeat(_e("cs_cname", regions=("us-south",)), 5)
+            + _repeat(_e("cs_cname", regions=("eu-north",)), 3)
+            + _repeat(_e("other_cname", regions=("us-north",)), 4)
+        ),
+    ),
+    NotableSpec(
+        domain="msn.com", rank=18, provider="azure", total_subdomains=96,
+        capture_share=2.39, https_fraction=0.15,
+        subs=tuple(
+            _repeat(_e("cs_cname", regions=("us-north",)), 20)
+            + _repeat(_e("cs_cname", regions=("us-south",)), 16)
+            + _repeat(_e("cs_cname", regions=("eu-west",)), 8)
+            + _repeat(_e("cs_cname", regions=("eu-north",)), 5)
+            + _repeat(_e("cs_cname", regions=("ap-east",)), 3)
+            + _repeat(_e("other_cname", regions=("us-north",)), 14)
+            + _repeat(_e("other_cname", regions=("us-south",)), 12)
+            + _repeat(
+                _e("tm", regions=("us-north", "us-south")), 11
+            )
+        ),
+    ),
+    NotableSpec(
+        domain="bing.com", rank=20, provider="azure", total_subdomains=9,
+        subs=(_e("cs_cname", regions=("us-north",)),),
+    ),
+    NotableSpec(
+        domain="microsoft.com", rank=31, provider="azure",
+        total_subdomains=11, capture_share=2.26, https_fraction=0.30,
+        subs=tuple(
+            _repeat(_e("cs_cname", regions=("us-north",)), 2)
+            + _repeat(_e("cs_cname", regions=("us-south",)), 2)
+            + [_e("other_cname", regions=("eu-west",))]
+            + [_e("cs_cname", regions=("ap-southeast",))]
+            + [_e("other_cname", regions=("us-north",))]
+            + _repeat(_e("tm", regions=("us-north", "eu-west")), 4)
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # Table 5: high-traffic capture domains (EC2).
+    # ------------------------------------------------------------------
+    NotableSpec(
+        domain="dropbox.com", rank=119, provider="ec2",
+        total_subdomains=16, capture_share=68.21, https_fraction=0.97,
+        deepfield=True,
+        subs=tuple(
+            _repeat(_e("vm", zones=3, n_vms=4), 4)
+            + _repeat(_e("elb", zones=3, elb_physical=6), 2)
+        ),
+    ),
+    NotableSpec(
+        domain="netflix.com", rank=92, provider="ec2",
+        total_subdomains=30, capture_share=1.70, https_fraction=0.35,
+        deepfield=True,
+        subs=tuple(
+            _repeat(_e("elb", zones=3, elb_physical=30, label="m"), 1)
+            + _repeat(_e("elb", zones=3, elb_physical=8), 3)
+            + _repeat(_e("vm", zones=2, n_vms=2), 4)
+        ),
+    ),
+    NotableSpec(
+        domain="truste.com", rank=15458, provider="ec2",
+        total_subdomains=8, capture_share=1.06, https_fraction=0.20,
+        deepfield=True,
+        subs=(_e("vm", zones=2, n_vms=2), _e("elb", zones=2,
+                                             elb_physical=3)),
+    ),
+    NotableSpec(
+        domain="channel3000.com", rank=None, provider="ec2",
+        total_subdomains=6, capture_share=0.74, https_fraction=0.05,
+        subs=(_e("vm", zones=1, n_vms=2),),
+    ),
+    NotableSpec(
+        domain="adsafeprotected.com", rank=None, provider="ec2",
+        total_subdomains=5, capture_share=0.53, https_fraction=0.10,
+        deepfield=True,
+        subs=(_e("elb", zones=2, elb_physical=4),),
+    ),
+    NotableSpec(
+        domain="zynga.com", rank=799, provider="ec2",
+        total_subdomains=40, capture_share=0.44, https_fraction=0.20,
+        subs=tuple(_repeat(_e("vm", zones=2, n_vms=2), 6)),
+    ),
+    NotableSpec(
+        domain="sharefile.com", rank=None, provider="ec2",
+        total_subdomains=12, capture_share=0.42, https_fraction=0.90,
+        subs=tuple(_repeat(_e("vm", zones=2, n_vms=2), 5)),
+    ),
+    NotableSpec(
+        domain="zoolz.com", rank=None, provider="ec2",
+        total_subdomains=4, capture_share=0.36, https_fraction=0.92,
+        subs=(_e("vm", zones=1, n_vms=1),),
+    ),
+    NotableSpec(
+        domain="echoenabled.com", rank=None, provider="ec2",
+        total_subdomains=4, capture_share=0.31, https_fraction=0.15,
+        deepfield=True,
+        subs=(_e("elb", zones=2, elb_physical=3),),
+    ),
+    NotableSpec(
+        domain="vimeo.com", rank=137, provider="ec2",
+        total_subdomains=18, capture_share=0.26, https_fraction=0.20,
+        subs=tuple(_repeat(_e("vm", zones=2, n_vms=2), 4)),
+    ),
+    NotableSpec(
+        domain="foursquare.com", rank=615, provider="ec2",
+        total_subdomains=14, capture_share=0.25, https_fraction=0.40,
+        subs=tuple(_repeat(_e("elb", zones=2, elb_physical=3), 2)),
+    ),
+    NotableSpec(
+        domain="sourcefire.com", rank=None, provider="ec2",
+        total_subdomains=6, capture_share=0.22, https_fraction=0.55,
+        subs=(_e("vm", zones=1, n_vms=1),),
+    ),
+    NotableSpec(
+        domain="instagram.com", rank=75, provider="ec2",
+        total_subdomains=10, capture_share=0.17, https_fraction=0.45,
+        deepfield=True,
+        subs=tuple(_repeat(_e("elb", zones=3, elb_physical=5), 2)),
+    ),
+    NotableSpec(
+        domain="copperegg.com", rank=None, provider="ec2",
+        total_subdomains=5, capture_share=0.17, https_fraction=0.35,
+        subs=(_e("vm", zones=2, n_vms=2),),
+    ),
+    NotableSpec(
+        domain="outbrain.com", rank=543, provider="ec2",
+        total_subdomains=12, capture_share=0.10, https_fraction=0.15,
+        subs=(
+            _e("elb", zones=3, elb_physical=58, label="dl"),
+            _e("vm", zones=2, n_vms=2),
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # Table 5: high-traffic capture domains (Azure).
+    # ------------------------------------------------------------------
+    NotableSpec(
+        domain="atdmt.com", rank=11128, provider="azure",
+        total_subdomains=6, capture_share=3.10, https_fraction=0.10,
+        subs=tuple(_repeat(_e("cs_cname", regions=("us-north",)), 2)),
+    ),
+    NotableSpec(
+        domain="msecnd.net", rank=4747, provider="azure",
+        total_subdomains=5, capture_share=1.55, https_fraction=0.10,
+        subs=tuple(_repeat(_e("azure_cdn", regions=("us-north",)), 3)),
+    ),
+    NotableSpec(
+        domain="s-msn.com", rank=None, provider="azure",
+        total_subdomains=4, capture_share=1.43, https_fraction=0.05,
+        subs=tuple(_repeat(_e("cs_cname", regions=("us-south",)), 2)),
+    ),
+    NotableSpec(
+        domain="virtualearth.net", rank=None, provider="azure",
+        total_subdomains=4, capture_share=1.06, https_fraction=0.15,
+        subs=tuple(_repeat(_e("cs_cname", regions=("us-north",)), 2)),
+    ),
+    NotableSpec(
+        domain="dreamspark.com", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.81, https_fraction=0.50,
+        subs=(_e("cs_cname", regions=("us-south",)),),
+    ),
+    NotableSpec(
+        domain="hotmail.com", rank=2346, provider="azure",
+        total_subdomains=7, capture_share=0.72, https_fraction=0.70,
+        subs=tuple(_repeat(_e("cs_cname", regions=("us-north",)), 2)),
+    ),
+    NotableSpec(
+        domain="mesh.com", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.52, https_fraction=0.60,
+        subs=(_e("cs_cname", regions=("us-west",)),),
+    ),
+    NotableSpec(
+        domain="wonderwall.com", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.36, https_fraction=0.05,
+        subs=(_e("cs_cname", regions=("us-south",)),),
+    ),
+    NotableSpec(
+        domain="msads.net", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.29, https_fraction=0.05,
+        subs=(_e("cs_cname", regions=("us-south",)),),
+    ),
+    NotableSpec(
+        domain="aspnetcdn.com", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.26, https_fraction=0.10,
+        subs=(_e("azure_cdn", regions=("us-north",)),),
+    ),
+    NotableSpec(
+        domain="windowsphone.com", rank=1597, provider="azure",
+        total_subdomains=5, capture_share=0.23, https_fraction=0.40,
+        subs=tuple(_repeat(_e("cs_cname", regions=("us-north",)), 2)),
+    ),
+    NotableSpec(
+        domain="windowsphone-int.com", rank=None, provider="azure",
+        total_subdomains=3, capture_share=0.23, https_fraction=0.40,
+        subs=(_e("cs_cname", regions=("us-north",)),),
+    ),
+)
+
+
+def notable_by_domain(domain: str) -> Optional[NotableSpec]:
+    for spec in NOTABLE_TENANTS:
+        if spec.domain == domain:
+            return spec
+    return None
+
+
+def alexa_notables() -> List[NotableSpec]:
+    """Notables that appear in the Alexa ranking."""
+    return [spec for spec in NOTABLE_TENANTS if spec.in_alexa]
+
+
+def capture_notables() -> List[NotableSpec]:
+    """Notables with campus capture traffic (Table 5)."""
+    return [spec for spec in NOTABLE_TENANTS if spec.capture_share > 0]

@@ -1,0 +1,298 @@
+"""World assembly: one seed in, the entire simulated universe out.
+
+:class:`World` wires the substrates together in dependency order —
+DNS, EC2/Azure and their value-added services, the Alexa ranking, the
+sampled deployment plans, their materialization, the wide-area models,
+and (lazily) the packet capture.  Everything is a deterministic
+function of :class:`WorldConfig`.
+
+Ground truth (the plans) is exposed for *validation only*; the
+measurement pipeline in :mod:`repro.analysis` works exclusively from
+external observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.capture.generator import (
+    CaptureConfig,
+    CaptureGenerator,
+    TrafficDomain,
+)
+from repro.capture.flow import Trace
+from repro.cloud.azure import AzureCloud
+from repro.cloud.cdn import AzureCDN, CloudFront
+from repro.cloud.ec2 import EC2Cloud
+from repro.cloud.elb import ELBFleet
+from repro.cloud.paas import BeanstalkPlatform, HerokuPlatform
+from repro.cloud.route53 import Route53
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.resolver import StubResolver
+from repro.internet.latency import LatencyModel
+from repro.internet.routing import RoutingModel
+from repro.internet.throughput import ThroughputModel
+from repro.internet.vantage import CAMPUS_VANTAGE, VantagePoint, planetlab_sites
+from repro.net.prefixset import PrefixSet
+from repro.probing.directory import EndpointDirectory
+from repro.probing.httpget import HttpDownloader
+from repro.probing.ping import Prober
+from repro.sim import Clock, StreamRegistry
+from repro.workload.alexa import AlexaRanking
+from repro.workload.customers import CustomerModel
+from repro.workload.deploy import DeployedDomain, Deployer
+from repro.workload.mixtures import Mixtures
+from repro.workload.notable import capture_notables
+from repro.workload.plans import DomainPlan, PlanGenerator
+
+
+@dataclass
+class WorldConfig:
+    """Scale and seed knobs for one simulated universe."""
+
+    seed: int = 7
+    #: Alexa list size (the paper's 1M, scaled down; percentages in the
+    #: analyses are scale-free).
+    num_domains: int = 20_000
+    #: Vantage points used for distributed DNS lookups when building
+    #: the Alexa subdomains dataset (the paper used 200).
+    num_dns_vantages: int = 24
+    #: Vantage points for latency/throughput probing (the paper's 80).
+    num_probe_vantages: int = 40
+    #: Vantage points used as traceroute destinations (the paper's 200).
+    num_traceroute_vantages: int = 60
+    #: Fraction of Alexa cloud-using domains that show up in the campus
+    #: capture, and how many capture-only domains to add per Alexa one.
+    capture_visibility: float = 0.5
+    capture_extra_ratio: float = 0.97
+    capture: CaptureConfig = field(default_factory=CaptureConfig)
+    mixtures: Mixtures = field(default_factory=Mixtures)
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 1:
+            raise ValueError(
+                f"num_domains must be positive: {self.num_domains}"
+            )
+        for name in (
+            "num_dns_vantages", "num_probe_vantages",
+            "num_traceroute_vantages",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.capture_visibility <= 1.0:
+            raise ValueError(
+                f"capture_visibility must be a fraction: "
+                f"{self.capture_visibility}"
+            )
+
+
+class World:
+    """The fully built simulation."""
+
+    def __init__(self, config: Optional[WorldConfig] = None):
+        self.config = config or WorldConfig()
+        self.streams = StreamRegistry(self.config.seed)
+        self.clock = Clock()
+        self.dns = DnsInfrastructure()
+        # Clouds and their value-added services.
+        self.ec2 = EC2Cloud(self.streams, self.dns)
+        self.azure = AzureCloud(self.streams, self.dns)
+        self.elb_fleet = ELBFleet(self.ec2)
+        self.cloudfront = CloudFront(self.streams, self.dns)
+        self.route53 = Route53(self.cloudfront, self.dns)
+        self.heroku = HerokuPlatform(self.ec2, self.elb_fleet)
+        self.beanstalk = BeanstalkPlatform(self.ec2, self.elb_fleet)
+        self.azure_cdn = AzureCDN(self.azure)
+        # Tenant population.
+        self.alexa = AlexaRanking(
+            self.config.num_domains, self.streams.stream("alexa")
+        )
+        self.plan_generator = PlanGenerator(
+            self.config.mixtures, self.streams, self.alexa
+        )
+        self.plans: List[DomainPlan] = self.plan_generator.generate()
+        self.capture_only_plans: List[DomainPlan] = [
+            self.plan_generator.plan_capture_only_domain(spec)
+            for spec in capture_notables()
+            if not spec.in_alexa or spec.rank > self.config.num_domains
+        ]
+        self.capture_only_plans.extend(self._offlist_cloud_plans())
+        self.deployer = Deployer(
+            streams=self.streams,
+            dns=self.dns,
+            ec2=self.ec2,
+            azure=self.azure,
+            elb_fleet=self.elb_fleet,
+            beanstalk=self.beanstalk,
+            heroku=self.heroku,
+            cloudfront=self.cloudfront,
+            azure_cdn=self.azure_cdn,
+            route53=self.route53,
+        )
+        self.deployed: List[DeployedDomain] = self.deployer.deploy_all(
+            self.plans + self.capture_only_plans
+        )
+        self.customers = CustomerModel(self.plans + self.capture_only_plans)
+        # Wide-area substrate.
+        self.providers: Dict[str, object] = {
+            "ec2": self.ec2,
+            "azure": self.azure,
+        }
+        self.latency = LatencyModel(self.streams, self.providers)
+        self.routing = RoutingModel(self.streams, self.providers)
+        self.throughput = ThroughputModel(self.streams, self.latency)
+        self.directory = EndpointDirectory([self.ec2, self.azure])
+        self.prober = Prober(self.latency, self.directory)
+        self.downloader = HttpDownloader(self.throughput)
+        self._capture_trace: Optional[Trace] = None
+        self._resolvers: Dict[str, StubResolver] = {}
+
+    def _offlist_cloud_plans(self) -> List[DomainPlan]:
+        """Cloud-using domains the capture sees but the Alexa list does
+        not (roughly one per visible Alexa cloud domain in the paper:
+        6,702 of 13,604)."""
+        from repro.workload.names import DomainNameFactory
+
+        n_alexa_cloud = sum(1 for p in self.plans if p.is_cloud_using)
+        count = int(
+            n_alexa_cloud
+            * self.config.capture_visibility
+            * self.config.capture_extra_ratio
+        )
+        factory = DomainNameFactory(self.streams.stream("capture", "names"))
+        for domain in self.alexa.domains():
+            factory.reserve(domain)
+        return [
+            self.plan_generator.plan_offlist_cloud_domain(factory.fresh())
+            for _ in range(count)
+        ]
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> Dict[str, int]:
+        """Headline counts of the built world (ground truth side)."""
+        cloud_plans = [p for p in self.plans if p.is_cloud_using]
+        return {
+            "alexa_domains": len(self.alexa),
+            "cloud_using_domains": len(cloud_plans),
+            "cloud_subdomains_planned": sum(
+                len(p.cloud_subdomains()) for p in cloud_plans
+            ),
+            "capture_only_domains": len(self.capture_only_plans),
+            "ec2_instances": len(self.ec2.instances),
+            "azure_instances": len(self.azure.instances),
+            "azure_cloud_services": len(self.azure.cloud_services),
+            "elb_logical": len(self.elb_fleet.all_load_balancers()),
+            "elb_physical": len(self.elb_fleet.physical_proxies()),
+            "heroku_apps": len(self.heroku.apps),
+            "cloudfront_distributions": len(
+                self.cloudfront.distributions
+            ),
+            "dns_zones": len(self.dns.zones()),
+        }
+
+    # -- published ranges ----------------------------------------------------
+
+    def published_ranges(self) -> Dict[str, PrefixSet]:
+        """Published cloud IP ranges by provider, plus CloudFront's."""
+        return {
+            "ec2": self.ec2.published_range_set(),
+            "azure": self.azure.published_range_set(),
+            "cloudfront": self.cloudfront.published_range_set(),
+        }
+
+    # -- vantage points -------------------------------------------------------
+
+    def dns_vantages(self) -> List[VantagePoint]:
+        return planetlab_sites(self.config.num_dns_vantages)
+
+    def probe_vantages(self) -> List[VantagePoint]:
+        return planetlab_sites(self.config.num_probe_vantages)
+
+    def traceroute_vantages(self) -> List[VantagePoint]:
+        return planetlab_sites(self.config.num_traceroute_vantages)
+
+    def resolver_for(self, vantage: VantagePoint) -> StubResolver:
+        """The vantage point's local caching resolver (one per node)."""
+        resolver = self._resolvers.get(vantage.name)
+        if resolver is None:
+            resolver = StubResolver(self.dns, self.clock, vantage)
+            self._resolvers[vantage.name] = resolver
+        return resolver
+
+    # -- ground truth (validation only) ------------------------------------------
+
+    def plan_for(self, domain: str) -> Optional[DomainPlan]:
+        deployed = self.deployer.deployed.get(domain)
+        return deployed.plan if deployed else None
+
+    # -- the packet capture -----------------------------------------------------
+
+    def capture_trace(self) -> Trace:
+        """The week-long campus capture (generated once, cached)."""
+        if self._capture_trace is None:
+            generator = CaptureGenerator(
+                streams=self.streams,
+                resolver=self.resolver_for(CAMPUS_VANTAGE),
+                cloud_ranges={
+                    "ec2": self.ec2.published_range_set(),
+                    "azure": self.azure.published_range_set(),
+                },
+                config=self.config.capture,
+            )
+            generator.set_background_targets(self._background_targets())
+            self._capture_trace = generator.generate(self.traffic_domains())
+        return self._capture_trace
+
+    def _background_targets(self):
+        rng = self.streams.stream("capture", "background")
+        targets = {}
+        for provider_name, provider in self.providers.items():
+            instances = [
+                inst for inst in provider.all_instances()
+                if inst.public_ip is not None
+            ]
+            sample = rng.sample(instances, k=min(200, len(instances)))
+            targets[provider_name] = [inst.public_ip for inst in sample]
+        return targets
+
+    def traffic_domains(self) -> List[TrafficDomain]:
+        """The domains the campus population talks to.
+
+        All capture notables (Table 5), a sampled slice of the other
+        Alexa cloud-using domains, and the capture-only tail.
+        """
+        rng = self.streams.stream("capture", "domains")
+        result: List[TrafficDomain] = []
+        seen = set()
+        for deployed in self.deployed:
+            plan = deployed.plan
+            if not plan.is_cloud_using or plan.domain in seen:
+                continue
+            cloud_subs = plan.cloud_subdomains()
+            if not cloud_subs:
+                continue
+            provider = (
+                "azure" if plan.category.startswith("azure") else "ec2"
+            )
+            notable = plan.notable
+            capture_only = plan.rank is None and notable is None
+            if notable is not None and notable.capture_share > 0:
+                result.append(TrafficDomain(
+                    domain=plan.domain,
+                    provider=provider,
+                    hostnames=[s.fqdn for s in cloud_subs[:6]],
+                    byte_share=notable.capture_share,
+                    https_fraction=notable.https_fraction,
+                    storage_profile=notable.https_fraction > 0.8,
+                ))
+                seen.add(plan.domain)
+            elif capture_only or rng.random() < self.config.capture_visibility:
+                result.append(TrafficDomain(
+                    domain=plan.domain,
+                    provider=provider,
+                    hostnames=[s.fqdn for s in cloud_subs[:4]],
+                ))
+                seen.add(plan.domain)
+        return result

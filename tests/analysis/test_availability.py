@@ -1,0 +1,115 @@
+"""Tests for the availability analysis (outage drills)."""
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalysis
+from repro.faults import region_outage, service_outage, zone_outage
+
+
+@pytest.fixture(scope="module")
+def availability(world, dataset):
+    return AvailabilityAnalysis(world, dataset)
+
+
+class TestDependencies:
+    def test_every_cloud_subdomain_has_dependencies(self, availability,
+                                                    dataset):
+        deps = availability.dependencies()
+        assert len(deps) == len(dataset.records)
+
+    def test_endpoints_name_real_regions(self, availability, world):
+        known = set(world.ec2.region_names()) | set(
+            world.azure.region_names()
+        )
+        for deps in availability.dependencies()[:200]:
+            for provider, region, _zone in deps.endpoints:
+                assert provider in ("ec2", "azure")
+                assert region in known
+
+
+class TestDrills:
+    def test_counts_partition(self, availability):
+        report = availability.evaluate(region_outage("ec2", "us-east-1"))
+        assert (
+            report.unavailable + report.degraded + report.unaffected
+            == report.total_subdomains
+        )
+
+    def test_us_east_is_the_big_one(self, availability):
+        radius = availability.region_blast_radius()
+        worst = max(radius.values(), key=lambda r: r.unavailable)
+        assert worst.scenario_name.startswith("ec2.us-east-1")
+
+    def test_region_outage_dominates_its_zones(self, availability):
+        region = availability.evaluate(region_outage("ec2", "us-east-1"))
+        for zone_report in availability.zone_blast_radius(
+            "us-east-1"
+        ).values():
+            assert zone_report.unavailable <= region.unavailable
+
+    def test_zone_blast_reflects_skew(self, availability):
+        radius = availability.zone_blast_radius("us-east-1")
+        counts = [r.unavailable for r in radius.values()]
+        assert max(counts) > min(counts)
+
+    def test_azure_outage_spares_ec2_subdomains(self, availability):
+        report = availability.evaluate(region_outage("azure", "us-north"))
+        assert report.unavailable < report.total_subdomains * 0.4
+
+    def test_elb_outage_smaller_than_region_outage(self, availability):
+        elb = availability.evaluate(service_outage("elb"))
+        region = availability.evaluate(region_outage("ec2", "us-east-1"))
+        assert 0 < elb.unavailable < region.unavailable
+
+    def test_vm_only_deployments_survive_elb_outage(self, availability):
+        report = availability.evaluate(service_outage("elb"))
+        # The paper's point: most tenants front with plain VMs, so an
+        # ELB event leaves the majority unaffected.
+        assert report.unaffected > report.total_subdomains * 0.6
+
+    def test_notable_casualties_ranked(self, availability):
+        report = availability.evaluate(region_outage("ec2", "us-east-1"))
+        ranks = [rank for rank, _ in report.notable_casualties]
+        assert ranks == sorted(ranks)
+
+    def test_alexa_share_in_paper_ballpark(self, availability):
+        report = availability.evaluate(region_outage("ec2", "us-east-1"))
+        # Paper: at least 2.3% of the top million.
+        assert 0.01 < report.alexa_share_hit < 0.08
+
+
+class TestIspFailover:
+    def test_reconvergence_rescues_clients(self, availability):
+        shares = availability.isp_blast_radius("ec2", "us-east-1")
+        worst_as, worst_share = shares[0]
+        result = availability.isp_failover_analysis(
+            "ec2", "us-east-1", worst_as
+        )
+        assert result["stranded_fraction_static"] > 0
+        # us-east-1 is heavily multihomed: every client re-routes.
+        assert result["stranded_fraction_reconverged"] == 0.0
+
+    def test_static_matches_blast_radius(self, availability):
+        shares = availability.isp_blast_radius("ec2", "eu-west-1")
+        worst_as, worst_share = shares[0]
+        result = availability.isp_failover_analysis(
+            "ec2", "eu-west-1", worst_as
+        )
+        assert result["stranded_fraction_static"] == pytest.approx(
+            worst_share, abs=0.05
+        )
+
+
+class TestIspBlastRadius:
+    def test_shares_sum_to_one(self, availability):
+        shares = availability.isp_blast_radius("ec2", "us-west-1")
+        assert sum(share for _, share in shares) == pytest.approx(1.0)
+
+    def test_sorted_worst_first(self, availability):
+        shares = availability.isp_blast_radius("ec2", "eu-west-1")
+        values = [share for _, share in shares]
+        assert values == sorted(values, reverse=True)
+
+    def test_uneven_spread(self, availability):
+        shares = availability.isp_blast_radius("ec2", "us-east-1")
+        assert shares[0][1] > 1.5 / len(shares)

@@ -1,0 +1,111 @@
+"""Tests for the §3.2 cloud-use classification."""
+
+import pytest
+
+from repro.analysis.clouduse import CloudUseAnalysis
+from repro.analysis.dataset import SubdomainRecord
+
+
+@pytest.fixture(scope="module")
+def analysis(world, dataset):
+    return CloudUseAnalysis(world, dataset)
+
+
+def record(world, *addresses):
+    rec = SubdomainRecord(fqdn="x.test.com", domain="test.com", rank=1)
+    rec.addresses.update(addresses)
+    return rec
+
+
+class TestSubdomainClassification:
+    def test_ec2_only(self, world, analysis):
+        ec2_ip = world.ec2.plan.allocate_public_ip(
+            "us-east-1", world.streams.stream("test")
+        )
+        assert analysis.subdomain_category(
+            record(world, ec2_ip)
+        ) == "EC2 only"
+
+    def test_ec2_plus_other(self, world, analysis):
+        from repro.net.ipv4 import IPv4Address
+        ec2_ip = world.ec2.plan.allocate_public_ip(
+            "us-east-1", world.streams.stream("test")
+        )
+        other = IPv4Address.parse("93.1.2.3")
+        assert analysis.subdomain_category(
+            record(world, ec2_ip, other)
+        ) == "EC2 + Other"
+
+    def test_azure_only(self, world, analysis):
+        azure_ip = world.azure.plan.allocate_public_ip(
+            "us-north", world.streams.stream("test")
+        )
+        assert analysis.subdomain_category(
+            record(world, azure_ip)
+        ) == "Azure only"
+
+    def test_ec2_plus_azure(self, world, analysis):
+        ec2_ip = world.ec2.plan.allocate_public_ip(
+            "us-east-1", world.streams.stream("test")
+        )
+        azure_ip = world.azure.plan.allocate_public_ip(
+            "us-north", world.streams.stream("test")
+        )
+        assert analysis.subdomain_category(
+            record(world, ec2_ip, azure_ip)
+        ) == "EC2 + Azure"
+
+    def test_no_addresses_unclassified(self, world, analysis):
+        assert analysis.subdomain_category(record(world)) is None
+
+    def test_cloudfront_counts_as_other(self, world, analysis):
+        cf_ip = world.cloudfront.plan.allocate_public_ip(
+            "ashburn", world.streams.stream("test")
+        )
+        ec2_ip = world.ec2.plan.allocate_public_ip(
+            "us-east-1", world.streams.stream("test")
+        )
+        assert analysis.subdomain_category(
+            record(world, ec2_ip, cf_ip)
+        ) == "EC2 + Other"
+
+    def test_provider_shortcuts(self, world, analysis):
+        ec2_ip = world.ec2.plan.allocate_public_ip(
+            "us-east-1", world.streams.stream("test")
+        )
+        assert analysis.subdomain_provider(record(world, ec2_ip)) == "ec2"
+
+
+class TestReport:
+    def test_totals_consistent(self, analysis):
+        report = analysis.report()
+        assert report.total_domains == sum(report.domain_counts.values())
+        assert report.total_subdomains == sum(
+            report.subdomain_counts.values()
+        )
+
+    def test_cloud_fraction_plausible(self, world, analysis):
+        report = analysis.report()
+        fraction = report.total_domains / len(world.alexa)
+        assert 0.02 < fraction < 0.09
+
+    def test_ec2_dominant(self, analysis):
+        report = analysis.report()
+        assert report.ec2_total_subdomains > report.azure_total_subdomains
+
+    def test_quartiles_sum_to_one(self, analysis):
+        report = analysis.report()
+        assert sum(report.quartile_shares) == pytest.approx(1.0)
+
+    def test_www_is_top_prefix(self, analysis):
+        report = analysis.report()
+        assert report.top_prefixes[0][0] == "www"
+
+    def test_top_domains_sorted_by_rank(self, analysis):
+        rows = analysis.top_cloud_domains("ec2", 10)
+        ranks = [row["rank"] for row in rows]
+        assert ranks == sorted(ranks)
+
+    def test_top_domains_counts_bounded(self, analysis):
+        for row in analysis.top_cloud_domains("ec2", 10):
+            assert row["cloud_subdomains"] <= row["total_subdomains"]

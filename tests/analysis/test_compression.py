@@ -1,0 +1,82 @@
+"""Tests for the compression-opportunity analysis."""
+
+import pytest
+
+from repro.analysis.compression import (
+    COMPRESSION_RATIOS,
+    CompressionAnalysis,
+)
+from repro.capture.analyzer import BroAnalyzer
+from repro.capture.flow import FlowRecord, Trace
+from repro.net.ipv4 import IPv4Address
+from repro.net.prefixset import PrefixSet
+
+RANGES = {"ec2": PrefixSet(["54.0.0.0/16"]), "azure": PrefixSet([])}
+
+
+def http_flow(ctype, size):
+    return FlowRecord(
+        ts=0.0, duration=1.0, src="campus-1",
+        dst=IPv4Address.parse("54.0.0.9"), proto="tcp", dport=80,
+        total_bytes=size + 600, http_host="www.x.com",
+        content_type=ctype, content_length=size,
+    )
+
+
+@pytest.fixture()
+def analysis():
+    return CompressionAnalysis(BroAnalyzer(RANGES))
+
+
+class TestCompression:
+    def test_text_compresses_images_do_not(self, analysis):
+        trace = Trace([
+            http_flow("text/html", 1000),
+            http_flow("image/jpeg", 1000),
+        ])
+        report = analysis.report(trace)
+        by_type = {o.content_type: o for o in report.per_type}
+        assert by_type["text/html"].saving_fraction > 0.5
+        assert by_type["image/jpeg"].saving_fraction == 0.0
+
+    def test_totals_consistent(self, analysis):
+        trace = Trace([
+            http_flow("text/plain", 4000),
+            http_flow("text/xml", 1000),
+        ])
+        report = analysis.report(trace)
+        assert report.total_http_bytes == 5000
+        assert report.total_saved_bytes == sum(
+            o.saved_bytes for o in report.per_type
+        )
+        assert 0 < report.overall_saving_fraction < 1
+
+    def test_sorted_by_savings(self, analysis):
+        trace = Trace([
+            http_flow("text/html", 10_000),
+            http_flow("image/png", 10_000),
+            http_flow("text/xml", 2_000),
+        ])
+        report = analysis.report(trace)
+        savings = [o.saved_bytes for o in report.per_type]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_unknown_type_gets_default_ratio(self, analysis):
+        trace = Trace([http_flow("application/wasm", 1000)])
+        report = analysis.report(trace)
+        assert 0 < report.per_type[0].saving_fraction < 0.5
+
+    def test_ratios_are_fractions(self):
+        assert all(0 < r <= 1 for r in COMPRESSION_RATIOS.values())
+
+    def test_capture_scale_savings(self, world):
+        """On the generated capture, the paper's implication holds:
+        text dominance makes a third-plus of HTTP bytes removable."""
+        analyzer = BroAnalyzer({
+            "ec2": world.ec2.published_range_set(),
+            "azure": world.azure.published_range_set(),
+        })
+        report = CompressionAnalysis(analyzer).report(
+            world.capture_trace()
+        )
+        assert report.overall_saving_fraction > 0.3

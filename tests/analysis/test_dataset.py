@@ -1,0 +1,86 @@
+"""Integration tests for the Alexa-subdomains dataset builder."""
+
+import pytest
+
+from repro.analysis.dataset import DatasetBuilder
+
+
+class TestDatasetBuild:
+    def test_records_have_addresses(self, dataset):
+        assert len(dataset) > 0
+        for record in dataset.records:
+            assert record.addresses
+            assert record.lookups > 0
+
+    def test_every_record_is_cloud_using(self, world, dataset):
+        ec2 = world.ec2.published_range_set()
+        azure = world.azure.published_range_set()
+        for record in dataset.records:
+            assert any(
+                a in ec2 or a in azure for a in record.addresses
+            )
+
+    def test_records_belong_to_their_domains(self, dataset):
+        for record in dataset.records:
+            assert record.fqdn.endswith("." + record.domain)
+
+    def test_by_domain_index_consistent(self, dataset):
+        total = sum(len(v) for v in dataset.by_domain.values())
+        assert total == len(dataset.records)
+
+    def test_by_fqdn_index(self, dataset):
+        record = dataset.records[0]
+        assert dataset.by_fqdn[record.fqdn] is record
+
+    def test_ranks_match_alexa(self, world, dataset):
+        for record in dataset.records[:100]:
+            assert record.rank == world.alexa.rank_of(record.domain)
+
+    def test_discovery_covers_all_domains(self, world, dataset):
+        assert len(dataset.discovered) == len(world.alexa)
+
+    def test_discovery_is_lower_bound(self, world, dataset):
+        # AXFR-refusing domains with hidden labels must not be fully
+        # discovered; verify at least one hidden label escaped.
+        missed = 0
+        for plan in world.plans:
+            if plan.axfr_allowed:
+                continue
+            discovered = set(dataset.discovered.get(plan.domain, []))
+            actual = {s.fqdn for s in plan.subdomains}
+            missed += len(actual - discovered)
+        assert missed > 0
+
+    def test_axfr_domains_fully_discovered(self, world, dataset):
+        for plan in world.plans:
+            if not plan.axfr_allowed:
+                continue
+            discovered = set(dataset.discovered.get(plan.domain, []))
+            for sub in plan.subdomains:
+                assert sub.fqdn in discovered
+
+    def test_ns_survey_resolves_most_servers(self, dataset):
+        assert dataset.ns_addresses
+        resolved = [
+            a for a in dataset.ns_addresses.values() if a is not None
+        ]
+        assert len(resolved) / len(dataset.ns_addresses) > 0.9
+
+    def test_cloudfront_records_separate(self, world, dataset):
+        cf = world.cloudfront.published_range_set()
+        for record in dataset.cloudfront_records:
+            assert any(a in cf for a in record.addresses)
+        cloud_fqdns = {r.fqdn for r in dataset.records}
+        cf_fqdns = {r.fqdn for r in dataset.cloudfront_records}
+        assert not cloud_fqdns & cf_fqdns
+
+    def test_multi_vantage_collects_tm_regions(self, world, dataset):
+        # Traffic Manager subdomains answer per-vantage; the dataset's
+        # distributed lookups should therefore surface more than one
+        # address for at least some of them.
+        tm_records = [
+            r for r in dataset.records
+            if r.cname_contains("trafficmanager.net")
+        ]
+        if tm_records:
+            assert any(len(r.addresses) > 1 for r in tm_records)

@@ -1,0 +1,86 @@
+"""Tests for the §4.1 deployment-pattern detection."""
+
+import pytest
+
+from repro.analysis.patterns import PatternAnalysis
+
+
+@pytest.fixture(scope="module")
+def patterns(world, dataset):
+    return PatternAnalysis(world, dataset)
+
+
+class TestDetection:
+    def test_vm_detection_matches_ground_truth(self, world, dataset,
+                                               patterns):
+        by_fqdn = {p.fqdn: p for p in patterns.patterns()}
+        checked = 0
+        for plan in world.plans:
+            for sub in plan.cloud_subdomains():
+                detected = by_fqdn.get(sub.fqdn)
+                if detected is None:
+                    continue
+                if sub.frontend == "vm" and sub.kind == "cloud":
+                    assert detected.vm_front, sub.fqdn
+                    checked += 1
+                elif sub.frontend == "elb":
+                    assert detected.elb, sub.fqdn
+                elif sub.frontend == "heroku":
+                    assert detected.heroku_no_elb, sub.fqdn
+                elif sub.frontend == "beanstalk":
+                    assert detected.beanstalk and detected.elb, sub.fqdn
+                elif sub.frontend == "tm":
+                    assert detected.traffic_manager, sub.fqdn
+                elif sub.frontend == "cs_cname":
+                    assert detected.cloud_service, sub.fqdn
+                elif sub.frontend == "other_cname" and sub.provider == "ec2":
+                    assert detected.unknown_cname, sub.fqdn
+        assert checked > 10
+
+    def test_vm_majority(self, patterns, dataset):
+        summary = patterns.feature_summary()
+        ec2_subs = sum(
+            1 for p in patterns.patterns() if p.provider in ("ec2", "both")
+        )
+        assert summary["vm"]["subdomains"] / ec2_subs > 0.5
+
+    def test_feature_summary_instance_counts(self, patterns):
+        summary = patterns.feature_summary()
+        for entry in summary.values():
+            assert entry["domains"] <= entry["subdomains"] or (
+                entry["subdomains"] == 0
+            )
+
+    def test_elb_statistics_consistent(self, patterns):
+        stats = patterns.elb_statistics()
+        assert stats["logical_elbs"] >= 0
+        if stats["subdomains_using_elb"]:
+            assert stats["physical_elbs"] > 0
+            assert 0 <= stats["physical_shared_fraction"] <= 1
+
+    def test_heroku_multiplexing(self, patterns):
+        stats = patterns.heroku_statistics()
+        if stats["subdomains"] > 10:
+            assert stats["unique_ips"] <= 94
+            assert stats["unique_ips"] < stats["subdomains"] * 3
+
+    def test_cdn_statistics(self, patterns):
+        stats = patterns.cdn_statistics()
+        assert stats["cloudfront_subdomains"] >= stats["cloudfront_domains"] \
+            or stats["cloudfront_subdomains"] == 0
+
+    def test_dns_statistics(self, patterns, dataset):
+        stats = patterns.dns_statistics()
+        assert stats["total_nameservers"] == len(dataset.ns_addresses)
+        location_total = sum(stats["location_counts"].values())
+        assert location_total == stats["total_nameservers"]
+        assert stats["location_counts"].get("outside", 0) > 0
+
+    def test_cdfs_nonempty(self, patterns):
+        assert patterns.vm_instances_cdf()
+        assert patterns.elb_instances_cdf()
+
+    def test_top_domain_features_cover_notables(self, patterns):
+        rows = patterns.top_domain_features(10)
+        domains = {row["domain"] for row in rows}
+        assert "amazon.com" in domains

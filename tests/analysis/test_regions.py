@@ -1,0 +1,69 @@
+"""Tests for the §4.2 region-usage analysis."""
+
+import pytest
+
+from repro.analysis.regions import RegionAnalysis
+
+
+@pytest.fixture(scope="module")
+def regions(world, dataset):
+    return RegionAnalysis(world, dataset)
+
+
+class TestRegionUsage:
+    def test_usages_match_ground_truth(self, world, dataset, regions):
+        by_fqdn = {u.fqdn: u for u in regions.usages()}
+        checked = 0
+        for plan in world.plans:
+            for sub in plan.cloud_subdomains():
+                usage = by_fqdn.get(sub.fqdn)
+                if usage is None or sub.provider != "ec2":
+                    continue
+                if sub.frontend in ("vm",) and sub.kind == "cloud":
+                    assert usage.ec2_regions <= set(sub.regions)
+                    checked += 1
+        assert checked > 10
+
+    def test_single_region_dominates(self, regions):
+        assert regions.single_region_fraction("ec2") > 0.9
+
+    def test_us_east_most_used(self, regions):
+        counts = regions.region_counts()
+        ec2_counts = {
+            region: v["subdomains"]
+            for (p, region), v in counts.items() if p == "ec2"
+        }
+        assert max(ec2_counts, key=ec2_counts.get) == "us-east-1"
+
+    def test_region_counts_domains_le_subdomains(self, regions):
+        for value in regions.region_counts().values():
+            assert value["domains"] <= value["subdomains"] or (
+                value["subdomains"] == 0
+            )
+
+    def test_top_domain_rows_consistent(self, regions):
+        for row in regions.top_domain_regions():
+            assert row["k1"] + row["k2"] + row["k3plus"] == (
+                row["cloud_subdomains"]
+            )
+            assert row["total_regions"] >= 1
+
+    def test_customer_locality_fractions(self, regions):
+        locality = regions.customer_locality()
+        assert 0.5 < locality["identified_fraction"] < 0.95
+        assert 0 <= locality["continent_mismatch_fraction"] <= (
+            locality["country_mismatch_fraction"]
+        )
+
+    def test_customer_mismatch_in_paper_band(self, regions):
+        locality = regions.customer_locality()
+        assert 0.25 < locality["country_mismatch_fraction"] < 0.65
+        assert 0.15 < locality["continent_mismatch_fraction"] < 0.55
+
+    def test_cdf_domains_vs_subdomains(self, regions):
+        sub_cdf = regions.regions_per_subdomain_cdf("ec2")
+        dom_cdf = regions.regions_per_domain_cdf("ec2")
+        assert sub_cdf and dom_cdf
+        # Domains aggregate subdomains, so domain-level multi-region
+        # incidence is at least as common.
+        assert dom_cdf.at(1) <= sub_cdf.at(1) + 0.05

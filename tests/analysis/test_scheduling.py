@@ -1,0 +1,52 @@
+"""Tests for the request-routing policy comparison."""
+
+import pytest
+
+from repro.analysis.scheduling import RequestScheduler
+
+REGIONS = ("us-east-1", "eu-west-1", "us-west-1")
+
+
+@pytest.fixture(scope="module")
+def scheduler(wan):
+    return RequestScheduler(wan)
+
+
+class TestPolicies:
+    def test_dynamic_best_never_worse_than_geo(self, scheduler):
+        geo = scheduler.geo_nearest(REGIONS)
+        best = scheduler.dynamic_best(REGIONS)
+        assert best.mean_latency_ms <= geo.mean_latency_ms + 1e-9
+
+    def test_multi_region_beats_static_home(self, scheduler):
+        static = scheduler.static_home()
+        geo = scheduler.geo_nearest(REGIONS)
+        assert geo.mean_latency_ms < static.mean_latency_ms
+
+    def test_parallel_race_latency_matches_oracle(self, scheduler):
+        best = scheduler.dynamic_best(REGIONS)
+        race = scheduler.parallel_race(REGIONS)
+        assert race.mean_latency_ms == best.mean_latency_ms
+        assert race.server_load_factor == len(REGIONS)
+
+    def test_unicast_policies_have_unit_load(self, scheduler):
+        for outcome in (
+            scheduler.static_home(),
+            scheduler.geo_nearest(REGIONS),
+            scheduler.dynamic_best(REGIONS),
+        ):
+            assert outcome.server_load_factor == 1.0
+
+    def test_p95_at_least_mean(self, scheduler):
+        for outcome in scheduler.compare(REGIONS):
+            assert outcome.p95_latency_ms >= outcome.mean_latency_ms * 0.5
+
+    def test_compare_defaults_to_k3_frontier(self, scheduler):
+        outcomes = scheduler.compare()
+        assert len(outcomes) == 4
+        geo = next(o for o in outcomes if o.policy == "geo-nearest")
+        assert len(geo.regions) == 3
+
+    def test_geo_penalty_small_but_nonnegative(self, scheduler):
+        penalty = scheduler.geo_penalty(REGIONS)
+        assert 0.0 <= penalty < 0.3

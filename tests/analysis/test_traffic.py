@@ -1,0 +1,64 @@
+"""Tests for the §3 traffic analysis wrapper."""
+
+import pytest
+
+from repro.analysis.traffic import TrafficAnalysis
+
+
+@pytest.fixture(scope="module")
+def traffic(world):
+    return TrafficAnalysis(world)
+
+
+class TestTrafficAnalysis:
+    def test_table1_percentages_sum(self, traffic):
+        shares = traffic.table1()
+        assert sum(v[0] for v in shares.values()) == pytest.approx(100.0)
+        assert sum(v[1] for v in shares.values()) == pytest.approx(100.0)
+
+    def test_table2_scopes_sum(self, traffic):
+        mix = traffic.table2()
+        for scope in ("ec2", "azure", "overall"):
+            byte_total = sum(v[0] for v in mix[scope].values())
+            flow_total = sum(v[1] for v in mix[scope].values())
+            assert byte_total == pytest.approx(100.0, abs=0.5)
+            assert flow_total == pytest.approx(100.0, abs=0.5)
+
+    def test_table5_sorted_desc(self, traffic):
+        top = traffic.table5()
+        for provider in ("ec2", "azure"):
+            volumes = [row["bytes"] for row in top[provider]]
+            assert volumes == sorted(volumes, reverse=True)
+
+    def test_table6_rows_have_stats(self, traffic):
+        for row in traffic.table6():
+            assert row["mean_bytes"] <= row["max_bytes"]
+            assert row["bytes"] > 0
+
+    def test_unique_domains_counted(self, traffic):
+        counts = traffic.unique_cloud_domains()
+        assert counts["total"] == counts["ec2"] + counts["azure"]
+        assert counts["ec2"] > counts["azure"]
+
+    def test_flow_cdfs(self, traffic):
+        http = traffic.flow_size_cdf("ec2", "http")
+        https = traffic.flow_size_cdf("ec2", "https")
+        assert http and https
+        assert https.median > http.median
+
+    def test_flow_durations_heavy_tailed(self, traffic):
+        # §3.3: most flows are short, HTTPS flows last longer than
+        # HTTP, and the tail reaches hours.
+        http = traffic.flow_duration_cdf("ec2", "http")
+        https = traffic.flow_duration_cdf("ec2", "https")
+        assert https.median > http.median
+        assert http.median < 5.0
+        assert https.quantile(1.0) > 600.0
+        assert https.quantile(0.99) > 20 * https.median
+
+    def test_report_bundles_everything(self, traffic):
+        report = traffic.report()
+        assert report.cloud_shares
+        assert report.protocol_mix
+        assert report.top_domains
+        assert report.content_types

@@ -1,0 +1,58 @@
+"""Tests for the §5 WAN analysis."""
+
+import pytest
+
+
+class TestWanAnalysis:
+    def test_instances_cover_every_zone(self, wan, world):
+        fleet = wan.instances()
+        for region_name, instances in fleet.items():
+            zones = {i.zone_index for i in instances}
+            assert zones == set(
+                range(world.ec2.region(region_name).num_zones)
+            )
+
+    def test_latency_series_length(self, wan):
+        client = wan.clients[0]
+        series = wan.latency_series(client.name, "us-east-1")
+        assert len(series) == wan.config.rounds
+
+    def test_seattle_prefers_west(self, wan):
+        seattle = next(c for c in wan.clients if "seattle" in c.name)
+        east = wan.latency_series(seattle.name, "us-east-1")
+        west = wan.latency_series(seattle.name, "us-west-2")
+        assert sum(west) < sum(east)
+
+    def test_optimal_k_monotone(self, wan):
+        frontier = wan.optimal_k_regions("latency")
+        scores = [row["score"] for row in frontier]
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+    def test_optimal_k_subset_sizes(self, wan):
+        frontier = wan.optimal_k_regions("latency")
+        for row in frontier:
+            assert len(row["regions"]) == row["k"]
+
+    def test_throughput_frontier_monotone_up(self, wan):
+        frontier = wan.optimal_k_regions("throughput")
+        scores = [row["score"] for row in frontier]
+        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+
+    def test_improvement_at_k_positive(self, wan):
+        frontier = wan.optimal_k_regions("latency")
+        assert wan.improvement_at_k(frontier, 3) > 0
+
+    def test_isp_diversity_shape(self, wan):
+        diversity = wan.isp_diversity()
+        assert diversity["us-east-1"]["region_total"] > (
+            diversity["sa-east-1"]["region_total"]
+        )
+        for region, data in diversity.items():
+            for zone_count in data["per_zone"].values():
+                assert zone_count <= data["region_total"]
+
+    def test_best_region_flips_counts(self, wan):
+        client = wan.clients[0]
+        result = wan.best_region_flips(client.name)
+        assert len(result["best_by_round"]) == wan.config.rounds
+        assert result["distinct_best"] >= 1

@@ -1,0 +1,25 @@
+"""Tests for the §5.1 zone-level performance comparison."""
+
+import pytest
+
+
+class TestZonePerformance:
+    @pytest.fixture(scope="class")
+    def comparison(self, wan):
+        return wan.zone_performance_comparison("us-east-1")
+
+    def test_covers_every_zone(self, comparison, world):
+        zones = set(comparison["latency_ms_by_zone"])
+        assert zones == set(range(world.ec2.region("us-east-1").num_zones))
+
+    def test_zone_latency_spread_small(self, comparison):
+        # "The zone has little impact on latency."
+        assert comparison["latency_relative_spread"] < 0.15
+
+    def test_throughput_positive_everywhere(self, comparison):
+        for rate in comparison["throughput_kbps_by_zone"].values():
+            assert rate > 0
+
+    def test_spreads_nonnegative(self, comparison):
+        assert comparison["latency_relative_spread"] >= 0
+        assert comparison["throughput_relative_spread"] >= 0

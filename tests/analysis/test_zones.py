@@ -1,0 +1,63 @@
+"""Tests for the §4.3 zone-usage analysis (cartography-driven)."""
+
+import pytest
+
+from repro.analysis.zones import ZoneAnalysis
+
+
+@pytest.fixture(scope="module")
+def zones(world, dataset):
+    return ZoneAnalysis(world, dataset)
+
+
+class TestZoneAnalysis:
+    def test_calibration_separates_zones(self, zones):
+        cells = zones.rtt_calibration()
+        same = [c.min_ms for c in cells if c.zone_label == 0]
+        cross = [c.min_ms for c in cells if c.zone_label != 0]
+        assert max(same) < min(cross)
+
+    def test_targets_grouped_by_correct_region(self, world, zones):
+        region_set = world.ec2.plan.prefix_set()
+        for region, targets in zones.targets_by_region().items():
+            for target in targets[:20]:
+                assert region_set.lookup(target) == region
+
+    def test_combined_identification_correct(self, zones):
+        truth = zones.ground_truth_accuracy()
+        assert truth["scored"] > 50
+        assert truth["accuracy"] > 0.95
+
+    def test_identified_fraction_high(self, zones):
+        assert zones.identified_fraction() > 0.7
+
+    def test_latency_estimates_structure(self, zones):
+        est = zones.latency_estimates("us-east-1")
+        assert est["responded"] <= est["targets"]
+        assert sum(est["zone_counts"].values()) + est["unknown"] == (
+            est["responded"]
+        )
+
+    def test_accuracy_table_all_regions(self, zones):
+        rows = zones.accuracy_table()
+        assert len(rows) == len(zones.targets_by_region())
+        for row in rows:
+            assert row["match"] + row["unknown"] + row["mismatch"] == (
+                row["count"]
+            )
+
+    def test_zone_cdf_bounds(self, zones, world):
+        cdf = zones.zones_per_subdomain_cdf()
+        max_zones = max(
+            r.num_zones for r in world.ec2.regions.values()
+        )
+        assert cdf.quantile(1.0) <= max_zones * 2  # multi-region subs
+
+    def test_zone_usage_table_consistent(self, zones):
+        table = zones.zone_usage_table()
+        for region, zone_data in table.items():
+            num_zones = zones.world.ec2.region(region).num_zones
+            assert all(0 <= z < num_zones for z in zone_data)
+
+    def test_proximity_scatter_nonempty(self, zones):
+        assert len(zones.proximity_scatter("us-east-1")) > 50

@@ -1,0 +1,131 @@
+"""Unit tests for the Bro-like analyzer, on hand-built traces."""
+
+import pytest
+
+from repro.capture.analyzer import BroAnalyzer
+from repro.capture.flow import FlowRecord, Trace
+from repro.net.ipv4 import IPv4Address
+from repro.net.prefixset import PrefixSet
+
+EC2_IP = IPv4Address.parse("54.0.0.10")
+AZURE_IP = IPv4Address.parse("23.96.0.10")
+OTHER_IP = IPv4Address.parse("93.0.0.10")
+
+RANGES = {
+    "ec2": PrefixSet(["54.0.0.0/16"]),
+    "azure": PrefixSet(["23.96.0.0/16"]),
+}
+
+
+def flow(dst=EC2_IP, proto="tcp", dport=80, size=1000, host=None,
+         cn=None, ctype=None, clen=None):
+    return FlowRecord(
+        ts=0.0, duration=1.0, src="campus-1", dst=dst, proto=proto,
+        dport=dport, total_bytes=size, http_host=host,
+        content_type=ctype, content_length=clen, tls_common_name=cn,
+    )
+
+
+@pytest.fixture()
+def analyzer():
+    return BroAnalyzer(RANGES)
+
+
+class TestClassification:
+    def test_cloud_attribution(self, analyzer):
+        assert analyzer.cloud_of(flow(dst=EC2_IP)) == "ec2"
+        assert analyzer.cloud_of(flow(dst=AZURE_IP)) == "azure"
+        assert analyzer.cloud_of(flow(dst=OTHER_IP)) is None
+
+    @pytest.mark.parametrize("proto,dport,label", [
+        ("tcp", 80, "HTTP (TCP)"),
+        ("tcp", 443, "HTTPS (TCP)"),
+        ("tcp", 25, "Other (TCP)"),
+        ("udp", 53, "DNS (UDP)"),
+        ("udp", 123, "Other (UDP)"),
+        ("icmp", 0, "ICMP"),
+    ])
+    def test_protocol_labels(self, analyzer, proto, dport, label):
+        assert analyzer.protocol_of(flow(proto=proto, dport=dport)) == label
+
+
+class TestAggregation:
+    def test_cloud_shares(self, analyzer):
+        trace = Trace([
+            flow(dst=EC2_IP, size=800),
+            flow(dst=AZURE_IP, size=200),
+            flow(dst=OTHER_IP, size=999),  # filtered out
+        ])
+        shares = analyzer.cloud_shares(trace)
+        assert shares["ec2"].bytes == 800
+        assert shares["azure"].flows == 1
+        assert set(shares) == {"ec2", "azure"}
+
+    def test_protocol_breakdown_scopes(self, analyzer):
+        trace = Trace([
+            flow(dst=EC2_IP, dport=80, size=100),
+            flow(dst=EC2_IP, dport=443, size=300),
+            flow(dst=AZURE_IP, dport=80, size=50),
+        ])
+        breakdown = analyzer.protocol_breakdown(trace)
+        assert breakdown["ec2"]["HTTP (TCP)"].bytes == 100
+        assert breakdown["overall"]["HTTP (TCP)"].bytes == 150
+        assert breakdown["azure"]["HTTP (TCP)"].flows == 1
+
+    def test_domain_traffic_via_host_and_cn(self, analyzer):
+        trace = Trace([
+            flow(host="www.foo.com", size=100),
+            flow(host="api.foo.com", size=50),
+            flow(dport=443, cn="foo.com", size=500),
+            flow(dst=AZURE_IP, host="www.bar.com", size=75),
+        ])
+        domains = analyzer.domain_traffic(trace)
+        assert domains["foo.com"].http_bytes == 150
+        assert domains["foo.com"].https_bytes == 500
+        assert domains["foo.com"].total_bytes == 650
+        assert domains["bar.com"].provider == "azure"
+
+    def test_top_domains_sorted(self, analyzer):
+        trace = Trace([
+            flow(host="small.com", size=10),
+            flow(host="big.com", size=1000),
+        ])
+        top = analyzer.top_domains_by_volume(trace, "ec2", 5)
+        assert top[0].domain == "big.com"
+
+    def test_content_types(self, analyzer):
+        trace = Trace([
+            flow(ctype="text/html", clen=100),
+            flow(ctype="text/html", clen=300),
+            flow(ctype="image/png", clen=50),
+        ])
+        stats = analyzer.content_types(trace)
+        html = stats[0]
+        assert html.content_type == "text/html"
+        assert html.bytes == 400
+        assert html.mean_bytes == 200
+        assert html.max_bytes == 300
+
+    def test_flow_count_distribution(self, analyzer):
+        trace = Trace([
+            flow(host="a.com"), flow(host="a.com"), flow(host="b.com"),
+        ])
+        counts = analyzer.flow_count_distribution(trace, "ec2", "http")
+        assert counts == [1, 2]
+
+    def test_flow_size_distribution(self, analyzer):
+        trace = Trace([
+            flow(host="a.com", size=10), flow(host="b.com", size=30),
+        ])
+        assert analyzer.flow_size_distribution(
+            trace, "ec2", "http"
+        ) == [10, 30]
+
+    def test_concentration(self, analyzer):
+        trace = Trace(
+            [flow(host="big.com") for _ in range(9)]
+            + [flow(host="small.com")]
+        )
+        assert analyzer.top_domain_flow_concentration(
+            trace, "ec2", top_n=1
+        ) == pytest.approx(0.9)

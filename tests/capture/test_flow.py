@@ -1,0 +1,67 @@
+"""Unit tests for flow records and domain aggregation."""
+
+import pytest
+
+from repro.capture.flow import FlowRecord, Trace, registrable_domain
+from repro.net.ipv4 import IPv4Address
+
+
+class TestRegistrableDomain:
+    def test_plain_subdomain(self):
+        assert registrable_domain("www.example.com") == "example.com"
+
+    def test_deep_subdomain(self):
+        assert registrable_domain("a.b.c.example.com") == "example.com"
+
+    def test_bare_domain(self):
+        assert registrable_domain("example.com") == "example.com"
+
+    def test_two_level_suffix(self):
+        assert registrable_domain("www.shop.example.co.uk") == (
+            "example.co.uk"
+        )
+
+    def test_normalizes_case_and_dot(self):
+        assert registrable_domain("WWW.Example.COM.") == "example.com"
+
+    def test_single_label(self):
+        assert registrable_domain("localhost") == "localhost"
+
+
+def flow(**kwargs):
+    defaults = dict(
+        ts=0.0, duration=1.0, src="campus-1",
+        dst=IPv4Address.parse("54.192.0.1"), proto="tcp",
+        dport=80, total_bytes=100,
+    )
+    defaults.update(kwargs)
+    return FlowRecord(**defaults)
+
+
+class TestFlowRecord:
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            flow(total_bytes=-1)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            flow(duration=-0.1)
+
+    def test_optional_fields_default_none(self):
+        record = flow()
+        assert record.http_host is None
+        assert record.tls_common_name is None
+
+
+class TestTrace:
+    def test_add_and_len(self):
+        trace = Trace()
+        trace.add(flow())
+        trace.add(flow(total_bytes=50))
+        assert len(trace) == 2
+        assert trace.total_bytes() == 150
+
+    def test_sort_by_time(self):
+        trace = Trace([flow(ts=5.0), flow(ts=1.0), flow(ts=3.0)])
+        trace.sort_by_time()
+        assert [f.ts for f in trace] == [1.0, 3.0, 5.0]

@@ -1,0 +1,74 @@
+"""Tests for flow-log persistence."""
+
+import pytest
+
+from repro.capture.flow import FlowRecord, Trace
+from repro.capture.io import read_trace, write_trace
+from repro.net.ipv4 import IPv4Address
+
+
+def sample_trace() -> Trace:
+    return Trace([
+        FlowRecord(
+            ts=1.5, duration=0.25, src="campus-00001",
+            dst=IPv4Address.parse("54.192.0.10"), proto="tcp", dport=80,
+            total_bytes=1234, http_host="www.example.com",
+            content_type="text/html", content_length=900,
+        ),
+        FlowRecord(
+            ts=2.0, duration=3.5, src="campus-00002",
+            dst=IPv4Address.parse("23.96.0.10"), proto="tcp", dport=443,
+            total_bytes=9000, tls_common_name="example.com",
+        ),
+        FlowRecord(
+            ts=3.0, duration=0.01, src="campus-00003",
+            dst=IPv4Address.parse("54.192.0.11"), proto="udp", dport=53,
+            total_bytes=120,
+        ),
+    ])
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "flows.log"
+        original = sample_trace()
+        assert write_trace(original, path) == 3
+        loaded = read_trace(path)
+        assert len(loaded) == 3
+        for a, b in zip(original, loaded):
+            assert a.src == b.src
+            assert a.dst == b.dst
+            assert a.total_bytes == b.total_bytes
+            assert a.http_host == b.http_host
+            assert a.content_length == b.content_length
+            assert a.tls_common_name == b.tls_common_name
+
+    def test_optional_fields_survive(self, tmp_path):
+        path = tmp_path / "flows.log"
+        write_trace(sample_trace(), path)
+        loaded = list(read_trace(path))
+        assert loaded[1].http_host is None
+        assert loaded[1].tls_common_name == "example.com"
+        assert loaded[2].content_type is None
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "random.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_rejects_truncated_row(self, tmp_path):
+        path = tmp_path / "flows.log"
+        write_trace(sample_trace(), path)
+        with path.open("a") as fh:
+            fh.write("1.0\t2.0\tonly-three\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_generated_capture_roundtrips(self, tmp_path, world):
+        path = tmp_path / "capture.log"
+        trace = world.capture_trace()
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.total_bytes() == trace.total_bytes()

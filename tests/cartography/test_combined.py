@@ -1,0 +1,68 @@
+"""Tests for the combined zone identifier and its accuracy report."""
+
+import pytest
+
+from repro.cartography.combined import CombinedZoneIdentifier
+from repro.cartography.latency_method import LatencyZoneIdentifier
+from repro.cartography.proximity_method import ProximityZoneIdentifier
+from repro.cloud.base import InstanceRole
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.probing.directory import EndpointDirectory
+from repro.probing.ping import Prober
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def setup():
+    streams = StreamRegistry(35)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    latency = LatencyModel(streams, {"ec2": ec2})
+    prober = Prober(latency, EndpointDirectory([ec2]))
+    combined = CombinedZoneIdentifier(
+        LatencyZoneIdentifier(ec2, prober),
+        ProximityZoneIdentifier(ec2, samples_per_account_zone=20),
+    )
+    targets = [
+        ec2.launch_instance(
+            "victim", "us-west-2", physical_zone=i % 3,
+            role=InstanceRole.ELB_PROXY,
+        ).public_ip
+        for i in range(30)
+    ]
+    return combined, ec2, targets
+
+
+class TestCombined:
+    def test_identifies_most_targets(self, setup):
+        combined, _, targets = setup
+        result = combined.identify_region("us-west-2", targets)
+        assert result.identified_fraction > 0.8
+
+    def test_identifications_correct(self, setup):
+        combined, ec2, targets = setup
+        result = combined.identify_region("us-west-2", targets)
+        for address, label in result.zones.items():
+            if label is None:
+                continue
+            physical = combined.label_to_physical("us-west-2", label)
+            assert physical == ec2.zone_of_instance_ip(address)
+
+    def test_accuracy_report_sums(self, setup):
+        combined, _, targets = setup
+        result = combined.identify_region("us-west-2", targets)
+        acc = result.accuracy
+        assert acc.match + acc.unknown + acc.mismatch == acc.count
+        assert acc.count == len(targets)
+
+    def test_error_rate_none_when_all_unknown(self, setup):
+        from repro.cartography.combined import AccuracyReport
+        report = AccuracyReport(region="x", count=5, unknown=5)
+        assert report.error_rate is None
+
+    def test_empty_target_list(self, setup):
+        combined, _, _ = setup
+        result = combined.identify_region("us-west-2", [])
+        assert result.zones == {}
+        assert result.identified_fraction == 0.0

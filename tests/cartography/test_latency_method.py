@@ -1,0 +1,74 @@
+"""Tests for latency-based zone identification."""
+
+import pytest
+
+from repro.cartography.latency_method import (
+    LatencyZoneIdentifier,
+    PROBE_ACCOUNT,
+)
+from repro.cloud.base import InstanceRole
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.probing.directory import EndpointDirectory
+from repro.probing.ping import Prober
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def identifier():
+    streams = StreamRegistry(31)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    latency = LatencyModel(streams, {"ec2": ec2})
+    prober = Prober(latency, EndpointDirectory([ec2]))
+    return LatencyZoneIdentifier(ec2, prober), ec2
+
+
+class TestLatencyMethod:
+    def test_probes_cover_all_zone_labels(self, identifier):
+        ident, ec2 = identifier
+        probes = ident.probes_for_region("us-west-2")
+        labels = {
+            ident._probe_zone_label(p, "us-west-2") for p in probes
+        }
+        assert labels == {0, 1, 2}
+
+    def test_identifies_own_instances_correctly(self, identifier):
+        ident, ec2 = identifier
+        correct = 0
+        total = 24
+        for i in range(total):
+            target = ec2.launch_instance(
+                "victim", "us-west-2", physical_zone=i % 3,
+                role=InstanceRole.ELB_PROXY,  # always responds
+            )
+            estimate = ident.identify("us-west-2", target.public_ip)
+            if estimate.zone_label is None:
+                continue
+            physical = ident.label_to_physical(
+                "us-west-2", estimate.zone_label
+            )
+            if physical == target.zone_index:
+                correct += 1
+        assert correct >= total * 0.6
+
+    def test_unresponsive_target_marked(self, identifier):
+        ident, ec2 = identifier
+        from repro.net.ipv4 import IPv4Address
+        estimate = ident.identify(
+            "us-west-2", IPv4Address.parse("9.9.9.9")
+        )
+        assert not estimate.responded
+        assert estimate.zone_label is None
+
+    def test_probe_fleet_reused(self, identifier):
+        ident, _ = identifier
+        first = ident.probes_for_region("us-west-1")
+        second = ident.probes_for_region("us-west-1")
+        assert first is second
+
+    def test_probe_account_labels_consistent(self, identifier):
+        ident, ec2 = identifier
+        ident.probes_for_region("us-east-1")
+        account = ec2.account(PROBE_ACCOUNT)
+        assert sorted(account.zone_permutation["us-east-1"]) == [0, 1, 2]

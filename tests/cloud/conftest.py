@@ -1,0 +1,33 @@
+"""Fixtures: a bare cloud substrate without the tenant population."""
+
+import pytest
+
+from repro.cloud.azure import AzureCloud
+from repro.cloud.cdn import AzureCDN, CloudFront
+from repro.cloud.ec2 import EC2Cloud
+from repro.cloud.elb import ELBFleet
+from repro.cloud.paas import BeanstalkPlatform, HerokuPlatform
+from repro.cloud.route53 import Route53
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.resolver import StubResolver
+from repro.sim import StreamRegistry
+
+
+class Substrate:
+    def __init__(self, seed: int = 42):
+        self.streams = StreamRegistry(seed)
+        self.dns = DnsInfrastructure()
+        self.ec2 = EC2Cloud(self.streams, self.dns)
+        self.azure = AzureCloud(self.streams, self.dns)
+        self.elb_fleet = ELBFleet(self.ec2)
+        self.cloudfront = CloudFront(self.streams, self.dns)
+        self.route53 = Route53(self.cloudfront, self.dns)
+        self.heroku = HerokuPlatform(self.ec2, self.elb_fleet)
+        self.beanstalk = BeanstalkPlatform(self.ec2, self.elb_fleet)
+        self.azure_cdn = AzureCDN(self.azure)
+        self.resolver = StubResolver(self.dns)
+
+
+@pytest.fixture()
+def cloud() -> Substrate:
+    return Substrate()

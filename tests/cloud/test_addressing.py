@@ -1,0 +1,121 @@
+"""Unit tests for public/internal address allocation."""
+
+import random
+
+import pytest
+
+from repro.cloud.addressing import AddressPlan, ZoneInternalAllocator
+from repro.net.ipv4 import IPv4Network
+
+
+def make_plan(per_region: int = 2) -> AddressPlan:
+    return AddressPlan(
+        provider_name="test",
+        supernets=[IPv4Network.parse("54.0.0.0/12")],
+        per_region_slash16s=per_region,
+    )
+
+
+class TestAddressPlan:
+    def test_assign_region_carves_blocks(self):
+        plan = make_plan()
+        blocks = plan.assign_region("r1")
+        assert len(blocks) == 2
+        assert all(b.prefix_len == 16 for b in blocks)
+
+    def test_regions_get_disjoint_blocks(self):
+        plan = make_plan()
+        b1 = set(map(str, plan.assign_region("r1")))
+        b2 = set(map(str, plan.assign_region("r2")))
+        assert not b1 & b2
+
+    def test_assign_region_idempotent(self):
+        plan = make_plan()
+        assert plan.assign_region("r1") == plan.assign_region("r1")
+
+    def test_published_ranges_labelled(self):
+        plan = make_plan()
+        plan.assign_region("r1")
+        pairs = plan.published_ranges()
+        assert all(label == "r1" for _, label in pairs)
+
+    def test_prefix_set_maps_ip_to_region(self):
+        plan = make_plan()
+        plan.assign_region("r1")
+        plan.assign_region("r2")
+        rng = random.Random(1)
+        ip = plan.allocate_public_ip("r2", rng)
+        assert plan.prefix_set().lookup(ip) == "r2"
+
+    def test_public_ips_unique(self):
+        plan = make_plan()
+        plan.assign_region("r1")
+        rng = random.Random(1)
+        ips = [plan.allocate_public_ip("r1", rng) for _ in range(500)]
+        assert len(set(ips)) == 500
+
+    def test_exhaustion_raises(self):
+        plan = AddressPlan(
+            provider_name="tiny",
+            supernets=[IPv4Network.parse("54.0.0.0/15")],
+            per_region_slash16s=2,
+        )
+        plan.assign_region("r1")
+        with pytest.raises(RuntimeError):
+            plan.assign_region("r2")
+
+    def test_unknown_region_allocation_fails(self):
+        with pytest.raises(KeyError):
+            make_plan().allocate_public_ip("ghost", random.Random(1))
+
+    def test_too_small_supernet_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPlan("x", [IPv4Network.parse("10.0.0.0/24")])
+
+
+class TestZoneInternalAllocator:
+    def test_zone_blocks_disjoint(self):
+        alloc = ZoneInternalAllocator("r", num_zones=3)
+        seen = set()
+        for zone in range(3):
+            blocks = set(map(str, alloc.zone_blocks(zone)))
+            assert not blocks & seen
+            seen |= blocks
+
+    def test_allocation_lands_in_zone_band(self):
+        alloc = ZoneInternalAllocator("r", num_zones=3)
+        rng = random.Random(2)
+        for zone in range(3):
+            for _ in range(50):
+                ip = alloc.allocate(zone, rng)
+                assert alloc.zone_of_internal_ip(ip) == zone
+
+    def test_allocations_unique(self):
+        alloc = ZoneInternalAllocator("r", num_zones=2)
+        rng = random.Random(3)
+        ips = [alloc.allocate(0, rng) for _ in range(2000)]
+        assert len(set(ips)) == len(ips)
+
+    def test_heavy_use_spans_multiple_slash16s(self):
+        alloc = ZoneInternalAllocator("r", num_zones=2)
+        rng = random.Random(4)
+        blocks = {
+            str(alloc.allocate(0, rng).slash16()) for _ in range(3000)
+        }
+        assert len(blocks) >= 2
+
+    def test_unknown_zone_rejected(self):
+        alloc = ZoneInternalAllocator("r", num_zones=2)
+        with pytest.raises(KeyError):
+            alloc.allocate(5, random.Random(1))
+
+    def test_zone_of_unknown_ip(self):
+        alloc = ZoneInternalAllocator("r", num_zones=2)
+        from repro.net.ipv4 import IPv4Address
+        assert alloc.zone_of_internal_ip(
+            IPv4Address.parse("192.168.0.1")
+        ) is None
+
+    def test_requires_positive_zones(self):
+        with pytest.raises(ValueError):
+            ZoneInternalAllocator("r", num_zones=0)

@@ -1,0 +1,44 @@
+"""Property-based tests for the internal zone allocator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.addressing import ZoneInternalAllocator
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_zones=st.integers(min_value=1, max_value=4),
+    sequence=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=1, max_size=300
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_allocations_unique_and_zone_correct(seed, num_zones, sequence):
+    allocator = ZoneInternalAllocator("r", num_zones=num_zones)
+    rng = random.Random(seed)
+    issued = set()
+    for requested in sequence:
+        zone = requested % num_zones
+        ip = allocator.allocate(zone, rng)
+        assert ip not in issued, "allocator reissued an address"
+        issued.add(ip)
+        assert allocator.zone_of_internal_ip(ip) == zone
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_zones=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_zone_bands_never_overlap(seed, num_zones):
+    allocator = ZoneInternalAllocator("r", num_zones=num_zones)
+    seen = {}
+    for zone in range(num_zones):
+        for block in allocator.zone_blocks(zone):
+            assert block not in seen, (
+                f"/16 {block} assigned to zones {seen[block]} and {zone}"
+            )
+            seen[block] = zone

@@ -1,0 +1,105 @@
+"""Unit tests for the Azure substrate (Cloud Services, Traffic Manager)."""
+
+import pytest
+
+from repro.cloud.azure import AZURE_REGION_SPECS, ServiceKind
+from repro.internet.vantage import planetlab_sites
+
+
+class TestRegions:
+    def test_eight_regions_single_zone(self, cloud):
+        assert len(cloud.azure.regions) == 8
+        for region in cloud.azure.regions.values():
+            assert region.num_zones == 1
+
+    def test_specs(self, cloud):
+        assert {s.name for s in AZURE_REGION_SPECS} == set(
+            cloud.azure.region_names()
+        )
+
+
+class TestCloudServices:
+    def test_cname_and_ip(self, cloud):
+        cs = cloud.azure.create_cloud_service("us-north")
+        assert cs.cname.endswith(".cloudapp.net")
+        resp = cloud.resolver.dig(cs.cname)
+        assert resp.addresses == [cs.public_ip]
+
+    def test_ip_in_region_range(self, cloud):
+        cs = cloud.azure.create_cloud_service("eu-west")
+        assert cloud.azure.region_of_ip(cs.public_ip) == "eu-west"
+
+    def test_backends_are_private(self, cloud):
+        cs = cloud.azure.create_cloud_service(
+            "us-south", kind=ServiceKind.VM_GROUP, backend_count=3
+        )
+        assert len(cs.backends) == 3
+        assert all(b.public_ip is None for b in cs.backends)
+
+    def test_kinds_look_identical_in_dns(self, cloud):
+        responses = []
+        for kind in (
+            ServiceKind.SINGLE_VM, ServiceKind.VM_GROUP, ServiceKind.PAAS
+        ):
+            cs = cloud.azure.create_cloud_service("us-north", kind=kind)
+            resp = cloud.resolver.dig(cs.cname)
+            responses.append((len(resp.addresses), len(resp.chain)))
+        assert len(set(responses)) == 1
+
+    def test_transparent_proxy_registered(self, cloud):
+        cs = cloud.azure.create_cloud_service("us-north")
+        inst = cloud.azure.instance_by_public_ip(cs.public_ip)
+        assert inst is not None
+        assert inst.role.value == "elb-proxy"
+
+
+class TestTrafficManager:
+    def _two_services(self, cloud):
+        return [
+            cloud.azure.create_cloud_service("us-north"),
+            cloud.azure.create_cloud_service("eu-west"),
+        ]
+
+    def test_requires_services(self, cloud):
+        with pytest.raises(ValueError):
+            cloud.azure.create_traffic_manager([])
+
+    def test_unknown_policy_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            cloud.azure.create_traffic_manager(
+                self._two_services(cloud), policy="chaos"
+            )
+
+    def test_cname_resolves_through_cs(self, cloud):
+        services = self._two_services(cloud)
+        tm = cloud.azure.create_traffic_manager(
+            services, policy=cloud.azure.POLICY_FAILOVER
+        )
+        resp = cloud.resolver.dig(tm.cname)
+        assert resp.chain[0] == tm.cname or resp.chain
+        assert resp.addresses == [services[0].public_ip]
+
+    def test_round_robin_alternates(self, cloud):
+        services = self._two_services(cloud)
+        tm = cloud.azure.create_traffic_manager(
+            services, policy=cloud.azure.POLICY_ROUND_ROBIN
+        )
+        seen = set()
+        for _ in range(4):
+            resp = cloud.resolver.dig(tm.cname, fresh=True)
+            seen.update(resp.addresses)
+        assert seen == {s.public_ip for s in services}
+
+    def test_performance_policy_picks_nearest(self, cloud):
+        from repro.dns.resolver import StubResolver
+        services = self._two_services(cloud)
+        tm = cloud.azure.create_traffic_manager(
+            services, policy=cloud.azure.POLICY_PERFORMANCE
+        )
+        sites = planetlab_sites(64)
+        london = next(s for s in sites if s.name == "pl-london")
+        chicago = next(s for s in sites if s.name == "pl-chicago")
+        r_london = StubResolver(cloud.dns, vantage=london).dig(tm.cname)
+        r_chicago = StubResolver(cloud.dns, vantage=chicago).dig(tm.cname)
+        assert r_london.addresses == [services[1].public_ip]
+        assert r_chicago.addresses == [services[0].public_ip]

@@ -1,0 +1,56 @@
+"""Unit tests for the CDNs (CloudFront, Azure CDN)."""
+
+from repro.internet.vantage import planetlab_sites
+
+
+class TestCloudFront:
+    def test_distribution_resolves_in_cf_range(self, cloud):
+        cname = cloud.cloudfront.create_distribution()
+        resp = cloud.resolver.dig(cname)
+        cf = cloud.cloudfront.published_range_set()
+        assert resp.addresses
+        assert all(a in cf for a in resp.addresses)
+
+    def test_cf_addresses_not_in_ec2_ranges(self, cloud):
+        cname = cloud.cloudfront.create_distribution()
+        resp = cloud.resolver.dig(cname)
+        ec2 = cloud.ec2.published_range_set()
+        assert all(a not in ec2 for a in resp.addresses)
+
+    def test_geo_answers_differ_by_vantage(self, cloud):
+        from repro.dns.resolver import StubResolver
+        cname = cloud.cloudfront.create_distribution()
+        sites = planetlab_sites(64)
+        tokyo = next(s for s in sites if "tokyo" in s.name)
+        boston = next(s for s in sites if "boston" in s.name)
+        r_tokyo = StubResolver(cloud.dns, vantage=tokyo).dig(cname)
+        r_boston = StubResolver(cloud.dns, vantage=boston).dig(cname)
+        assert set(r_tokyo.addresses) != set(r_boston.addresses)
+
+    def test_nearest_edge_picks_closest(self, cloud):
+        sites = planetlab_sites(64)
+        tokyo = next(s for s in sites if s.name == "pl-tokyo")
+        edge = cloud.cloudfront.nearest_edge(tokyo.location)
+        assert edge.name == "tokyo"
+
+    def test_nearest_edge_without_location(self, cloud):
+        assert cloud.cloudfront.nearest_edge(None) is cloud.cloudfront.edges[0]
+
+
+class TestAzureCDN:
+    def test_endpoint_cname_fingerprint(self, cloud):
+        cname = cloud.azure_cdn.create_endpoint()
+        assert cname.endswith(".vo.msecnd.net")
+
+    def test_endpoint_resolves_into_azure_ranges(self, cloud):
+        cname = cloud.azure_cdn.create_endpoint()
+        resp = cloud.resolver.dig(cname)
+        azure = cloud.azure.published_range_set()
+        assert resp.addresses
+        assert all(a in azure for a in resp.addresses)
+
+    def test_rotation(self, cloud):
+        cname = cloud.azure_cdn.create_endpoint()
+        first = cloud.resolver.dig(cname, fresh=True).addresses
+        second = cloud.resolver.dig(cname, fresh=True).addresses
+        assert first != second

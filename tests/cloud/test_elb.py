@@ -1,0 +1,83 @@
+"""Unit tests for the Elastic Load Balancer fleet."""
+
+from repro.dns.records import RRType
+
+
+class TestCreation:
+    def test_cname_format(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer("us-east-1", [0])
+        assert elb.cname.endswith(".us-east-1.elb.amazonaws.com")
+
+    def test_proxies_in_requested_zones(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer(
+            "us-east-1", [0, 2], proxies_per_zone=1
+        )
+        assert set(elb.zones) <= {0, 2}
+
+    def test_total_proxies_honoured(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer(
+            "us-east-1", [0, 1], total_proxies=6
+        )
+        assert len(elb.proxies) == 6
+
+    def test_total_proxies_at_least_zone_count(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer(
+            "us-east-1", [0, 1, 2], total_proxies=1
+        )
+        assert len(elb.proxies) >= 3
+
+    def test_requires_zone(self, cloud):
+        import pytest
+        with pytest.raises(ValueError):
+            cloud.elb_fleet.create_load_balancer("us-east-1", [])
+
+    def test_proxies_have_elb_role(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer("us-east-1", [0])
+        assert all(p.role.value == "elb-proxy" for p in elb.proxies)
+
+
+class TestDnsRotation:
+    def test_resolves_to_proxy_ips(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer(
+            "us-east-1", [0, 1], total_proxies=3
+        )
+        resp = cloud.resolver.dig(elb.cname)
+        assert set(resp.addresses) == set(elb.proxy_ips)
+
+    def test_answer_order_rotates(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer(
+            "us-east-1", [0, 1], total_proxies=3
+        )
+        first = cloud.resolver.dig(elb.cname, fresh=True).addresses
+        second = cloud.resolver.dig(elb.cname, fresh=True).addresses
+        assert first != second
+        assert set(first) == set(second)
+
+    def test_non_a_queries_empty(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer("us-east-1", [0])
+        resp = cloud.resolver.dig(elb.cname, RRType.NS)
+        assert resp.ns_names == []
+
+
+class TestSharing:
+    def test_proxies_shared_across_elbs(self, cloud):
+        for _ in range(60):
+            cloud.elb_fleet.create_load_balancer("us-east-1", [0])
+        pool = cloud.elb_fleet.physical_proxies()
+        shares = [
+            cloud.elb_fleet.share_count(p.instance_id) for p in pool
+        ]
+        assert max(shares) > 1
+
+    def test_one_elb_never_lists_a_proxy_twice(self, cloud):
+        for _ in range(30):
+            elb = cloud.elb_fleet.create_load_balancer(
+                "us-east-1", [0, 1], total_proxies=4
+            )
+            ids = [p.instance_id for p in elb.proxies]
+            assert len(ids) == len(set(ids))
+
+    def test_lookup_by_cname(self, cloud):
+        elb = cloud.elb_fleet.create_load_balancer("us-east-1", [0])
+        assert cloud.elb_fleet.get(elb.cname) is elb
+        assert cloud.elb_fleet.get("nope.elb.amazonaws.com") is None

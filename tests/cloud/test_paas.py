@@ -1,0 +1,60 @@
+"""Unit tests for the PaaS platforms (Beanstalk, Heroku)."""
+
+from repro.cloud.paas import HEROKU_FLEET_SIZE
+
+
+class TestBeanstalk:
+    def test_environment_chains_to_elb(self, cloud):
+        cname = cloud.beanstalk.create_environment("us-east-1", [0, 1])
+        assert "elasticbeanstalk.com" in cname
+        resp = cloud.resolver.dig(cname)
+        assert any("elb.amazonaws.com" in c for c in resp.chain)
+        assert resp.addresses
+
+    def test_environment_zones_respected(self, cloud):
+        cname = cloud.beanstalk.create_environment("us-west-1", [1])
+        env = cloud.beanstalk.environments[-1]
+        assert env["cname"] == cname
+        assert {p.zone_index for p in env["elb"].proxies} == {1}
+
+    def test_paas_nodes_are_private(self, cloud):
+        cloud.beanstalk.create_environment("us-east-1", [0])
+        env = cloud.beanstalk.environments[-1]
+        assert all(n.public_ip is None for n in env["nodes"])
+
+
+class TestHeroku:
+    def test_fleet_size(self, cloud):
+        assert len(cloud.heroku.fleet) == HEROKU_FLEET_SIZE
+
+    def test_fleet_in_us_east(self, cloud):
+        assert {i.region_name for i in cloud.heroku.fleet} == {"us-east-1"}
+
+    def test_plain_app_resolves_to_fleet_ips(self, cloud):
+        fleet_ips = {i.public_ip for i in cloud.heroku.fleet}
+        for _ in range(12):
+            cname = cloud.heroku.create_app()
+            resp = cloud.resolver.dig(cname, fresh=True)
+            assert set(resp.addresses) <= fleet_ips
+
+    def test_shared_proxy_cname_used_by_about_a_third(self, cloud):
+        shared = 0
+        total = 60
+        for _ in range(total):
+            cname = cloud.heroku.create_app()
+            resp = cloud.resolver.dig(cname, fresh=True)
+            if "proxy.heroku.com" in resp.chain:
+                shared += 1
+        assert 0.15 < shared / total < 0.55
+
+    def test_elb_app_chains_through_elb(self, cloud):
+        cname = cloud.heroku.create_app(use_elb=True)
+        resp = cloud.resolver.dig(cname)
+        assert any("elb.amazonaws.com" in c for c in resp.chain)
+
+    def test_apps_multiplex_over_few_ips(self, cloud):
+        ips = set()
+        for _ in range(80):
+            cname = cloud.heroku.create_app()
+            ips.update(cloud.resolver.dig(cname, fresh=True).addresses)
+        assert len(ips) <= HEROKU_FLEET_SIZE

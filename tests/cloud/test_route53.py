@@ -1,0 +1,37 @@
+"""Unit tests for Route53-style DNS hosting."""
+
+
+class TestRoute53:
+    def test_hostnames_carry_route53_fingerprint(self, cloud):
+        servers = cloud.route53.create_delegation()
+        assert all("route53" in s.hostname for s in servers)
+
+    def test_addresses_in_cloudfront_range(self, cloud):
+        servers = cloud.route53.create_delegation()
+        cf = cloud.cloudfront.published_range_set()
+        assert all(s.address in cf for s in servers)
+
+    def test_hostnames_resolvable(self, cloud):
+        servers = cloud.route53.create_delegation()
+        for server in servers:
+            resp = cloud.resolver.dig(server.hostname)
+            assert resp.addresses == [server.address]
+
+    def test_registered_in_infrastructure(self, cloud):
+        servers = cloud.route53.create_delegation()
+        for server in servers:
+            assert cloud.dns.nameserver(server.hostname) == server
+
+    def test_fleet_reuse_across_delegations(self, cloud):
+        all_servers = set()
+        total = 0
+        for _ in range(40):
+            delegation = cloud.route53.create_delegation()
+            total += len(delegation)
+            all_servers.update(s.hostname for s in delegation)
+        assert len(all_servers) < total
+
+    def test_delegation_has_no_duplicates(self, cloud):
+        for _ in range(20):
+            names = [s.hostname for s in cloud.route53.create_delegation()]
+            assert len(names) == len(set(names))

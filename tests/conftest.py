@@ -1,0 +1,36 @@
+"""Shared fixtures: one small world (and derived datasets) per session.
+
+World construction and dataset building dominate test runtime, so the
+integration-level tests share a session-scoped world at reduced scale.
+Tests that need to mutate state build their own tiny worlds instead.
+"""
+
+import pytest
+
+from repro.analysis.dataset import DatasetBuilder
+from repro.analysis.wan import WanAnalysis, WanConfig
+from repro.world import World, WorldConfig
+
+SESSION_SEED = 7
+SESSION_DOMAINS = 1500
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return World(WorldConfig(seed=SESSION_SEED, num_domains=SESSION_DOMAINS))
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    return DatasetBuilder(world).build()
+
+
+@pytest.fixture(scope="session")
+def wan(world):
+    return WanAnalysis(world, WanConfig(rounds=10))
+
+
+@pytest.fixture()
+def tiny_world() -> World:
+    """A fresh, very small world for tests that mutate state."""
+    return World(WorldConfig(seed=21, num_domains=200))

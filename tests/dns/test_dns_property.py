@@ -1,0 +1,66 @@
+"""Property-based tests for DNS name handling."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.capture.flow import registrable_domain
+from repro.dns.records import normalize_name, parent_of
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+    min_size=1, max_size=12,
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+
+domain_names = st.lists(labels, min_size=1, max_size=6).map(".".join)
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_normalize_idempotent(name):
+    once = normalize_name(name)
+    assert normalize_name(once) == once
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_normalize_strips_trailing_dot(name):
+    assert normalize_name(name + ".") == normalize_name(name)
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_normalize_case_insensitive(name):
+    assert normalize_name(name.upper()) == normalize_name(name)
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_parent_chain_terminates(name):
+    current = normalize_name(name)
+    steps = 0
+    while current is not None:
+        current = parent_of(current)
+        steps += 1
+        assert steps <= name.count(".") + 2
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_registrable_domain_is_suffix(name):
+    result = registrable_domain(name)
+    assert normalize_name(name).endswith(result)
+
+
+@given(domain_names)
+@settings(max_examples=200)
+def test_registrable_domain_idempotent(name):
+    assume(name.count(".") >= 1)
+    once = registrable_domain(name)
+    assert registrable_domain(once) == once
+
+
+@given(st.lists(labels, min_size=3, max_size=6))
+@settings(max_examples=200)
+def test_registrable_domain_at_most_three_labels(parts):
+    result = registrable_domain(".".join(parts))
+    assert result.count(".") <= 2

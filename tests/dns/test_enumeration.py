@@ -1,0 +1,69 @@
+"""Unit tests for subdomain enumeration (AXFR + brute force)."""
+
+from repro.dns.enumeration import SubdomainEnumerator, default_wordlist
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import StubResolver
+from repro.dns.zone import Zone
+
+
+def build(axfr: bool) -> tuple:
+    infra = DnsInfrastructure()
+    zone = Zone("example.com", axfr_allowed=axfr)
+    for label in ("www", "mail", "dev"):
+        zone.add(ResourceRecord(
+            f"{label}.example.com", RRType.A, "10.0.0.1"
+        ))
+    # A label no wordlist would guess.
+    zone.add(ResourceRecord(
+        "xq7random9.example.com", RRType.A, "10.0.0.2"
+    ))
+    infra.add_zone(zone)
+    enumerator = SubdomainEnumerator(infra, StubResolver(infra))
+    return infra, enumerator
+
+
+class TestEnumeration:
+    def test_axfr_reveals_everything(self):
+        _, enumerator = build(axfr=True)
+        result = enumerator.enumerate("example.com")
+        assert result.via_axfr
+        assert "xq7random9.example.com" in result.subdomains
+        assert len(result.subdomains) == 4
+
+    def test_bruteforce_is_lower_bound(self):
+        _, enumerator = build(axfr=False)
+        result = enumerator.enumerate("example.com")
+        assert not result.via_axfr
+        assert "www.example.com" in result.subdomains
+        assert "xq7random9.example.com" not in result.subdomains
+
+    def test_bruteforce_counts_queries(self):
+        _, enumerator = build(axfr=False)
+        result = enumerator.enumerate("example.com")
+        assert result.queries_issued == len(enumerator.wordlist)
+
+    def test_unknown_domain_bruteforces_empty(self):
+        _, enumerator = build(axfr=False)
+        result = enumerator.enumerate("nothing.net")
+        assert result.subdomains == []
+
+    def test_custom_wordlist(self):
+        infra, _ = build(axfr=False)
+        enumerator = SubdomainEnumerator(
+            infra, StubResolver(infra), wordlist=["www"]
+        )
+        result = enumerator.enumerate("example.com")
+        assert result.subdomains == ["www.example.com"]
+
+
+class TestWordlist:
+    def test_default_wordlist_has_head_labels(self):
+        words = default_wordlist()
+        for label in ("www", "m", "ftp", "cdn", "mail", "staging"):
+            assert label in words
+
+    def test_default_wordlist_is_a_copy(self):
+        a = default_wordlist()
+        a.clear()
+        assert default_wordlist()

@@ -1,0 +1,84 @@
+"""Unit tests for the DNS infrastructure (zone matching, NS lookups)."""
+
+import pytest
+
+from repro.dns.infrastructure import DnsInfrastructure, NameServer
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import Zone
+from repro.net.ipv4 import IPv4Address
+
+
+def build_infra() -> DnsInfrastructure:
+    infra = DnsInfrastructure()
+    zone = Zone("example.com")
+    zone.add(ResourceRecord("www.example.com", RRType.A, "10.0.0.1"))
+    zone.add(ResourceRecord("example.com", RRType.NS, "ns1.example.com"))
+    zone.add(ResourceRecord("ns1.example.com", RRType.A, "93.0.0.1"))
+    infra.add_zone(zone)
+    sub = Zone("deep.example.com")
+    sub.add(ResourceRecord("x.deep.example.com", RRType.A, "10.0.0.5"))
+    infra.add_zone(sub)
+    return infra
+
+
+class TestZoneMatching:
+    def test_exact_zone(self):
+        infra = build_infra()
+        assert infra.zone_for("example.com").origin == "example.com"
+
+    def test_longest_suffix_wins(self):
+        infra = build_infra()
+        assert infra.zone_for("x.deep.example.com").origin == (
+            "deep.example.com"
+        )
+
+    def test_unknown_name(self):
+        assert build_infra().zone_for("nothere.net") is None
+
+    def test_duplicate_zone_rejected(self):
+        infra = build_infra()
+        with pytest.raises(ValueError):
+            infra.add_zone(Zone("example.com"))
+
+
+class TestAuthoritativeLookup:
+    def test_a_lookup(self):
+        answers = build_infra().authoritative_lookup(
+            "www.example.com", RRType.A
+        )
+        assert str(answers[0].value) == "10.0.0.1"
+
+    def test_ns_falls_back_to_apex(self):
+        answers = build_infra().authoritative_lookup(
+            "www.example.com", RRType.NS
+        )
+        assert [str(a.value) for a in answers] == ["ns1.example.com"]
+
+    def test_ns_ignores_cname_answers(self):
+        infra = build_infra()
+        zone = infra.get_zone("example.com")
+        zone.add(ResourceRecord(
+            "alias.example.com", RRType.CNAME, "www.example.com"
+        ))
+        answers = infra.authoritative_lookup("alias.example.com", RRType.NS)
+        assert all(a.rtype is RRType.NS for a in answers)
+
+    def test_name_exists(self):
+        infra = build_infra()
+        assert infra.name_exists("www.example.com")
+        assert not infra.name_exists("ghost.example.com")
+
+
+class TestNameServers:
+    def test_registered_nameserver_address(self):
+        infra = build_infra()
+        server = NameServer("ns9.provider.net", IPv4Address.parse("93.0.0.9"))
+        infra.register_nameserver(server)
+        assert infra.nameserver_address("ns9.provider.net") == server.address
+
+    def test_fallback_to_a_record(self):
+        infra = build_infra()
+        assert str(infra.nameserver_address("ns1.example.com")) == "93.0.0.1"
+
+    def test_unknown_nameserver(self):
+        assert build_infra().nameserver_address("ns.ghost.net") is None

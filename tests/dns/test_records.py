@@ -1,0 +1,83 @@
+"""Unit tests for DNS records and responses."""
+
+import pytest
+
+from repro.dns.records import (
+    DnsResponse,
+    RRType,
+    ResourceRecord,
+    normalize_name,
+    parent_of,
+)
+from repro.net.ipv4 import IPv4Address
+
+
+class TestNormalizeName:
+    def test_lowercases(self):
+        assert normalize_name("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize_name("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize_name("  example.com ") == "example.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_name("")
+        with pytest.raises(ValueError):
+            normalize_name(".")
+
+
+class TestParentOf:
+    def test_walks_up(self):
+        assert parent_of("a.b.example.com") == "b.example.com"
+        assert parent_of("example.com") == "com"
+
+    def test_tld_has_no_parent(self):
+        assert parent_of("com") is None
+
+
+class TestResourceRecord:
+    def test_a_record_coerces_string_value(self):
+        rr = ResourceRecord("www.example.com", RRType.A, "10.0.0.1")
+        assert isinstance(rr.value, IPv4Address)
+
+    def test_a_record_accepts_address(self):
+        addr = IPv4Address.parse("10.0.0.1")
+        rr = ResourceRecord("www.example.com", RRType.A, addr)
+        assert rr.value is addr
+
+    def test_cname_normalizes_target(self):
+        rr = ResourceRecord(
+            "www.example.com", RRType.CNAME, "LB.Amazonaws.COM."
+        )
+        assert rr.value == "lb.amazonaws.com"
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("x.example.com", RRType.A, "10.0.0.1", ttl=-1)
+
+    def test_str_renders_like_zone_file(self):
+        rr = ResourceRecord("www.example.com", RRType.A, "10.0.0.1", ttl=60)
+        assert str(rr) == "www.example.com 60 IN A 10.0.0.1"
+
+
+class TestDnsResponse:
+    def test_final_cname(self):
+        resp = DnsResponse(
+            qname="x", qtype=RRType.A, chain=["a.net", "b.net"]
+        )
+        assert resp.final_cname == "b.net"
+
+    def test_final_cname_empty(self):
+        assert DnsResponse(qname="x", qtype=RRType.A).final_cname is None
+
+    def test_cname_contains(self):
+        resp = DnsResponse(
+            qname="x", qtype=RRType.A,
+            chain=["lb-1.us-east-1.elb.amazonaws.com"],
+        )
+        assert resp.cname_contains("elb.amazonaws.com")
+        assert resp.cname_contains("heroku", "elb.amazonaws.com")
+        assert not resp.cname_contains("cloudapp.net")

@@ -1,0 +1,127 @@
+"""Unit tests for the caching stub resolver."""
+
+import pytest
+
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import StubResolver
+from repro.dns.zone import DynamicName, Zone
+from repro.sim import Clock
+
+
+def build() -> tuple:
+    infra = DnsInfrastructure()
+    zone = Zone("example.com")
+    zone.add(ResourceRecord("www.example.com", RRType.A, "10.0.0.1", ttl=60))
+    zone.add(ResourceRecord(
+        "shop.example.com", RRType.CNAME, "lb.cloud.net", ttl=60
+    ))
+    infra.add_zone(zone)
+    cloud = Zone("cloud.net")
+    cloud.add(ResourceRecord("lb.cloud.net", RRType.A, "54.0.0.1", ttl=60))
+    infra.add_zone(cloud)
+    clock = Clock()
+    return infra, StubResolver(infra, clock), clock
+
+
+class TestResolution:
+    def test_direct_a(self):
+        _, resolver, _ = build()
+        resp = resolver.dig("www.example.com")
+        assert [str(a) for a in resp.addresses] == ["10.0.0.1"]
+        assert resp.exists
+        assert resp.chain == []
+
+    def test_cname_chain_followed(self):
+        _, resolver, _ = build()
+        resp = resolver.dig("shop.example.com")
+        assert resp.chain == ["lb.cloud.net"]
+        assert [str(a) for a in resp.addresses] == ["54.0.0.1"]
+
+    def test_nxdomain(self):
+        _, resolver, _ = build()
+        resp = resolver.dig("ghost.example.com")
+        assert not resp.exists
+        assert resp.addresses == []
+
+    def test_dangling_cname_still_exists(self):
+        infra, resolver, _ = build()
+        infra.get_zone("example.com").add(ResourceRecord(
+            "bad.example.com", RRType.CNAME, "missing.nowhere.net"
+        ))
+        resp = resolver.dig("bad.example.com")
+        assert resp.exists
+        assert resp.addresses == []
+        assert resp.chain == ["missing.nowhere.net"]
+
+    def test_cname_loop_terminates(self):
+        infra, resolver, _ = build()
+        zone = infra.get_zone("example.com")
+        zone.add(ResourceRecord("a.example.com", RRType.CNAME,
+                                "b.example.com"))
+        zone.add(ResourceRecord("b.example.com", RRType.CNAME,
+                                "a.example.com"))
+        resp = resolver.dig("a.example.com")
+        assert resp.addresses == []
+
+    def test_ns_query(self):
+        infra, resolver, _ = build()
+        infra.get_zone("example.com").add(ResourceRecord(
+            "example.com", RRType.NS, "ns1.dns.net"
+        ))
+        resp = resolver.dig("www.example.com", RRType.NS)
+        assert resp.ns_names == ["ns1.dns.net"]
+
+
+class TestCaching:
+    def test_cache_hit_marked(self):
+        _, resolver, _ = build()
+        first = resolver.dig("www.example.com")
+        second = resolver.dig("www.example.com")
+        assert not first.from_cache
+        assert second.from_cache
+
+    def test_cache_expires_with_ttl(self):
+        _, resolver, clock = build()
+        resolver.dig("www.example.com")
+        clock.advance(61)
+        assert not resolver.dig("www.example.com").from_cache
+
+    def test_flush_cache(self):
+        _, resolver, _ = build()
+        resolver.dig("www.example.com")
+        resolver.flush_cache()
+        assert not resolver.dig("www.example.com").from_cache
+
+    def test_fresh_bypasses_cache(self):
+        _, resolver, _ = build()
+        resolver.dig("www.example.com")
+        assert not resolver.dig("www.example.com", fresh=True).from_cache
+
+    def test_fresh_does_not_populate_cache(self):
+        _, resolver, _ = build()
+        resolver.dig("www.example.com", fresh=True)
+        assert not resolver.dig("www.example.com").from_cache
+
+    def test_rotating_answers_stick_while_cached(self):
+        infra, resolver, _ = build()
+        zone = infra.get_zone("cloud.net")
+        ips = ["54.0.0.10", "54.0.0.11"]
+
+        def answer(name, rtype, vantage, query_index):
+            ip = ips[query_index % 2]
+            return [ResourceRecord(name, RRType.A, ip, ttl=60)]
+
+        zone.add_dynamic(DynamicName("rot.cloud.net", answer))
+        first = resolver.dig("rot.cloud.net")
+        second = resolver.dig("rot.cloud.net")
+        assert second.from_cache
+        assert second.addresses == first.addresses
+        third = resolver.dig("rot.cloud.net", fresh=True)
+        assert third.addresses != first.addresses
+
+    def test_query_count(self):
+        _, resolver, _ = build()
+        resolver.dig("www.example.com")
+        resolver.dig("www.example.com")
+        assert resolver.query_count == 2

@@ -1,0 +1,107 @@
+"""Unit tests for authoritative zones."""
+
+import pytest
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import DynamicName, TransferRefused, Zone
+
+
+def make_zone() -> Zone:
+    zone = Zone("example.com")
+    zone.add(ResourceRecord("www.example.com", RRType.A, "10.0.0.1"))
+    zone.add(ResourceRecord("www.example.com", RRType.A, "10.0.0.2"))
+    zone.add(ResourceRecord(
+        "shop.example.com", RRType.CNAME, "lb.elb.amazonaws.com"
+    ))
+    zone.add(ResourceRecord("example.com", RRType.NS, "ns1.example.com"))
+    return zone
+
+
+class TestZoneBasics:
+    def test_lookup_a(self):
+        zone = make_zone()
+        answers = zone.lookup("www.example.com", RRType.A)
+        assert len(answers) == 2
+
+    def test_lookup_missing_name(self):
+        assert make_zone().lookup("nope.example.com", RRType.A) == []
+
+    def test_lookup_wrong_type(self):
+        assert make_zone().lookup("www.example.com", RRType.NS) == []
+
+    def test_cname_answers_a_queries(self):
+        answers = make_zone().lookup("shop.example.com", RRType.A)
+        assert answers[0].rtype is RRType.CNAME
+
+    def test_rejects_out_of_zone_names(self):
+        zone = make_zone()
+        with pytest.raises(ValueError):
+            zone.add(ResourceRecord("www.other.com", RRType.A, "10.0.0.1"))
+
+    def test_apex_is_in_zone(self):
+        zone = Zone("example.com")
+        zone.add(ResourceRecord("example.com", RRType.A, "10.0.0.1"))
+        assert zone.has_name("example.com")
+
+    def test_names_sorted(self):
+        zone = make_zone()
+        assert zone.names() == sorted(zone.names())
+
+    def test_nameserver_names(self):
+        assert make_zone().nameserver_names() == ["ns1.example.com"]
+
+
+class TestDynamicNames:
+    def test_dynamic_answer(self):
+        zone = Zone("example.com")
+
+        def answer(name, rtype, vantage, query_index):
+            return [ResourceRecord(name, RRType.A, "10.0.0.9")]
+
+        zone.add_dynamic(DynamicName("dyn.example.com", answer))
+        answers = zone.lookup("dyn.example.com", RRType.A)
+        assert str(answers[0].value) == "10.0.0.9"
+
+    def test_query_index_increments(self):
+        zone = Zone("example.com")
+        seen = []
+
+        def answer(name, rtype, vantage, query_index):
+            seen.append(query_index)
+            return []
+
+        zone.add_dynamic(DynamicName("dyn.example.com", answer))
+        for _ in range(3):
+            zone.lookup("dyn.example.com", RRType.A)
+        assert seen == [0, 1, 2]
+
+    def test_dynamic_name_exists(self):
+        zone = Zone("example.com")
+        zone.add_dynamic(
+            DynamicName("dyn.example.com", lambda *a: [])
+        )
+        assert zone.has_name("dyn.example.com")
+
+
+class TestTransfer:
+    def test_refused_by_default(self):
+        with pytest.raises(TransferRefused):
+            make_zone().transfer()
+
+    def test_allowed_returns_all_records(self):
+        zone = Zone("example.com", axfr_allowed=True)
+        zone.add(ResourceRecord("www.example.com", RRType.A, "10.0.0.1"))
+        zone.add(ResourceRecord("m.example.com", RRType.A, "10.0.0.2"))
+        names = {r.name for r in zone.transfer()}
+        assert names == {"www.example.com", "m.example.com"}
+
+    def test_transfer_reveals_dynamic_names(self):
+        zone = Zone("example.com", axfr_allowed=True)
+        zone.add_dynamic(DynamicName(
+            "dyn.example.com",
+            lambda name, rtype, v, i: [
+                ResourceRecord(name, RRType.A, "10.0.0.3")
+            ],
+        ))
+        names = {r.name for r in zone.transfer()}
+        assert "dyn.example.com" in names

@@ -1,0 +1,48 @@
+"""Content tests for the extension experiments."""
+
+import pytest
+
+from repro.analysis.wan import WanConfig
+from repro.experiments import ExperimentContext, get_experiment
+from repro.world import WorldConfig
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        WorldConfig(seed=7, num_domains=1200),
+        WanConfig(rounds=8),
+    )
+
+
+class TestExtOutages:
+    def test_measured_claims(self, ctx):
+        result = get_experiment("ext-outages").run(ctx)
+        assert result.measured["zone_blast_asymmetric"]
+        assert result.measured["elb_smaller_than_region"]
+        assert result.measured["us_east_ranking_hit_pct"] > 1.0
+        assert "elb-outage" in result.rendered
+
+
+class TestExtScheduling:
+    def test_policy_table(self, ctx):
+        result = get_experiment("ext-scheduling").run(ctx)
+        assert result.measured["multi_region_beats_static"]
+        for policy in ("static-home", "geo-nearest", "dynamic-best",
+                       "parallel-k"):
+            assert policy in result.rendered
+
+
+class TestExtCompression:
+    def test_savings(self, ctx):
+        result = get_experiment("ext-compression").run(ctx)
+        assert result.measured["overall_saving_pct"] > 25.0
+        assert result.measured["text_is_top_saver"]
+
+
+class TestExtHeadline:
+    def test_abstract_text(self, ctx):
+        result = get_experiment("ext-headline").run(ctx)
+        assert "EC2/Azure" in result.rendered
+        assert result.measured["cloud_share_pct"] > 2.0
+        assert result.measured["single_region_pct"] > 85.0

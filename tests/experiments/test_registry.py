@@ -1,0 +1,70 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+)
+from repro.experiments.cli import build_parser
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        expected_tables = {f"table{n:02d}" for n in range(1, 17)}
+        expected_figures = {
+            f"figure{n:02d}" for n in (3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+        }
+        expected_extensions = {
+            "ext-outages", "ext-scheduling", "ext-compression",
+            "ext-headline",
+        }
+        assert expected_tables <= ids
+        assert expected_figures <= ids
+        assert expected_extensions <= ids
+        assert len(ids) == 30
+
+    def test_get_experiment(self):
+        exp = get_experiment("table03")
+        assert exp.experiment_id == "table03"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_experiments_have_sections(self):
+        for exp in all_experiments():
+            assert exp.paper_section
+            assert exp.title
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.seed == 7
+        assert not args.experiments
+
+    def test_parser_accepts_ids(self):
+        args = build_parser().parse_args(["table01", "figure12"])
+        assert args.experiments == ["table01", "figure12"]
+
+    def test_list_flag(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table01" in out
+        assert "figure12" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        out_path = tmp_path / "summaries.txt"
+        assert main([
+            "--domains", "300", "--wan-rounds", "2",
+            "--out", str(out_path), "table03",
+        ]) == 0
+        capsys.readouterr()
+        content = out_path.read_text()
+        assert "table03" in content
+        assert "paper vs measured" in content

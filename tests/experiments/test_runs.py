@@ -1,0 +1,37 @@
+"""End-to-end: every registered experiment runs on a small context.
+
+These are the integration tests of the whole reproduction: one shared
+(tiny) context, all 26 experiments executed, every result carrying a
+rendered artifact and paper-comparison keys.
+"""
+
+import pytest
+
+from repro.analysis.wan import WanConfig
+from repro.experiments import ExperimentContext, all_experiments
+from repro.world import WorldConfig
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    return ExperimentContext(
+        WorldConfig(seed=7, num_domains=1000),
+        WanConfig(rounds=6),
+    )
+
+
+@pytest.mark.parametrize(
+    "experiment",
+    all_experiments(),
+    ids=lambda e: e.experiment_id,
+)
+def test_experiment_runs(small_ctx, experiment):
+    result = experiment.run(small_ctx)
+    assert result.experiment_id == experiment.experiment_id
+    assert result.rendered.strip()
+    assert result.paper, "every experiment must cite paper values"
+    assert result.measured, "every experiment must measure something"
+    # Comparable keys should overlap so summaries are meaningful.
+    assert set(result.paper) & set(result.measured)
+    summary = result.summary()
+    assert experiment.experiment_id in summary

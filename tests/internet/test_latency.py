@@ -1,0 +1,109 @@
+"""Unit tests for the RTT model."""
+
+import pytest
+
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.internet.vantage import planetlab_sites
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def model():
+    streams = StreamRegistry(5)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    return LatencyModel(streams, {"ec2": ec2}), ec2
+
+
+class TestIntraRegion:
+    def test_same_zone_base_near_half_ms(self, model):
+        latency, ec2 = model
+        # Average over pairs: most have no persistent noise offset.
+        values = []
+        for _ in range(30):
+            a = ec2.launch_instance("t", "us-west-1", physical_zone=0)
+            b = ec2.launch_instance("t", "us-west-1", physical_zone=0)
+            values.append(latency.base_rtt_ms(a, b))
+        values.sort()
+        assert values[len(values) // 2] == pytest.approx(0.5, abs=0.1)
+
+    def test_cross_zone_higher_than_same_zone(self, model):
+        latency, ec2 = model
+        a = ec2.launch_instance("t", "us-west-2", physical_zone=0)
+        same = ec2.launch_instance("t", "us-west-2", physical_zone=0)
+        cross = ec2.launch_instance("t", "us-west-2", physical_zone=2)
+        assert latency.base_rtt_ms(a, cross) > latency.base_rtt_ms(a, same)
+
+    def test_pair_adjustment_persistent(self, model):
+        latency, ec2 = model
+        a = ec2.launch_instance("t", "us-east-1", physical_zone=0)
+        b = ec2.launch_instance("t", "us-east-1", physical_zone=1)
+        assert latency.base_rtt_ms(a, b) == latency.base_rtt_ms(a, b)
+
+    def test_symmetric(self, model):
+        latency, ec2 = model
+        a = ec2.launch_instance("t", "us-east-1", physical_zone=0)
+        b = ec2.launch_instance("t", "us-east-1", physical_zone=2)
+        assert latency.base_rtt_ms(a, b) == latency.base_rtt_ms(b, a)
+
+
+class TestWideArea:
+    def test_distance_ordering(self, model):
+        latency, ec2 = model
+        sites = planetlab_sites(64)
+        seattle = next(s for s in sites if s.name == "pl-seattle")
+        east = ec2.launch_instance("t", "us-east-1")
+        west = ec2.launch_instance("t", "us-west-2")
+        assert latency.base_rtt_ms(seattle, west) < latency.base_rtt_ms(
+            seattle, east
+        )
+
+    def test_probe_jitter_nonnegative(self, model):
+        latency, ec2 = model
+        sites = planetlab_sites(4)
+        inst = ec2.launch_instance("t", "us-east-1")
+        base = latency.base_rtt_ms(sites[0], inst)
+        for _ in range(20):
+            assert latency.probe_rtt_ms(sites[0], inst) >= base
+
+    def test_episodes_change_rtt_over_time(self, model):
+        latency, ec2 = model
+        sites = planetlab_sites(16)
+        inst = ec2.launch_instance("t", "us-east-1")
+        values = {
+            round(latency.base_rtt_ms(sites[3], inst, time_s=h * 3600.0), 3)
+            for h in range(60)
+        }
+        assert len(values) > 1
+
+    def test_episodes_can_be_disabled(self, model):
+        _, ec2 = model
+        streams = StreamRegistry(5)
+        calm = LatencyModel(streams, {"ec2": ec2}, enable_episodes=False)
+        sites = planetlab_sites(4)
+        inst = ec2.launch_instance("t", "us-east-1")
+        values = {
+            round(calm.base_rtt_ms(sites[0], inst, time_s=h * 3600.0), 6)
+            for h in range(24)
+        }
+        assert len(values) == 1
+
+    def test_unsupported_endpoint_rejected(self, model):
+        latency, _ = model
+        with pytest.raises(TypeError):
+            latency.base_rtt_ms("not-an-endpoint", "nope")
+
+    def test_region_inflation_visible(self, model):
+        latency, ec2 = model
+        sites = planetlab_sites(64)
+        # Average across many clients: us-west-2 runs slower than
+        # us-west-1 despite similar geography.
+        west1 = ec2.launch_instance("t", "us-west-1")
+        west2 = ec2.launch_instance("t", "us-west-2")
+        delta = 0.0
+        for site in sites:
+            delta += latency.base_rtt_ms(site, west2) - latency.base_rtt_ms(
+                site, west1
+            )
+        assert delta > 0

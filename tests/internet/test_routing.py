@@ -1,0 +1,101 @@
+"""Unit tests for the routing model and traceroute."""
+
+import pytest
+
+from repro.cloud.azure import AzureCloud
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.routing import EC2_DOWNSTREAM_POOL, RoutingModel
+from repro.internet.vantage import planetlab_sites
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def routing():
+    streams = StreamRegistry(9)
+    dns = DnsInfrastructure()
+    ec2 = EC2Cloud(streams, dns)
+    azure = AzureCloud(streams, dns)
+    model = RoutingModel(streams, {"ec2": ec2, "azure": azure})
+    return model, ec2
+
+
+class TestTopology:
+    def test_pool_sizes(self, routing):
+        model, _ = routing
+        for region, size in EC2_DOWNSTREAM_POOL.items():
+            assert len(model.downstream_isps("ec2", region)) == size
+
+    def test_as_numbers_unique(self, routing):
+        model, _ = routing
+        numbers = [a.number for a in model.registry]
+        assert len(numbers) == len(set(numbers))
+
+
+class TestTraceroute:
+    def test_first_hops_are_cloud(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "us-east-1")
+        vantage = planetlab_sites(1)[0]
+        hops = model.traceroute(inst, vantage)
+        assert hops[0].is_cloud
+        assert hops[1].is_cloud
+        assert not hops[2].is_cloud
+
+    def test_cloud_hops_in_published_ranges(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "eu-west-1")
+        vantage = planetlab_sites(1)[0]
+        hops = model.traceroute(inst, vantage)
+        ranges = ec2.published_range_set()
+        first_external = model.first_non_cloud_hop(hops, ranges)
+        assert first_external is not None
+        assert first_external.address not in ranges
+
+    def test_whois_resolves_downstream(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "us-east-1")
+        vantage = planetlab_sites(1)[0]
+        hops = model.traceroute(inst, vantage)
+        hop = model.first_non_cloud_hop(hops, ec2.published_range_set())
+        asys = model.registry.whois(hop.address)
+        assert asys is not None
+        assert "us-east-1" in asys.name
+
+    def test_route_choice_persistent_per_destination(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "us-east-1")
+        vantage = planetlab_sites(1)[0]
+        ranges = ec2.published_range_set()
+
+        def downstream():
+            hops = model.traceroute(inst, vantage)
+            hop = model.first_non_cloud_hop(hops, ranges)
+            return model.registry.whois(hop.address).number
+
+        assert downstream() == downstream()
+
+    def test_routes_spread_unevenly(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "us-east-1")
+        ranges = ec2.published_range_set()
+        from collections import Counter
+        counter = Counter()
+        for vantage in planetlab_sites(120):
+            hops = model.traceroute(inst, vantage)
+            hop = model.first_non_cloud_hop(hops, ranges)
+            counter[model.registry.whois(hop.address).number] += 1
+        top_share = counter.most_common(1)[0][1] / sum(counter.values())
+        assert top_share > 0.10
+        assert len(counter) > 10
+
+    def test_poorly_multihomed_regions(self, routing):
+        model, ec2 = routing
+        inst = ec2.launch_instance("t", "sa-east-1")
+        ranges = ec2.published_range_set()
+        ases = set()
+        for vantage in planetlab_sites(60):
+            hops = model.traceroute(inst, vantage)
+            hop = model.first_non_cloud_hop(hops, ranges)
+            ases.add(model.registry.whois(hop.address).number)
+        assert len(ases) <= 4

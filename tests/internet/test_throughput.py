@@ -1,0 +1,73 @@
+"""Unit tests for the throughput model."""
+
+import pytest
+
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.internet.throughput import ThroughputModel
+from repro.internet.vantage import planetlab_sites
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def setup():
+    streams = StreamRegistry(3)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    latency = LatencyModel(streams, {"ec2": ec2}, enable_episodes=False)
+    throughput = ThroughputModel(streams, latency)
+    return throughput, ec2
+
+
+class TestDownload:
+    def test_duration_positive(self, setup):
+        throughput, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        duration, rate = throughput.download(client, server, 2_000_000)
+        assert duration > 0
+        assert rate > 0
+
+    def test_larger_files_take_longer(self, setup):
+        throughput, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        small_avg = sum(
+            throughput.download(client, server, 100_000)[0]
+            for _ in range(10)
+        )
+        big_avg = sum(
+            throughput.download(client, server, 10_000_000)[0]
+            for _ in range(10)
+        )
+        assert big_avg > small_avg
+
+    def test_nearby_server_is_faster(self, setup):
+        throughput, ec2 = setup
+        sites = planetlab_sites(64)
+        seattle = next(s for s in sites if s.name == "pl-seattle")
+        near = ec2.launch_instance("t", "us-west-2")
+        far = ec2.launch_instance("t", "sa-east-1")
+        near_rate = sum(
+            throughput.download(seattle, near, 2_000_000)[1]
+            for _ in range(10)
+        )
+        far_rate = sum(
+            throughput.download(seattle, far, 2_000_000)[1]
+            for _ in range(10)
+        )
+        assert near_rate > far_rate
+
+    def test_rejects_empty_download(self, setup):
+        throughput, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        with pytest.raises(ValueError):
+            throughput.download(client, server, 0)
+
+    def test_rate_equals_size_over_duration(self, setup):
+        throughput, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        duration, rate = throughput.download(client, server, 2_000_000)
+        assert rate == pytest.approx(2_000_000 / duration)

@@ -1,0 +1,36 @@
+"""Unit tests for vantage point generation."""
+
+import pytest
+
+from repro.internet.vantage import CAMPUS_VANTAGE, planetlab_sites
+
+
+class TestPlanetlabSites:
+    def test_count_respected(self):
+        for count in (1, 40, 80, 200):
+            assert len(planetlab_sites(count)) == count
+
+    def test_names_unique(self):
+        sites = planetlab_sites(200)
+        assert len({s.name for s in sites}) == 200
+
+    def test_deterministic(self):
+        assert planetlab_sites(50) == planetlab_sites(50)
+
+    def test_continental_mix(self):
+        continents = {s.continent for s in planetlab_sites(80)}
+        assert {"NA", "SA", "EU", "AS", "OC"} <= continents
+
+    def test_replicas_get_suffix(self):
+        sites = planetlab_sites(130)
+        assert any(s.name.endswith("-2") for s in sites)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            planetlab_sites(0)
+
+
+class TestCampus:
+    def test_campus_is_in_madison(self):
+        assert CAMPUS_VANTAGE.country == "US"
+        assert abs(CAMPUS_VANTAGE.location.lat - 43.07) < 0.1

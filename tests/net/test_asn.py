@@ -1,0 +1,47 @@
+"""Unit tests for the AS registry (whois)."""
+
+import pytest
+
+from repro.net.asn import ASRegistry, AutonomousSystem
+
+
+class TestASRegistry:
+    def test_register_and_get(self):
+        reg = ASRegistry()
+        asys = reg.register(7001, "test-isp", ["80.0.1.0/24"])
+        assert reg.get(7001) is asys
+        assert asys.name == "test-isp"
+
+    def test_whois_finds_owner(self):
+        reg = ASRegistry()
+        reg.register(7001, "isp-a", ["80.0.1.0/24"])
+        reg.register(7002, "isp-b", ["80.0.2.0/24"])
+        assert reg.whois("80.0.1.55").number == 7001
+        assert reg.whois("80.0.2.55").number == 7002
+
+    def test_whois_unknown_address(self):
+        reg = ASRegistry()
+        reg.register(7001, "isp-a", ["80.0.1.0/24"])
+        assert reg.whois("9.9.9.9") is None
+
+    def test_duplicate_as_number_rejected(self):
+        reg = ASRegistry()
+        reg.register(7001, "isp-a", ["80.0.1.0/24"])
+        with pytest.raises(ValueError):
+            reg.register(7001, "isp-dup", ["80.0.9.0/24"])
+
+    def test_multiple_prefixes_per_as(self):
+        reg = ASRegistry()
+        reg.register(7001, "isp-a", ["80.0.1.0/24", "81.0.0.0/16"])
+        assert reg.whois("81.0.200.1").number == 7001
+
+    def test_iteration_and_len(self):
+        reg = ASRegistry()
+        reg.register(7001, "a", ["80.0.1.0/24"])
+        reg.register(7002, "b", ["80.0.2.0/24"])
+        assert len(reg) == 2
+        assert {a.number for a in reg} == {7001, 7002}
+
+    def test_invalid_as_number(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "bad")

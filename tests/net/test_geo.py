@@ -1,0 +1,70 @@
+"""Unit tests for the geographic primitives."""
+
+import pytest
+
+from repro.net.geo import (
+    GeoPoint,
+    haversine_km,
+    propagation_delay_ms,
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(43.07, -89.40)
+        assert p.lat == 43.07
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181),
+                                         (0, -181)])
+    def test_rejects_out_of_range(self, lat, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, lon)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(10, 20)
+        assert haversine_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_new_york_to_london(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        # Known great-circle distance ~5570 km.
+        assert haversine_km(a, b) == pytest.approx(5570, rel=0.02)
+
+    def test_quarter_circumference(self):
+        equator = GeoPoint(0, 0)
+        pole = GeoPoint(90, 0)
+        assert haversine_km(equator, pole) == pytest.approx(10008, rel=0.01)
+
+    def test_antipodal_does_not_crash(self):
+        a = GeoPoint(0, 0)
+        b = GeoPoint(0, 180)
+        assert haversine_km(a, b) == pytest.approx(20015, rel=0.01)
+
+
+class TestPropagation:
+    def test_rtt_scales_with_distance(self):
+        origin = GeoPoint(0, 0)
+        near = GeoPoint(0, 5)
+        far = GeoPoint(0, 50)
+        assert propagation_delay_ms(origin, far) > propagation_delay_ms(
+            origin, near
+        )
+
+    def test_coast_to_coast_magnitude(self):
+        # ~4000 km should give an RTT on the order of 60-100 ms with
+        # 2x path inflation.
+        seattle = GeoPoint(47.61, -122.33)
+        virginia = GeoPoint(38.95, -77.45)
+        rtt = propagation_delay_ms(seattle, virginia)
+        assert 50 < rtt < 120
+
+    def test_zero_for_same_point(self):
+        p = GeoPoint(12, 34)
+        assert propagation_delay_ms(p, p) == 0.0

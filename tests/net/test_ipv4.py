@@ -1,0 +1,135 @@
+"""Unit tests for IPv4 addresses and CIDR networks."""
+
+import pytest
+
+from repro.net.ipv4 import (
+    IPv4Address,
+    IPv4Network,
+    int_to_ip,
+    ip_to_int,
+    parse_network,
+)
+
+
+class TestIpToInt:
+    def test_zero(self):
+        assert ip_to_int("0.0.0.0") == 0
+
+    def test_max(self):
+        assert ip_to_int("255.255.255.255") == 2**32 - 1
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_octet_order(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+    @pytest.mark.parametrize(
+        "bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "", "1.2.3.4.5", "1..2.3"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "192.168.255.1",
+                     "255.255.255.255"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        addr = IPv4Address.parse("54.192.0.35")
+        assert str(addr) == "54.192.0.35"
+
+    def test_ordering(self):
+        a = IPv4Address.parse("10.0.0.1")
+        b = IPv4Address.parse("10.0.0.2")
+        assert a < b
+
+    def test_hashable(self):
+        addr = IPv4Address.parse("1.2.3.4")
+        assert addr in {IPv4Address.parse("1.2.3.4")}
+
+    def test_add_offset(self):
+        addr = IPv4Address.parse("10.0.0.250") + 10
+        assert str(addr) == "10.0.1.4"
+
+    def test_slash16(self):
+        addr = IPv4Address.parse("10.37.200.17")
+        assert str(addr.slash16()) == "10.37.0.0/16"
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+
+
+class TestIPv4Network:
+    def test_parse_normalizes_host_bits(self):
+        assert str(IPv4Network.parse("10.1.2.3/16")) == "10.1.0.0/16"
+
+    def test_bare_address_is_slash32(self):
+        net = parse_network("10.0.0.5")
+        assert net.prefix_len == 32
+        assert net.num_addresses == 1
+
+    def test_first_last(self):
+        net = IPv4Network.parse("192.168.4.0/22")
+        assert int_to_ip(net.first) == "192.168.4.0"
+        assert int_to_ip(net.last) == "192.168.7.255"
+
+    def test_num_addresses(self):
+        assert IPv4Network.parse("10.0.0.0/24").num_addresses == 256
+        assert IPv4Network.parse("0.0.0.0/0").num_addresses == 2**32
+
+    def test_contains_address_object(self):
+        net = IPv4Network.parse("10.5.0.0/16")
+        assert IPv4Address.parse("10.5.200.3") in net
+        assert IPv4Address.parse("10.6.0.0") not in net
+
+    def test_contains_string_and_int(self):
+        net = IPv4Network.parse("10.5.0.0/16")
+        assert "10.5.0.1" in net
+        assert ip_to_int("10.5.0.1") in net
+
+    def test_contains_other_types_false(self):
+        net = IPv4Network.parse("10.5.0.0/16")
+        assert object() not in net
+
+    def test_contains_network(self):
+        outer = IPv4Network.parse("10.0.0.0/8")
+        inner = IPv4Network.parse("10.9.0.0/16")
+        assert outer.contains_network(inner)
+        assert not inner.contains_network(outer)
+
+    def test_overlaps(self):
+        a = IPv4Network.parse("10.0.0.0/9")
+        b = IPv4Network.parse("10.64.0.0/10")
+        c = IPv4Network.parse("10.128.0.0/9")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        subs = list(IPv4Network.parse("10.0.0.0/14").subnets(16))
+        assert len(subs) == 4
+        assert str(subs[1]) == "10.1.0.0/16"
+
+    def test_subnets_rejects_shorter_prefix(self):
+        with pytest.raises(ValueError):
+            list(IPv4Network.parse("10.0.0.0/16").subnets(8))
+
+    def test_address_at(self):
+        net = IPv4Network.parse("10.0.0.0/24")
+        assert str(net.address_at(5)) == "10.0.0.5"
+        with pytest.raises(ValueError):
+            net.address_at(256)
+
+    def test_bad_prefix_len(self):
+        with pytest.raises(ValueError):
+            IPv4Network(0, 33)

@@ -1,0 +1,80 @@
+"""Unit tests for PrefixSet membership and attribution."""
+
+import pytest
+
+from repro.net.ipv4 import IPv4Address, IPv4Network
+from repro.net.prefixset import PrefixSet
+
+
+class TestMembership:
+    def test_empty_set(self):
+        ps = PrefixSet()
+        assert "10.0.0.1" not in ps
+        assert not ps
+        assert len(ps) == 0
+
+    def test_single_block(self):
+        ps = PrefixSet(["10.5.0.0/16"])
+        assert "10.5.1.2" in ps
+        assert "10.6.0.0" not in ps
+        assert "10.4.255.255" not in ps
+
+    def test_block_boundaries(self):
+        ps = PrefixSet(["10.5.0.0/16"])
+        assert "10.5.0.0" in ps
+        assert "10.5.255.255" in ps
+
+    def test_accepts_address_objects_and_ints(self):
+        ps = PrefixSet(["10.5.0.0/16"])
+        assert IPv4Address.parse("10.5.0.9") in ps
+        assert (10 << 24 | 5 << 16 | 9) in ps
+
+    def test_multiple_disjoint_blocks(self):
+        ps = PrefixSet(["10.0.0.0/24", "192.168.0.0/16"])
+        assert "10.0.0.7" in ps
+        assert "192.168.44.1" in ps
+        assert "172.16.0.1" not in ps
+
+    def test_adjacent_blocks_merge(self):
+        ps = PrefixSet(["10.0.0.0/25", "10.0.0.128/25"])
+        assert ps.num_addresses() == 256
+
+    def test_overlapping_blocks_merge(self):
+        ps = PrefixSet(["10.0.0.0/16", "10.0.128.0/17"])
+        assert ps.num_addresses() == 65536
+
+
+class TestAttribution:
+    def test_lookup_label(self):
+        ps = PrefixSet([("10.0.0.0/16", "east"), ("10.1.0.0/16", "west")])
+        assert ps.lookup("10.0.3.4") == "east"
+        assert ps.lookup("10.1.3.4") == "west"
+        assert ps.lookup("10.2.0.0") is None
+
+    def test_lookup_most_specific(self):
+        ps = PrefixSet([
+            ("10.0.0.0/8", "coarse"),
+            ("10.5.0.0/16", "fine"),
+        ])
+        assert ps.lookup("10.5.0.1") == "fine"
+        assert ps.lookup("10.6.0.1") == "coarse"
+
+    def test_matching_block(self):
+        ps = PrefixSet([("10.5.0.0/16", "x")])
+        block = ps.matching_block("10.5.9.9")
+        assert str(block) == "10.5.0.0/16"
+        assert ps.matching_block("11.0.0.0") is None
+
+    def test_unlabelled_blocks_lookup_none(self):
+        ps = PrefixSet(["10.5.0.0/16"])
+        assert ps.lookup("10.5.0.1") is None
+        assert "10.5.0.1" in ps
+
+    def test_blocks_property(self):
+        nets = ["10.0.0.0/24", "10.1.0.0/24"]
+        ps = PrefixSet(nets)
+        assert [str(b) for b in ps.blocks] == nets
+
+    def test_accepts_network_objects(self):
+        ps = PrefixSet([IPv4Network.parse("10.0.0.0/24")])
+        assert "10.0.0.1" in ps

@@ -1,0 +1,64 @@
+"""Property-based tests: PrefixSet agrees with brute-force matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import IPv4Network
+from repro.net.prefixset import PrefixSet
+
+networks = st.builds(
+    IPv4Network,
+    network=st.integers(min_value=0, max_value=2**32 - 1),
+    prefix_len=st.integers(min_value=4, max_value=32),
+)
+
+
+@given(
+    blocks=st.lists(networks, min_size=1, max_size=20),
+    probe=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200)
+def test_membership_matches_bruteforce(blocks, probe):
+    ps = PrefixSet(blocks)
+    expected = any(probe in net for net in blocks)
+    assert (probe in ps) == expected
+
+
+@given(
+    blocks=st.lists(networks, min_size=1, max_size=20),
+    probe=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200)
+def test_lookup_returns_most_specific_label(blocks, probe):
+    labelled = [(net, i) for i, net in enumerate(blocks)]
+    ps = PrefixSet(labelled)
+    containing = [
+        (net.prefix_len, i) for i, net in enumerate(blocks) if probe in net
+    ]
+    result = ps.lookup(probe)
+    if not containing:
+        assert result is None
+    else:
+        best_len = max(containing)[0]
+        candidates = {i for length, i in containing if length == best_len}
+        assert result in candidates
+
+
+@given(blocks=st.lists(networks, min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_num_addresses_never_exceeds_sum(blocks):
+    ps = PrefixSet(blocks)
+    assert ps.num_addresses() <= sum(net.num_addresses for net in blocks)
+    assert ps.num_addresses() >= max(net.num_addresses for net in blocks)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=2**32 - 1),
+    prefix_len=st.integers(min_value=0, max_value=32),
+)
+@settings(max_examples=200)
+def test_network_contains_its_bounds(value, prefix_len):
+    net = IPv4Network(value, prefix_len)
+    assert net.first in net
+    assert net.last in net
+    assert net.num_addresses == net.last - net.first + 1

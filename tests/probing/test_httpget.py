@@ -1,0 +1,51 @@
+"""Unit tests for the HTTP download measurement tool."""
+
+import pytest
+
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.internet.throughput import ThroughputModel
+from repro.internet.vantage import planetlab_sites
+from repro.probing.httpget import HttpDownloader
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def setup():
+    streams = StreamRegistry(6)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    latency = LatencyModel(streams, {"ec2": ec2}, enable_episodes=False)
+    downloader = HttpDownloader(ThroughputModel(streams, latency))
+    return downloader, ec2
+
+
+class TestHttpDownloader:
+    def test_completed_download_reports_rate(self, setup):
+        downloader, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        result = downloader.get(client, server)
+        assert result.completed
+        assert result.rate_kb_per_s > 0
+
+    def test_timeout_cancels(self, setup):
+        downloader, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "sa-east-1")
+        result = downloader.get(
+            client, server, size_bytes=500_000_000, timeout_s=10.0
+        )
+        assert not result.completed
+        assert result.duration_s is None
+        assert result.rate_kb_per_s is None
+
+    def test_rate_in_plausible_band(self, setup):
+        downloader, ec2 = setup
+        client = planetlab_sites(1)[0]
+        server = ec2.launch_instance("t", "us-east-1")
+        rates = [
+            downloader.get(client, server).rate_kb_per_s
+            for _ in range(10)
+        ]
+        assert all(50 < rate < 30_000 for rate in rates)

@@ -1,0 +1,121 @@
+"""Unit tests for the TCP ping tool."""
+
+import pytest
+
+from repro.cloud.base import InstanceRole
+from repro.cloud.ec2 import EC2Cloud
+from repro.dns.infrastructure import DnsInfrastructure
+from repro.internet.latency import LatencyModel
+from repro.internet.vantage import planetlab_sites
+from repro.net.ipv4 import IPv4Address
+from repro.probing.directory import EndpointDirectory
+from repro.probing.ping import PingResult, Prober
+from repro.sim import StreamRegistry
+
+
+@pytest.fixture()
+def setup():
+    streams = StreamRegistry(4)
+    ec2 = EC2Cloud(streams, DnsInfrastructure())
+    latency = LatencyModel(streams, {"ec2": ec2})
+    prober = Prober(latency, EndpointDirectory([ec2]))
+    return prober, ec2
+
+
+class TestPingResult:
+    def test_min_and_median(self):
+        result = PingResult(rtts_ms=[3.0, 1.0, 2.0])
+        assert result.min_ms == 1.0
+        assert result.median_ms == 2.0
+
+    def test_median_even_count(self):
+        result = PingResult(rtts_ms=[1.0, 2.0, 3.0, 4.0])
+        assert result.median_ms == 2.5
+
+    def test_timeouts_ignored_in_stats(self):
+        result = PingResult(rtts_ms=[None, 5.0, None])
+        assert result.min_ms == 5.0
+        assert result.responded
+
+    def test_all_timeouts(self):
+        result = PingResult(rtts_ms=[None, None])
+        assert not result.responded
+        assert result.min_ms is None
+        assert result.median_ms is None
+
+
+class TestProber:
+    def test_ping_by_endpoint(self, setup):
+        prober, ec2 = setup
+        client = planetlab_sites(1)[0]
+        target = ec2.launch_instance(
+            "t", "us-east-1", role=InstanceRole.PROBE
+        )
+        result = prober.tcp_ping(client, target, count=5)
+        assert len(result.rtts_ms) == 5
+        assert result.responded
+
+    def test_ping_by_public_ip(self, setup):
+        prober, ec2 = setup
+        client = planetlab_sites(1)[0]
+        target = ec2.launch_instance(
+            "t", "us-east-1", role=InstanceRole.PROBE
+        )
+        result = prober.tcp_ping(client, target.public_ip, count=3)
+        assert result.responded
+
+    def test_ping_by_internal_ip_with_region_hint(self, setup):
+        prober, ec2 = setup
+        probe = ec2.launch_instance(
+            "t", "us-east-1", role=InstanceRole.PROBE
+        )
+        target = ec2.launch_instance(
+            "t", "us-east-1", role=InstanceRole.PROBE
+        )
+        result = prober.tcp_ping(
+            probe, target.internal_ip, count=3, region_hint="us-east-1"
+        )
+        assert result.responded
+
+    def test_unknown_ip_times_out(self, setup):
+        prober, _ = setup
+        client = planetlab_sites(1)[0]
+        result = prober.tcp_ping(
+            client, IPv4Address.parse("9.9.9.9"), count=4
+        )
+        assert not result.responded
+        assert result.rtts_ms == [None] * 4
+
+    def test_some_web_instances_filter_probes(self, setup):
+        prober, ec2 = setup
+        client = planetlab_sites(1)[0]
+        responded = 0
+        total = 80
+        for _ in range(total):
+            target = ec2.launch_instance(
+                "t", "us-east-1", role=InstanceRole.WEB
+            )
+            if prober.tcp_ping(client, target, count=1).responded:
+                responded += 1
+        assert 0.5 < responded / total < 0.95
+
+    def test_response_behaviour_persistent(self, setup):
+        prober, ec2 = setup
+        client = planetlab_sites(1)[0]
+        target = ec2.launch_instance(
+            "t", "us-east-1", role=InstanceRole.WEB
+        )
+        first = prober.tcp_ping(client, target, count=1).responded
+        for _ in range(5):
+            assert prober.tcp_ping(
+                client, target, count=1
+            ).responded == first
+
+    def test_managed_roles_always_respond(self, setup):
+        prober, ec2 = setup
+        client = planetlab_sites(1)[0]
+        for role in (InstanceRole.ELB_PROXY, InstanceRole.PAAS_NODE):
+            for _ in range(10):
+                target = ec2.launch_instance("amazon", "us-east-1",
+                                             role=role)
+                assert prober.tcp_ping(client, target, count=1).responded

@@ -1,0 +1,36 @@
+"""Unit tests for the ASCII plot helpers."""
+
+from repro.report.ascii_plot import ascii_cdf, ascii_series
+
+
+class TestAsciiCdf:
+    def test_empty(self):
+        assert ascii_cdf([]) == "(empty)"
+
+    def test_renders_points(self):
+        out = ascii_cdf([(1, 0.25), (2, 0.5), (4, 1.0)])
+        assert "*" in out
+        assert "x: 1" in out
+
+    def test_log_scale_label(self):
+        out = ascii_cdf([(1, 0.5), (1000, 1.0)], log_x=True)
+        assert "(log)" in out
+
+    def test_label_included(self):
+        out = ascii_cdf([(1, 1.0)], label="demo")
+        assert out.startswith("demo")
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert ascii_series([]) == "(empty)"
+        assert ascii_series([("a", [])]) == "(empty)"
+
+    def test_legend(self):
+        out = ascii_series([("east", [1, 2]), ("west", [2, 1])])
+        assert "*=east" in out
+        assert "+=west" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_series([("flat", [5, 5, 5])])
+        assert "y: 5" in out

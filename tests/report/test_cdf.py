@@ -1,0 +1,69 @@
+"""Unit and property tests for the CDF helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.report.cdf import CDF
+
+
+class TestCDF:
+    def test_at(self):
+        cdf = CDF([1, 2, 3, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_median(self):
+        assert CDF([5, 1, 3]).median == 3
+
+    def test_mean(self):
+        assert CDF([1, 2, 3]).mean == pytest.approx(2.0)
+
+    def test_quantile_bounds(self):
+        cdf = CDF([10, 20, 30])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(1.0) == 30
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CDF([1]).quantile(1.5)
+
+    def test_empty_cdf_raises(self):
+        cdf = CDF([])
+        assert not cdf
+        with pytest.raises(ValueError):
+            cdf.at(1)
+        with pytest.raises(ValueError):
+            cdf.median
+
+    def test_points_decimated(self):
+        cdf = CDF(range(10000))
+        points = cdf.points(max_points=100)
+        assert len(points) <= 102
+        assert points[-1][1] == 1.0
+
+
+@given(st.lists(st.floats(
+    allow_nan=False, allow_infinity=False, width=32
+), min_size=1, max_size=200))
+@settings(max_examples=150)
+def test_cdf_monotone_and_bounded(samples):
+    cdf = CDF(samples)
+    points = cdf.points()
+    ys = [y for _, y in points]
+    assert all(0 < y <= 1.0 + 1e-9 for y in ys)
+    assert ys == sorted(ys)
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000),
+             min_size=1, max_size=100),
+    st.integers(min_value=-1000, max_value=1000),
+)
+@settings(max_examples=150)
+def test_cdf_at_matches_definition(samples, x):
+    cdf = CDF(samples)
+    expected = sum(1 for s in samples if s <= x) / len(samples)
+    assert cdf.at(x) == pytest.approx(expected)

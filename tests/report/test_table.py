@@ -1,0 +1,44 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.report.table import TextTable, format_percent
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["name", "count"])
+        table.add_row(["alpha", 3])
+        rendered = table.render()
+        assert "name" in rendered
+        assert "alpha" in rendered
+        assert "3" in rendered
+
+    def test_title_rendered(self):
+        table = TextTable(["x"], title="My Table")
+        assert table.render().startswith("My Table")
+
+    def test_column_count_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_floats_formatted(self):
+        table = TextTable(["v"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_alignment(self):
+        table = TextTable(["col"])
+        table.add_row(["a-very-long-cell"])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines if line.strip()}
+        assert max(widths) == len("a-very-long-cell")
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.5) == "50.00%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=1) == "12.3%"

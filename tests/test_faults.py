@@ -1,0 +1,52 @@
+"""Unit tests for outage scenario definitions."""
+
+import pytest
+
+from repro.faults import (
+    OutageScenario,
+    isp_outage,
+    region_outage,
+    service_outage,
+    zone_outage,
+)
+
+
+class TestScenarios:
+    def test_region_outage_covers_all_zones(self):
+        scenario = region_outage("ec2", "us-east-1")
+        assert scenario.region_down("ec2", "us-east-1")
+        for zone in range(3):
+            assert scenario.zone_down("ec2", "us-east-1", zone)
+        assert not scenario.region_down("ec2", "us-west-1")
+
+    def test_zone_outage_is_scoped(self):
+        scenario = zone_outage("ec2", "us-east-1", 1)
+        assert scenario.zone_down("ec2", "us-east-1", 1)
+        assert not scenario.zone_down("ec2", "us-east-1", 0)
+        assert not scenario.region_down("ec2", "us-east-1")
+
+    def test_service_outage(self):
+        scenario = service_outage("elb")
+        assert scenario.service_down("elb")
+        assert not scenario.service_down("heroku")
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValueError):
+            service_outage("quantum-balancer")
+
+    def test_isp_outage(self):
+        scenario = isp_outage(7001, 7002)
+        assert scenario.isp_down(7001)
+        assert not scenario.isp_down(7009)
+
+    def test_composition(self):
+        combined = region_outage("ec2", "us-east-1") | service_outage("elb")
+        assert combined.region_down("ec2", "us-east-1")
+        assert combined.service_down("elb")
+        assert "us-east-1" in combined.name and "elb" in combined.name
+
+    def test_scenarios_are_hashable_values(self):
+        a = zone_outage("ec2", "us-east-1", 0)
+        b = zone_outage("ec2", "us-east-1", 0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,62 @@
+"""Property-based tests for outage-scenario composition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.scenarios import OutageScenario
+
+providers = st.sampled_from(["ec2", "azure"])
+regions = st.sampled_from(["us-east-1", "eu-west-1", "us-north"])
+zones = st.integers(min_value=0, max_value=2)
+
+scenarios = st.builds(
+    OutageScenario,
+    name=st.just("s"),
+    regions=st.frozensets(
+        st.tuples(providers, regions), max_size=3
+    ),
+    zones=st.frozensets(
+        st.tuples(providers, regions, zones), max_size=3
+    ),
+    services=st.frozensets(
+        st.sampled_from(["elb", "heroku", "route53"]), max_size=2
+    ),
+    isp_as_numbers=st.frozensets(
+        st.integers(min_value=7000, max_value=7010), max_size=3
+    ),
+)
+
+
+@given(a=scenarios, b=scenarios, provider=providers, region=regions,
+       zone=zones)
+@settings(max_examples=200)
+def test_union_is_commutative_in_effect(a, b, provider, region, zone):
+    ab = a | b
+    ba = b | a
+    assert ab.zone_down(provider, region, zone) == ba.zone_down(
+        provider, region, zone
+    )
+    assert ab.region_down(provider, region) == ba.region_down(
+        provider, region
+    )
+
+
+@given(a=scenarios, b=scenarios, provider=providers, region=regions,
+       zone=zones)
+@settings(max_examples=200)
+def test_union_never_heals(a, b, provider, region, zone):
+    """Composing scenarios can only add failures."""
+    combined = a | b
+    if a.zone_down(provider, region, zone):
+        assert combined.zone_down(provider, region, zone)
+    if a.service_down("elb"):
+        assert combined.service_down("elb")
+
+
+@given(scenario=scenarios, provider=providers, region=regions,
+       zone=zones)
+@settings(max_examples=200)
+def test_region_down_implies_all_zones_down(scenario, provider, region,
+                                            zone):
+    if scenario.region_down(provider, region):
+        assert scenario.zone_down(provider, region, zone)

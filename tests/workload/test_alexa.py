@@ -1,0 +1,52 @@
+"""Unit tests for the Alexa-like ranking."""
+
+import random
+
+import pytest
+
+from repro.workload.alexa import AlexaRanking
+
+
+class TestAlexaRanking:
+    def test_size(self):
+        ranking = AlexaRanking(500, random.Random(1))
+        assert len(ranking) == 500
+        assert len(ranking.domains()) == 500
+
+    def test_notables_planted_at_their_ranks(self):
+        ranking = AlexaRanking(200, random.Random(2))
+        assert ranking.sites[8].domain == "amazon.com"  # rank 9
+        assert ranking.sites[6].domain == "live.com"    # rank 7
+        assert ranking.sites[34].domain == "pinterest.com"
+
+    def test_deep_notables_dropped_at_small_size(self):
+        ranking = AlexaRanking(50, random.Random(3))
+        assert ranking.rank_of("dropbox.com") is None  # rank 119
+
+    def test_domains_unique(self):
+        ranking = AlexaRanking(2000, random.Random(4))
+        domains = ranking.domains()
+        assert len(set(domains)) == len(domains)
+
+    def test_rank_of(self):
+        ranking = AlexaRanking(100, random.Random(5))
+        assert ranking.rank_of("amazon.com") == 9
+        assert ranking.rank_of("doesnotexist.example") is None
+
+    def test_quartiles(self):
+        ranking = AlexaRanking(100, random.Random(6))
+        assert ranking.quartile_of(1) == 0
+        assert ranking.quartile_of(25) == 0
+        assert ranking.quartile_of(26) == 1
+        assert ranking.quartile_of(100) == 3
+
+    def test_quartile_bounds(self):
+        ranking = AlexaRanking(100, random.Random(7))
+        with pytest.raises(ValueError):
+            ranking.quartile_of(0)
+        with pytest.raises(ValueError):
+            ranking.quartile_of(101)
+
+    def test_rejects_empty_ranking(self):
+        with pytest.raises(ValueError):
+            AlexaRanking(0, random.Random(8))

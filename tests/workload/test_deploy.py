@@ -1,0 +1,137 @@
+"""Integration tests: deployed domains are resolvable and consistent
+with their ground-truth plans."""
+
+import pytest
+
+from repro.dns.resolver import StubResolver
+
+
+@pytest.fixture(scope="module")
+def deployed_world(request):
+    from repro.world import World, WorldConfig
+    return World(WorldConfig(seed=17, num_domains=400))
+
+
+def plans_with_frontend(world, frontend):
+    result = []
+    for plan in world.plans:
+        for sub in plan.cloud_subdomains():
+            if sub.frontend == frontend:
+                result.append((plan, sub))
+    return result
+
+
+class TestDeployment:
+    def test_every_domain_has_a_zone(self, deployed_world):
+        for plan in deployed_world.plans:
+            assert deployed_world.dns.get_zone(plan.domain) is not None
+
+    def test_every_domain_has_nameservers(self, deployed_world):
+        for deployed in deployed_world.deployed:
+            assert len(deployed.nameservers) >= 2
+
+    def test_ns_records_resolvable(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        for deployed in deployed_world.deployed[:50]:
+            for server in deployed.nameservers:
+                assert deployed_world.dns.nameserver_address(
+                    server.hostname
+                ) is not None
+
+    def test_vm_subdomains_resolve_to_planned_regions(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        pairs = plans_with_frontend(deployed_world, "vm")
+        assert pairs, "world too small: no VM subdomains"
+        region_set = deployed_world.ec2.plan.prefix_set()
+        for plan, sub in pairs[:40]:
+            response = resolver.dig(sub.fqdn)
+            assert response.addresses
+            regions = {
+                region_set.lookup(a) for a in response.addresses
+            } - {None}
+            assert regions <= set(sub.regions)
+
+    def test_vm_zone_placement_matches_plan(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        for plan, sub in plans_with_frontend(deployed_world, "vm")[:40]:
+            if len(sub.regions) != 1:
+                continue
+            response = resolver.dig(sub.fqdn)
+            for address in response.addresses:
+                instance = deployed_world.ec2.instance_by_public_ip(address)
+                if instance is None:
+                    continue  # hybrid external address
+                assert instance.zone_index in sub.zone_indices[0]
+
+    def test_elb_subdomains_have_elb_cname(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        for plan, sub in plans_with_frontend(deployed_world, "elb")[:20]:
+            response = resolver.dig(sub.fqdn)
+            assert any(
+                "elb.amazonaws.com" in c for c in response.chain
+            )
+            assert response.addresses
+
+    def test_heroku_subdomains_resolve_via_heroku(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        for plan, sub in plans_with_frontend(deployed_world, "heroku")[:20]:
+            response = resolver.dig(sub.fqdn)
+            assert any("heroku" in c for c in response.chain)
+
+    def test_cs_cname_subdomains(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        for plan, sub in plans_with_frontend(
+            deployed_world, "cs_cname"
+        )[:20]:
+            response = resolver.dig(sub.fqdn)
+            assert any("cloudapp.net" in c for c in response.chain)
+
+    def test_hybrid_subdomains_mix_addresses(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        ec2_ranges = deployed_world.ec2.published_range_set()
+        hybrids = [
+            (plan, sub)
+            for plan in deployed_world.plans
+            for sub in plan.subdomains
+            if sub.kind == "hybrid"
+        ]
+        for plan, sub in hybrids[:10]:
+            response = resolver.dig(sub.fqdn)
+            in_cloud = [a for a in response.addresses if a in ec2_ranges]
+            outside = [
+                a for a in response.addresses if a not in ec2_ranges
+            ]
+            assert in_cloud and outside
+
+    def test_external_subdomains_outside_clouds(self, deployed_world):
+        resolver = StubResolver(deployed_world.dns)
+        ec2_ranges = deployed_world.ec2.published_range_set()
+        azure_ranges = deployed_world.azure.published_range_set()
+        externals = [
+            sub
+            for plan in deployed_world.plans
+            for sub in plan.subdomains
+            if sub.kind == "external" and sub.frontend is None
+        ]
+        for sub in externals[:40]:
+            response = resolver.dig(sub.fqdn)
+            for address in response.addresses:
+                assert address not in ec2_ranges
+                assert address not in azure_ranges
+
+    def test_axfr_follows_plan(self, deployed_world):
+        from repro.dns.zone import TransferRefused
+        for plan in deployed_world.plans[:80]:
+            zone = deployed_world.dns.get_zone(plan.domain)
+            if plan.axfr_allowed:
+                assert zone.transfer() is not None
+            else:
+                with pytest.raises(TransferRefused):
+                    zone.transfer()
+
+    def test_route53_domains_use_route53_servers(self, deployed_world):
+        for deployed in deployed_world.deployed:
+            if deployed.plan.dns_hosting == "route53":
+                assert all(
+                    "route53" in s.hostname for s in deployed.nameservers[:4]
+                )

@@ -1,0 +1,78 @@
+"""Unit tests for name generation."""
+
+import random
+
+from repro.workload.names import (
+    DomainNameFactory,
+    SubdomainLabelFactory,
+)
+
+
+class TestDomainNameFactory:
+    def test_names_unique(self):
+        factory = DomainNameFactory(random.Random(1))
+        names = [factory.fresh() for _ in range(2000)]
+        assert len(set(names)) == 2000
+
+    def test_names_have_tlds(self):
+        factory = DomainNameFactory(random.Random(2))
+        for _ in range(100):
+            assert "." in factory.fresh()
+
+    def test_reserved_names_never_generated(self):
+        factory = DomainNameFactory(random.Random(3))
+        reserved = {factory.fresh() for _ in range(5)}
+        fresh_factory = DomainNameFactory(random.Random(3))
+        for name in reserved:
+            fresh_factory.reserve(name)
+        regenerated = {fresh_factory.fresh() for _ in range(5)}
+        assert not (reserved & regenerated)
+
+    def test_blocklist_enforced(self):
+        factory = DomainNameFactory(random.Random(4))
+        for _ in range(5000):
+            name = factory.fresh()
+            for bad in ("nazi", "porn", "hitler"):
+                assert bad not in name
+
+    def test_deterministic_per_seed(self):
+        a = DomainNameFactory(random.Random(9))
+        b = DomainNameFactory(random.Random(9))
+        assert [a.fresh() for _ in range(20)] == [
+            b.fresh() for _ in range(20)
+        ]
+
+
+class TestSubdomainLabelFactory:
+    def test_count_respected(self):
+        factory = SubdomainLabelFactory(random.Random(1))
+        assert len(factory.labels_for_domain(15)) == 15
+
+    def test_labels_distinct(self):
+        factory = SubdomainLabelFactory(random.Random(2))
+        labels = factory.labels_for_domain(60)
+        assert len(set(labels)) == 60
+
+    def test_www_most_common_first_label(self):
+        factory = SubdomainLabelFactory(random.Random(3))
+        firsts = [
+            factory.labels_for_domain(3)[0] for _ in range(200)
+        ]
+        assert firsts.count("www") > 100
+
+    def test_hidden_labels_present(self):
+        factory = SubdomainLabelFactory(
+            random.Random(4), hidden_fraction=0.5
+        )
+        labels = factory.labels_for_domain(100)
+        hidden = [l for l in labels if l.startswith("x") and len(l) > 5]
+        assert hidden
+
+    def test_zero_count(self):
+        factory = SubdomainLabelFactory(random.Random(5))
+        assert factory.labels_for_domain(0) == []
+
+    def test_large_count_synthesizes_beyond_wordlist(self):
+        factory = SubdomainLabelFactory(random.Random(6))
+        labels = factory.labels_for_domain(400)
+        assert len(set(labels)) == 400

@@ -1,0 +1,71 @@
+"""Consistency tests for the notable-tenant catalog."""
+
+from repro.workload.notable import (
+    NOTABLE_TENANTS,
+    alexa_notables,
+    capture_notables,
+    notable_by_domain,
+)
+
+
+class TestCatalog:
+    def test_domains_unique(self):
+        domains = [spec.domain for spec in NOTABLE_TENANTS]
+        assert len(domains) == len(set(domains))
+
+    def test_ranks_unique(self):
+        ranks = [
+            spec.rank for spec in NOTABLE_TENANTS if spec.rank is not None
+        ]
+        assert len(ranks) == len(set(ranks))
+
+    def test_cloud_subdomains_within_total(self):
+        for spec in NOTABLE_TENANTS:
+            assert spec.cloud_subdomains <= spec.total_subdomains, (
+                spec.domain
+            )
+
+    def test_capture_shares_sane(self):
+        total = sum(spec.capture_share for spec in capture_notables())
+        # Table 5's head must leave room for the tail.
+        assert 80.0 < total < 99.0
+        for spec in capture_notables():
+            assert 0.0 < spec.capture_share <= 70.0
+
+    def test_https_fractions_are_fractions(self):
+        for spec in NOTABLE_TENANTS:
+            assert 0.0 <= spec.https_fraction <= 1.0
+
+    def test_providers_valid(self):
+        for spec in NOTABLE_TENANTS:
+            assert spec.provider in ("ec2", "azure")
+
+    def test_sub_regions_exist(self):
+        from repro.cloud.azure import AZURE_REGION_SPECS
+        from repro.cloud.ec2 import EC2_REGION_SPECS
+        known = {s.name for s in EC2_REGION_SPECS} | {
+            s.name for s in AZURE_REGION_SPECS
+        }
+        for spec in NOTABLE_TENANTS:
+            for sub in spec.subs:
+                for region in sub.regions:
+                    assert region in known, (spec.domain, region)
+
+    def test_paper_top10_present(self):
+        expected = {
+            "amazon.com", "linkedin.com", "163.com", "pinterest.com",
+            "fc2.com", "conduit.com", "ask.com", "apple.com",
+            "imdb.com", "hao123.com",
+        }
+        assert expected <= {spec.domain for spec in NOTABLE_TENANTS}
+
+    def test_dropbox_is_the_capture_giant(self):
+        dropbox = notable_by_domain("dropbox.com")
+        assert dropbox is not None
+        assert dropbox.capture_share == max(
+            spec.capture_share for spec in capture_notables()
+        )
+
+    def test_lookup_helpers(self):
+        assert notable_by_domain("does-not-exist.net") is None
+        assert all(spec.rank is not None for spec in alexa_notables())
