@@ -1,0 +1,162 @@
+"""Time the measurement pipeline at bench scale; write BENCH_pipeline.json.
+
+Runs the four pipeline stages — world construction, the Alexa
+subdomains dataset, the campus packet capture, and the §5 WAN
+campaign — end to end, records per-stage wall times, and digests the
+stage outputs so two runs (or two revisions) can be compared for
+bit-identical results as well as speed.  Usage:
+
+    PYTHONPATH=src python scripts/profile_pipeline.py \
+        [--seed S] [--domains N] [--wan-rounds R] [--workers W] \
+        [--repeat K] [--out BENCH_pipeline.json]
+
+With ``--repeat K`` each stage's reported time is the best of K full
+pipeline runs (the digests must agree across runs, and do — caching is
+output-transparent; see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import time
+
+from repro.analysis.dataset import DatasetBuilder
+from repro.analysis.wan import WanAnalysis, WanConfig
+from repro.world import World, WorldConfig
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
+
+
+def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
+    """One full pipeline run: stage timings plus output digests."""
+    timings = {}
+
+    start = time.perf_counter()
+    world = World(WorldConfig(seed=seed, num_domains=domains))
+    timings["world_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dataset = DatasetBuilder(world).build()
+    timings["dataset_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = world.capture_trace()
+    timings["capture_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    wan = WanAnalysis(
+        world, WanConfig(rounds=wan_rounds, workers=workers)
+    )
+    wan._measure()
+    timings["wan_s"] = time.perf_counter() - start
+
+    timings["total_s"] = sum(timings.values())
+
+    records = sorted(
+        (
+            record.fqdn,
+            record.domain,
+            record.rank,
+            tuple(sorted(str(a) for a in record.addresses)),
+            tuple(sorted(record.cnames)),
+            tuple(sorted(record.ns_names)),
+            record.lookups,
+        )
+        for record in dataset.records
+    )
+    digests = {
+        "records": _digest(records),
+        "ns_addresses": _digest(
+            sorted((k, str(v)) for k, v in dataset.ns_addresses.items())
+        ),
+        "wan_latency": _digest(
+            sorted((k, tuple(v)) for k, v in wan._latency.items())
+        ),
+        "wan_throughput": _digest(
+            sorted((k, tuple(v)) for k, v in wan._throughput.items())
+        ),
+        "trace": _digest(
+            (len(trace.flows), sum(f.total_bytes for f in trace.flows))
+        ),
+    }
+    return {"timings": timings, "digests": digests}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--domains", type=int, default=2500)
+    parser.add_argument("--wan-rounds", type=int, default=24)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="forked WAN workers (0 = sequential; results identical)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="full pipeline runs; per-stage times are the best of K",
+    )
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="earlier BENCH_pipeline.json to compute a speedup against "
+             "(run this script on the pre-optimisation revision first)",
+    )
+    args = parser.parse_args()
+
+    runs = [
+        run_once(args.seed, args.domains, args.wan_rounds, args.workers)
+        for _ in range(args.repeat)
+    ]
+    digests = runs[0]["digests"]
+    for run in runs[1:]:
+        if run["digests"] != digests:
+            raise SystemExit(
+                "digest mismatch across repeats — outputs are not "
+                f"deterministic: {runs[0]['digests']} vs {run['digests']}"
+            )
+    best = {
+        key: round(min(run["timings"][key] for run in runs), 3)
+        for key in runs[0]["timings"]
+    }
+
+    report = {
+        "bench": {
+            "seed": args.seed,
+            "domains": args.domains,
+            "wan_rounds": args.wan_rounds,
+            "workers": args.workers,
+            "repeat": args.repeat,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "timings_s": best,
+        "digests": digests,
+    }
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        report["baseline_timings_s"] = baseline["timings_s"]
+        report["speedup"] = round(
+            baseline["timings_s"]["total_s"] / best["total_s"], 2
+        )
+        if baseline.get("digests") != digests:
+            report["baseline_outputs_identical"] = False
+        else:
+            report["baseline_outputs_identical"] = True
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -182,6 +182,7 @@ class DatasetBuilder:
         self, cloud_using: Iterable[Tuple[str, str]]
     ) -> List[SubdomainRecord]:
         vantages = self.world.dns_vantages()
+        resolvers = [self.world.resolver_for(v) for v in vantages]
         records: List[SubdomainRecord] = []
         for domain, fqdn in cloud_using:
             record = SubdomainRecord(
@@ -189,8 +190,7 @@ class DatasetBuilder:
                 domain=domain,
                 rank=self.world.alexa.rank_of(domain),
             )
-            for vantage in vantages:
-                resolver = self.world.resolver_for(vantage)
+            for resolver in resolvers:
                 response = resolver.dig(fqdn, fresh=True)
                 record.lookups += 1
                 record.addresses.update(response.addresses)
@@ -206,9 +206,11 @@ class DatasetBuilder:
         """Collect and resolve each cloud-using subdomain's NS set."""
         vantages = self.world.dns_vantages()
         survey_vantages = vantages[: min(10, len(vantages))]
+        # The surveying resolver is the same object for every record;
+        # fetching it per record was just loop-invariant overhead.
+        resolver = self.world.resolver_for(survey_vantages[0])
         ns_addresses: Dict[str, Optional[IPv4Address]] = {}
         for record in records:
-            resolver = self.world.resolver_for(survey_vantages[0])
             response = resolver.dig(record.fqdn, RRType.NS, fresh=True)
             record.ns_names.update(response.ns_names)
             for hostname in response.ns_names:

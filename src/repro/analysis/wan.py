@@ -13,6 +13,7 @@ diversity table (Table 16).
 
 from __future__ import annotations
 
+import multiprocessing
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from itertools import combinations
@@ -20,12 +21,36 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.base import Instance, InstanceRole, InstanceType
 from repro.probing.httpget import DEFAULT_OBJECT_BYTES
+from repro.sim import advance_gauss
 from repro.world import World
 
 #: Account the measurement instances run under.
 WAN_ACCOUNT = "wan-measurement"
 
 US_REGIONS = ("us-east-1", "us-west-1", "us-west-2")
+
+#: Set around each fork so workers inherit the analysis by copy-on-write
+#: instead of pickling the whole world per task.
+_WORKER_STATE: Optional[Tuple["WanAnalysis", int, int]] = None
+
+
+def _measure_chunk(bounds: Tuple[int, int]):
+    """Worker entry point: measure rounds [start, stop) of the campaign.
+
+    The forked child starts with the parent's RNG streams positioned at
+    round 0, so it first fast-forwards the jitter and noise streams past
+    the rounds earlier chunks own.  Both streams are consumed purely via
+    ``gauss`` and the per-round draw count is fixed (see
+    :meth:`WanAnalysis._draws_per_round`), which makes the stream
+    positions — and therefore every value — bit-identical to a
+    sequential run.
+    """
+    start, stop = bounds
+    analysis, jitter_per_round, noise_per_round = _WORKER_STATE
+    world = analysis.world
+    advance_gauss(world.latency._jitter_rng, start * jitter_per_round)
+    advance_gauss(world.throughput._noise_rng, start * noise_per_round)
+    return analysis._measure_rounds(start, stop)
 
 
 @dataclass
@@ -37,6 +62,11 @@ class WanConfig:
     pings_per_round: int = 3    # paper: 5
     instances_per_zone: int = 2  # paper: 2
     traceroute_instances_per_zone: int = 3  # paper: 3
+    #: Fan the measurement rounds out over this many forked workers.
+    #: 0 or 1 keeps the campaign sequential; any value produces
+    #: bit-identical series (only the DNS dataset stage must stay
+    #: sequential — it advances server-side ELB rotation counters).
+    workers: int = 0
 
 
 class WanAnalysis:
@@ -81,15 +111,41 @@ class WanAnalysis:
         Keys are (client name, region); values are one sample per
         round: the mean ping RTT (ms) and the measured download rate
         (KB/s) averaged over the region's instances.
+
+        With ``config.workers > 1`` (and fork available) the rounds are
+        split into contiguous chunks measured by forked workers; the
+        merged matrices are bit-identical to a sequential campaign.
         """
         if self._latency is not None:
             return
+        self.instances()  # launch the fleet before any fork
+        workers = min(self.config.workers, self.config.rounds)
+        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            parts = self._measure_parallel(workers)
+        else:
+            parts = [self._measure_rounds(0, self.config.rounds)]
+        latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        for lat_part, thr_part in parts:
+            for key, values in lat_part.items():
+                latency[key].extend(values)
+            for key, values in thr_part.items():
+                throughput[key].extend(values)
+        self._latency = dict(latency)
+        self._throughput = dict(throughput)
+
+    def _measure_rounds(
+        self, start: int, stop: int
+    ) -> Tuple[
+        Dict[Tuple[str, str], List[float]], Dict[Tuple[str, str], List[float]]
+    ]:
+        """Measure rounds [start, stop) against the launched fleet."""
         latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
         throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
         fleet = self.instances()
         prober = self.world.prober
         downloader = self.world.downloader
-        for round_index in range(self.config.rounds):
+        for round_index in range(start, stop):
             time_s = round_index * self.config.round_seconds
             for client in self.clients:
                 for region_name in self.regions:
@@ -121,8 +177,58 @@ class WanAnalysis:
                     throughput[key].append(
                         sum(rates) / len(rates) if rates else 0.0
                     )
-        self._latency = dict(latency)
-        self._throughput = dict(throughput)
+        return dict(latency), dict(throughput)
+
+    def _draws_per_round(self) -> Tuple[int, int]:
+        """(jitter gauss draws, noise gauss draws) per campaign round.
+
+        The counts are exact, not estimates, because every draw in a
+        round is unconditional: probe instances always answer pings (no
+        response coin is flipped), every client↔instance pair is
+        wide-area (two jitter gauss per probe), and every download takes
+        exactly one noise gauss regardless of whether it times out.
+        """
+        total_instances = sum(
+            len(group) for group in self.instances().values()
+        )
+        pairs = len(self.clients) * total_instances
+        jitter = pairs * 2 * self.config.pings_per_round
+        noise = pairs
+        return jitter, noise
+
+    def _measure_parallel(self, workers: int):
+        """Fan rounds out over forked workers; returns ordered chunks.
+
+        Each worker fast-forwards the two campaign RNG streams to its
+        chunk's start position (:func:`_measure_chunk`); after the pool
+        joins, the parent fast-forwards its own copies past the whole
+        campaign so downstream consumers of the streams see exactly the
+        state a sequential run would have left.
+        """
+        rounds = self.config.rounds
+        base, extra = divmod(rounds, workers)
+        bounds: List[Tuple[int, int]] = []
+        start = 0
+        for index in range(workers):
+            stop = start + base + (1 if index < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        jitter_per_round, noise_per_round = self._draws_per_round()
+        global _WORKER_STATE
+        _WORKER_STATE = (self, jitter_per_round, noise_per_round)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                parts = pool.map(_measure_chunk, bounds)
+        finally:
+            _WORKER_STATE = None
+        advance_gauss(
+            self.world.latency._jitter_rng, rounds * jitter_per_round
+        )
+        advance_gauss(
+            self.world.throughput._noise_rng, rounds * noise_per_round
+        )
+        return parts
 
     def latency_series(self, client_name: str, region: str) -> List[float]:
         self._measure()

@@ -26,6 +26,7 @@ from repro.capture.flow import FlowRecord, Trace
 from repro.dns.resolver import StubResolver
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
+from repro.sampling import WeightedChooser
 from repro.sim import StreamRegistry
 
 #: HTTP content types: (name, byte share within HTTP, mean object bytes,
@@ -121,20 +122,31 @@ class CaptureGenerator:
         self.cloud_ranges = cloud_ranges
         self.config = config or CaptureConfig()
         self.rng = streams.stream("capture")
-        self._ct_names = [name for name, *_ in CONTENT_TYPES]
         self._ct_mean = {name: mean for name, _, mean, _ in CONTENT_TYPES}
         self._ct_max = {name: cap for name, _, _, cap in CONTENT_TYPES}
         total_share = sum(share for _, share, _, _ in CONTENT_TYPES)
-        self._ct_count_weights = [
-            (share / total_share) / mean
-            for _, share, mean, _ in CONTENT_TYPES
-        ]
-        self._clients = [
-            f"campus-{i:05d}" for i in range(self.config.num_clients)
-        ]
-        self._client_weights = [
-            1.0 / (i + 1) ** 0.6 for i in range(self.config.num_clients)
-        ]
+        # The per-flow weighted draws (content type, client, and hour of
+        # day) are compiled once; WeightedChooser replays random.choices
+        # bit-for-bit at O(log n) per draw.
+        self._ct_chooser = WeightedChooser(
+            [name for name, *_ in CONTENT_TYPES],
+            [
+                (share / total_share) / mean
+                for _, share, mean, _ in CONTENT_TYPES
+            ],
+        )
+        self._client_chooser = WeightedChooser(
+            [f"campus-{i:05d}" for i in range(self.config.num_clients)],
+            [1.0 / (i + 1) ** 0.6 for i in range(self.config.num_clients)],
+        )
+        self._hour_chooser = WeightedChooser(
+            range(24),
+            [
+                1.0 + 0.8 * math.sin(math.pi * (h - 6) / 16.0)
+                if 6 <= h <= 22 else 0.35
+                for h in range(24)
+            ],
+        )
         self._fallback_ips: Dict[str, List[IPv4Address]] = {}
 
     # -- small helpers ------------------------------------------------------
@@ -150,18 +162,11 @@ class CaptureGenerator:
 
     def _timestamp(self) -> float:
         day = self.rng.randrange(self.config.capture_days)
-        hour_weights = [
-            1.0 + 0.8 * math.sin(math.pi * (h - 6) / 16.0) if 6 <= h <= 22
-            else 0.35
-            for h in range(24)
-        ]
-        hour = self.rng.choices(range(24), weights=hour_weights, k=1)[0]
+        hour = self._hour_chooser.choose(self.rng)
         return day * 86400.0 + hour * 3600.0 + self.rng.random() * 3600.0
 
     def _client(self) -> str:
-        return self.rng.choices(
-            self._clients, weights=self._client_weights, k=1
-        )[0]
+        return self._client_chooser.choose(self.rng)
 
     def _duration_for(self, size: int, persistent_ok: bool = False) -> float:
         """Transfer time, plus (for eligible flows) a long-lived hold.
@@ -194,9 +199,7 @@ class CaptureGenerator:
         """``count`` (content type, object size) draws from Table 6."""
         draws = []
         for _ in range(count):
-            name = self.rng.choices(
-                self._ct_names, weights=self._ct_count_weights, k=1
-            )[0]
+            name = self._ct_chooser.choose(self.rng)
             mean = self._ct_mean[name]
             sigma = 1.4
             mu = math.log(mean) - sigma * sigma / 2.0

@@ -88,12 +88,31 @@ class SubdomainEnumerator:
         return sorted(names)
 
     def brute_force(self, domain: str) -> EnumerationResult:
-        """Query ``word.domain`` for every wordlist entry."""
+        """Query ``word.domain`` for every wordlist entry.
+
+        Most candidates are NXDOMAIN, and an NXDOMAIN ``dig`` has no
+        observable effect beyond the query counters: ``exists`` is
+        exactly "the candidate's zone has the name" (answers can only
+        come from a zone that carries the name), nothing is cached
+        (TTL 0), and no dynamic-name rotation advances.  So candidates
+        are screened with that zone check and only hits pay for a full
+        ``dig`` — which preserves every side effect hits ever had.
+        """
         domain = normalize_name(domain)
         result = EnumerationResult(domain=domain)
+        resolver = self.resolver
+        infra = self.infra
+        domain_zone = infra.zone_for(domain)
         for word in self.wordlist:
+            # Wordlist labels and the normalized domain compose to an
+            # already-normalized candidate one label below ``domain``.
             candidate = f"{word}.{domain}"
-            response = self.resolver.dig(candidate, RRType.A)
+            zone = infra.child_zone_for(candidate, domain_zone)
+            if zone is None or candidate not in zone:
+                resolver.query_count += 1
+                result.queries_issued += 1
+                continue
+            response = resolver.dig(candidate, RRType.A)
             result.queries_issued += 1
             if response.exists:
                 result.subdomains.append(candidate)

@@ -31,9 +31,16 @@ class NameServer:
 class DnsInfrastructure:
     """Registry of zones and the servers that host them."""
 
+    #: Entry cap for the ``zone_for`` memo; one-shot names from wordlist
+    #: brute forcing would otherwise grow it without bound at large
+    #: ``--domains`` scales.  The repetitive phases' working set is far
+    #: smaller, so a full clear on overflow rebuilds cheaply.
+    _ZONE_CACHE_MAX = 262144
+
     def __init__(self) -> None:
         self._zones: Dict[str, Zone] = {}
         self._nameservers: Dict[str, NameServer] = {}
+        self._zone_cache: Dict[str, Optional[Zone]] = {}
 
     # -- registration -------------------------------------------------
 
@@ -41,6 +48,9 @@ class DnsInfrastructure:
         if zone.origin in self._zones:
             raise ValueError(f"zone {zone.origin} already registered")
         self._zones[zone.origin] = zone
+        # A new zone can be more specific than a cached suffix match
+        # (or turn a cached miss into a hit), so drop the memo wholesale.
+        self._zone_cache.clear()
         return zone
 
     def register_nameserver(self, server: NameServer) -> NameServer:
@@ -50,17 +60,44 @@ class DnsInfrastructure:
     # -- lookup -------------------------------------------------------
 
     def zone_for(self, qname: str) -> Optional[Zone]:
-        """The most specific registered zone enclosing ``qname``."""
-        name: Optional[str] = normalize_name(qname)
+        """The most specific registered zone enclosing ``qname``.
+
+        Memoized per name (misses included); the memo is invalidated
+        by :meth:`add_zone`, the only operation that can change which
+        zone encloses a name.
+        """
+        qname = normalize_name(qname)
+        cache = self._zone_cache
+        if qname in cache:
+            return cache[qname]
+        zone: Optional[Zone] = None
+        name: Optional[str] = qname
         while name is not None:
             zone = self._zones.get(name)
             if zone is not None:
-                return zone
+                break
             name = parent_of(name)
-        return None
+        if len(cache) >= self._ZONE_CACHE_MAX:
+            cache.clear()
+        cache[qname] = zone
+        return zone
 
     def get_zone(self, origin: str) -> Optional[Zone]:
         return self._zones.get(normalize_name(origin))
+
+    def child_zone_for(
+        self, name: str, parent_zone: Optional[Zone]
+    ) -> Optional[Zone]:
+        """``zone_for(name)`` given the parent's zone, without the walk.
+
+        ``name`` must be normalized and one label below a name whose
+        :meth:`zone_for` is ``parent_zone``; then the suffix walk can
+        only yield ``name``'s own origin zone or the parent's answer.
+        Used by wordlist enumeration, whose one-shot candidates would
+        otherwise churn the ``zone_for`` memo.
+        """
+        zone = self._zones.get(name)
+        return zone if zone is not None else parent_zone
 
     def zones(self) -> List[Zone]:
         return list(self._zones.values())

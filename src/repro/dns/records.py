@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.net.ipv4 import IPv4Address
@@ -23,8 +24,15 @@ class RRType(enum.Enum):
     AXFR = "AXFR"
 
 
+@lru_cache(maxsize=131072)
 def normalize_name(name: str) -> str:
-    """Lowercase and strip any trailing dot from a domain name."""
+    """Lowercase and strip any trailing dot from a domain name.
+
+    Cached: names are normalized once at :class:`ResourceRecord`
+    construction but re-enter this function on every ``zone_for``/
+    ``lookup`` hop, so the same few thousand strings account for
+    millions of calls per pipeline run.
+    """
     name = name.strip().lower()
     if name.endswith("."):
         name = name[:-1]
@@ -65,7 +73,7 @@ class ResourceRecord:
         return f"{self.name} {self.ttl} IN {self.rtype.value} {self.value}"
 
 
-@dataclass
+@dataclass(slots=True)
 class DnsResponse:
     """The answer a stub resolver hands back for one query.
 

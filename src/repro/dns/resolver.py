@@ -74,20 +74,31 @@ class StubResolver:
 
     def _resolve(self, qname: str, rtype: RRType) -> DnsResponse:
         response = DnsResponse(qname=qname, qtype=rtype)
+        infra = self.infra
+        # One suffix walk for the whole query: the qname's zone also
+        # answers the trailing NXDOMAIN-vs-no-data existence check, so
+        # it is never recomputed per hop.
+        qzone = infra.zone_for(qname)
         if rtype is RRType.NS:
-            answers = self.infra.authoritative_lookup(
+            answers = infra.authoritative_lookup(
                 qname, RRType.NS, self.vantage
             )
             response.ns_names = [str(r.value) for r in answers]
-            response.exists = bool(answers) or self.infra.name_exists(qname)
+            response.exists = bool(answers) or (
+                qzone is not None and qzone.has_name(qname)
+            )
             response.ttl = min((r.ttl for r in answers), default=0)
             return response
 
         name = qname
+        zone = qzone
         min_ttl: Optional[int] = None
         for _ in range(_MAX_CNAME_CHAIN):
-            answers = self.infra.authoritative_lookup(
-                name, rtype, self.vantage
+            # For A/CNAME queries authoritative_lookup is exactly the
+            # zone's own answer (the NS apex fallback never applies).
+            answers = (
+                zone.lookup(name, rtype, self.vantage)
+                if zone is not None else []
             )
             if not answers:
                 break
@@ -98,6 +109,7 @@ class StubResolver:
                 ttl = cname_answers[0].ttl
                 min_ttl = ttl if min_ttl is None else min(min_ttl, ttl)
                 name = target
+                zone = infra.zone_for(name)
                 continue
             for record in answers:
                 if record.rtype is rtype:
@@ -110,7 +122,7 @@ class StubResolver:
             break
         response.exists = bool(
             response.addresses or response.chain
-        ) or self.infra.name_exists(qname)
+        ) or (qzone is not None and qzone.has_name(qname))
         response.ttl = min_ttl or 0
         return response
 

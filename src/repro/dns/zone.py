@@ -50,6 +50,7 @@ class Zone:
         self._static: Dict[str, Dict[RRType, List[ResourceRecord]]] = {}
         self._dynamic: Dict[str, DynamicName] = {}
         self._query_counts: Dict[str, int] = {}
+        self._names_cache: Optional[List[str]] = None
 
     def _check_in_zone(self, name: str) -> str:
         name = normalize_name(name)
@@ -63,6 +64,7 @@ class Zone:
         self._static.setdefault(name, {}).setdefault(
             record.rtype, []
         ).append(record)
+        self._names_cache = None
 
     def add_all(self, records: Iterable[ResourceRecord]) -> None:
         for record in records:
@@ -71,6 +73,7 @@ class Zone:
     def add_dynamic(self, dynamic: DynamicName) -> None:
         name = self._check_in_zone(dynamic.name)
         self._dynamic[name] = dynamic
+        self._names_cache = None
 
     def remove(self, name: str, rtype: Optional[RRType] = None) -> None:
         """Remove records at ``name`` (all types, or just ``rtype``).
@@ -79,6 +82,7 @@ class Zone:
         idempotent, like dynamic DNS deletes.
         """
         name = normalize_name(name)
+        self._names_cache = None
         if rtype is None:
             self._static.pop(name, None)
             self._dynamic.pop(name, None)
@@ -91,10 +95,16 @@ class Zone:
 
     def names(self) -> List[str]:
         """Every name with data, static or dynamic, in sorted order."""
-        return sorted(set(self._static) | set(self._dynamic))
+        if self._names_cache is None:
+            self._names_cache = sorted(set(self._static) | set(self._dynamic))
+        return list(self._names_cache)
 
     def has_name(self, name: str) -> bool:
         name = normalize_name(name)
+        return name in self._static or name in self._dynamic
+
+    def __contains__(self, name: str) -> bool:
+        """Raw :meth:`has_name`: ``name`` must already be normalized."""
         return name in self._static or name in self._dynamic
 
     def lookup(

@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurement rounds for the §5 campaign (paper: 288)",
     )
     parser.add_argument(
+        "--workers", type=int, default=0,
+        help="forked workers for the WAN campaign (0 = sequential; "
+             "any value yields bit-identical results)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     parser.add_argument(
@@ -68,7 +73,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     context = ExperimentContext(
         WorldConfig(seed=args.seed, num_domains=args.domains),
-        WanConfig(rounds=args.wan_rounds),
+        WanConfig(rounds=args.wan_rounds, workers=args.workers),
     )
     if args.experiments:
         experiments = [get_experiment(e) for e in args.experiments]

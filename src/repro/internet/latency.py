@@ -85,6 +85,16 @@ class LatencyModel:
         self.enable_episodes = enable_episodes
         self._jitter_rng = streams.stream("latency", "jitter")
         self._quality_cache: Dict[Tuple, float] = {}
+        #: (provider, region) -> region location, saving a provider
+        #: registry walk per described instance.
+        self._region_locations: Dict[Tuple[str, str], GeoPoint] = {}
+        #: (key_a, key_b) -> wide-area RTT before the episode factor.
+        #: Keyed on the *unsorted* pair: float multiplication is not
+        #: associative, so each argument order keeps the bit pattern it
+        #: always produced.
+        self._wide_base_cache: Dict[Tuple[Tuple, Tuple], float] = {}
+        #: (sorted pair, hour bucket) -> congestion episode factor.
+        self._episode_cache: Dict[Tuple, float] = {}
 
     # -- endpoint introspection ------------------------------------------
 
@@ -93,10 +103,13 @@ class LatencyModel:
         if isinstance(endpoint, VantagePoint):
             return ("vp", endpoint.name), endpoint.location, None
         if isinstance(endpoint, Instance):
-            provider = self.providers[endpoint.provider_name]
-            location = provider.region(endpoint.region_name).location
-            key = ("cloud", endpoint.provider_name, endpoint.region_name)
-            return key, location, endpoint
+            region_key = (endpoint.provider_name, endpoint.region_name)
+            location = self._region_locations.get(region_key)
+            if location is None:
+                provider = self.providers[endpoint.provider_name]
+                location = provider.region(endpoint.region_name).location
+                self._region_locations[region_key] = location
+            return ("cloud",) + region_key, location, endpoint
         raise TypeError(f"unsupported endpoint: {endpoint!r}")
 
     # -- persistent path factors -----------------------------------------
@@ -115,12 +128,18 @@ class LatencyModel:
             return 1.0
         key = (min(key_a, key_b), max(key_a, key_b))
         hour_bucket = int(time_s // 3600.0)
-        rng = derive_rng(self.streams.seed, "episode", *key, hour_bucket)
-        if rng.random() >= EPISODE_PROBABILITY:
-            return 1.0
-        return EPISODE_MIN_FACTOR + rng.random() * (
-            EPISODE_MAX_FACTOR - EPISODE_MIN_FACTOR
-        )
+        cache_key = (key, hour_bucket)
+        factor = self._episode_cache.get(cache_key)
+        if factor is None:
+            rng = derive_rng(self.streams.seed, "episode", *key, hour_bucket)
+            if rng.random() >= EPISODE_PROBABILITY:
+                factor = 1.0
+            else:
+                factor = EPISODE_MIN_FACTOR + rng.random() * (
+                    EPISODE_MAX_FACTOR - EPISODE_MIN_FACTOR
+                )
+            self._episode_cache[cache_key] = factor
+        return factor
 
     def _intra_pair_adjust(self, inst_a: Instance, inst_b: Instance) -> float:
         """Persistent RTT adjustment for one intra-region pair.
@@ -160,8 +179,19 @@ class LatencyModel:
 
     def base_rtt_ms(self, a, b, time_s: float = 0.0) -> float:
         """RTT without per-probe jitter (what min-of-10-probes estimates)."""
-        key_a, loc_a, inst_a = self._describe(a)
-        key_b, loc_b, inst_b = self._describe(b)
+        return self._base_rtt_from(
+            self._describe(a), self._describe(b), time_s
+        )
+
+    def _base_rtt_from(self, desc_a, desc_b, time_s: float) -> float:
+        """Base RTT from already-computed endpoint descriptions.
+
+        The wide-area product up to (but excluding) the time-varying
+        episode factor is persistent per path, so it is computed once
+        per (ordered) endpoint-key pair and cached.
+        """
+        key_a, loc_a, inst_a = desc_a
+        key_b, loc_b, inst_b = desc_b
         if (
             inst_a is not None
             and inst_b is not None
@@ -170,12 +200,16 @@ class LatencyModel:
         ):
             base = intra_region_rtt_ms(inst_a.zone_index, inst_b.zone_index)
             return base + self._intra_pair_adjust(inst_a, inst_b)
-        base = propagation_delay_ms(loc_a, loc_b) + ACCESS_OVERHEAD_MS
-        base *= self._path_quality(key_a, key_b)
-        base *= self._region_inflation(inst_a)
-        base *= self._region_inflation(inst_b)
-        base *= self._episode_factor(key_a, key_b, time_s)
-        return base
+        pair = (key_a, key_b)
+        persistent = self._wide_base_cache.get(pair)
+        if persistent is None:
+            base = propagation_delay_ms(loc_a, loc_b) + ACCESS_OVERHEAD_MS
+            base *= self._path_quality(key_a, key_b)
+            base *= self._region_inflation(inst_a)
+            base *= self._region_inflation(inst_b)
+            persistent = base
+            self._wide_base_cache[pair] = persistent
+        return persistent * self._episode_factor(key_a, key_b, time_s)
 
     def probe_rtt_ms(self, a, b, time_s: float = 0.0) -> float:
         """One probe's RTT: base plus additive and multiplicative jitter.
@@ -184,9 +218,11 @@ class LatencyModel:
         involved — small shared instances are noisier neighbours, which
         is visible in Table 11.
         """
-        key_a, loc_a, inst_a = self._describe(a)
-        key_b, loc_b, inst_b = self._describe(b)
-        base = self.base_rtt_ms(a, b, time_s)
+        desc_a = self._describe(a)
+        desc_b = self._describe(b)
+        inst_a = desc_a[2]
+        inst_b = desc_b[2]
+        base = self._base_rtt_from(desc_a, desc_b, time_s)
         intra = (
             inst_a is not None
             and inst_b is not None
@@ -203,6 +239,42 @@ class LatencyModel:
             self._jitter_rng.gauss(0.0, 0.4)
         )
         return base + jitter
+
+    def probe_rtts_ms(
+        self, a, b, count: int, time_s: float = 0.0
+    ) -> list:
+        """RTTs of ``count`` back-to-back probes of one endpoint pair.
+
+        Equivalent to ``count`` consecutive :meth:`probe_rtt_ms` calls —
+        the jitter stream is consumed in the identical order, so the
+        values are bit-for-bit the same — but the endpoint descriptions
+        and base RTT are computed once instead of per probe.
+        """
+        desc_a = self._describe(a)
+        desc_b = self._describe(b)
+        inst_a = desc_a[2]
+        inst_b = desc_b[2]
+        base = self._base_rtt_from(desc_a, desc_b, time_s)
+        gauss = self._jitter_rng.gauss
+        if (
+            inst_a is not None
+            and inst_b is not None
+            and inst_a.provider_name == inst_b.provider_name
+            and inst_a.region_name == inst_b.region_name
+        ):
+            jitter_scale = (
+                _type_jitter(inst_a.itype) + _type_jitter(inst_b.itype)
+            )
+            return [
+                base + abs(gauss(0.0, jitter_scale)) for _ in range(count)
+            ]
+        mult_sigma = 0.04 * base
+        # Parenthesised like probe_rtt_ms (base + (g1 + g2)): float
+        # addition is not associative, so grouping is part of the output.
+        return [
+            base + (abs(gauss(0.0, mult_sigma)) + abs(gauss(0.0, 0.4)))
+            for _ in range(count)
+        ]
 
 
 def _type_jitter(itype: InstanceType) -> float:

@@ -55,9 +55,11 @@ class ThroughputModel:
         """
         if size_bytes <= 0:
             raise ValueError("size must be positive")
-        key_a, _, _ = self.latency._describe(client)
-        key_b, _, _ = self.latency._describe(server)
-        rtt_s = self.latency.base_rtt_ms(client, server, time_s) / 1000.0
+        desc_a = self.latency._describe(client)
+        desc_b = self.latency._describe(server)
+        key_a = desc_a[0]
+        key_b = desc_b[0]
+        rtt_s = self.latency._base_rtt_from(desc_a, desc_b, time_s) / 1000.0
         bottleneck = self._bottleneck_bps(key_a, key_b)
         steady_rate = min(bottleneck, WINDOW_BYTES / rtt_s)
         # Bytes moved during slow start, and the rounds it takes.

@@ -11,7 +11,7 @@ drawn deterministically per instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.cloud.base import Instance
 from repro.internet.latency import LatencyModel
@@ -62,6 +62,8 @@ class Prober:
         self.latency = latency
         self.directory = directory
         self.response_rate = response_rate
+        #: instance_id -> persistent responds-to-probes coin flip.
+        self._responds_cache: Dict[str, bool] = {}
 
     def _resolve_target(
         self, target: Union[IPv4Address, Instance, VantagePoint], region_hint=None
@@ -83,10 +85,17 @@ class Prober:
         # security groups); tenant VMs only if their firewall allows it.
         if target.role.value in ("elb-proxy", "paas-node", "cdn-edge", "probe"):
             return True
-        rng = derive_rng(
-            self.latency.streams.seed, "probe-response", target.instance_id
-        )
-        return rng.random() < self.response_rate
+        responds = self._responds_cache.get(target.instance_id)
+        if responds is None:
+            # The flip is a persistent property of the instance
+            # (hash-per-entity), so the first draw is the only draw.
+            rng = derive_rng(
+                self.latency.streams.seed, "probe-response",
+                target.instance_id,
+            )
+            responds = rng.random() < self.response_rate
+            self._responds_cache[target.instance_id] = responds
+        return responds
 
     def tcp_ping(
         self,
@@ -106,8 +115,7 @@ class Prober:
         if resolved is None or not self._target_responds(resolved):
             result.rtts_ms = [None] * count
             return result
-        for _ in range(count):
-            result.rtts_ms.append(
-                self.latency.probe_rtt_ms(source, resolved, time_s)
-            )
+        result.rtts_ms = list(
+            self.latency.probe_rtts_ms(source, resolved, count, time_s)
+        )
         return result

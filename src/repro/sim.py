@@ -12,6 +12,29 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
+
+
+@lru_cache(maxsize=262144)
+def _seed_from_path(path_repr: str) -> int:
+    """The 128-bit seed value for one repr-encoded label path.
+
+    Keyed on the repr string (not the label tuple) so values that
+    compare equal but repr differently — ``1`` vs ``1.0`` — keep their
+    distinct digests.
+    """
+    digest = hashlib.sha256(path_repr.encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """The integer seed :func:`derive_rng` would construct its RNG from.
+
+    Digests are cached per label path, so hot loops that re-derive the
+    same substream (per-entity coin flips, per-(path, hour) episodes)
+    skip the SHA-256 work after the first call.
+    """
+    return _seed_from_path(repr((seed,) + labels))
 
 
 def derive_rng(seed: int, *labels: object) -> random.Random:
@@ -25,10 +48,23 @@ def derive_rng(seed: int, *labels: object) -> random.Random:
     >>> derive_rng(1, "dns").random() == derive_rng(1, "capture").random()
     False
     """
-    digest = hashlib.sha256(
-        repr((seed,) + labels).encode("utf-8")
-    ).digest()
-    return random.Random(int.from_bytes(digest[:16], "big"))
+    return random.Random(derive_seed(seed, *labels))
+
+
+def advance_gauss(rng: random.Random, count: int) -> None:
+    """Advance ``rng`` past ``count`` gaussian draws.
+
+    :meth:`random.Random.gauss` consumes underlying ``random()`` calls
+    in Box-Muller pairs and caches the second value, so its state
+    evolution depends only on *how many times* it is called, never on
+    the ``mu``/``sigma`` arguments.  Replaying ``count`` draws therefore
+    leaves the stream exactly where sequential execution would — the
+    primitive the parallel WAN campaign uses to keep worker substreams
+    bit-identical to single-process runs.
+    """
+    gauss = rng.gauss
+    for _ in range(count):
+        gauss(0.0, 1.0)
 
 
 @dataclass

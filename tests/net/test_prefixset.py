@@ -78,3 +78,70 @@ class TestAttribution:
     def test_accepts_network_objects(self):
         ps = PrefixSet([IPv4Network.parse("10.0.0.0/24")])
         assert "10.0.0.1" in ps
+
+    def test_empty_set_attribution(self):
+        ps = PrefixSet()
+        assert ps.lookup("10.0.0.1") is None
+        assert ps.matching_block("10.0.0.1") is None
+        assert ps.num_addresses() == 0
+
+
+class TestMergingChains:
+    def test_chain_of_adjacent_blocks_merges_fully(self):
+        ps = PrefixSet(["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"])
+        assert ps.num_addresses() == 3 * 256
+        assert "10.0.1.255" in ps
+        assert "10.0.3.0" not in ps
+
+    def test_contained_block_does_not_double_count(self):
+        ps = PrefixSet(["10.0.0.0/16", "10.0.42.0/24"])
+        assert ps.num_addresses() == 65536
+
+    def test_merged_membership_keeps_labelled_blocks(self):
+        ps = PrefixSet([("10.0.0.0/25", "low"), ("10.0.0.128/25", "high")])
+        # Membership sees one merged interval; attribution still sees
+        # the original labelled halves.
+        assert ps.num_addresses() == 256
+        assert ps.lookup("10.0.0.5") == "low"
+        assert ps.lookup("10.0.0.200") == "high"
+
+
+class TestMaxSpanBound:
+    """The leftward attribution scan's ``_max_span`` stopping bound."""
+
+    def test_wide_block_behind_many_narrow_blocks_is_found(self):
+        # The /8 starts far left of the queried address, with a pile of
+        # narrow blocks in between.  The scan bound is the *widest*
+        # block's span, so the scan must keep going past every /30 and
+        # still reach the /8.
+        narrow = [
+            (f"10.200.{i}.0/30", f"narrow-{i}") for i in range(32)
+        ]
+        ps = PrefixSet([("10.0.0.0/8", "wide")] + narrow)
+        assert ps.lookup("10.201.0.1") == "wide"
+
+    def test_most_specific_wins_over_wide_block(self):
+        ps = PrefixSet([
+            ("10.0.0.0/8", "wide"),
+            ("10.200.0.0/16", "mid"),
+            ("10.200.7.0/24", "fine"),
+        ])
+        assert ps.lookup("10.200.7.9") == "fine"
+        assert ps.lookup("10.200.8.1") == "mid"
+        assert ps.lookup("10.99.0.1") == "wide"
+
+    def test_address_past_every_block_is_unattributed(self):
+        # One address beyond the widest block's reach: the bound makes
+        # the scan stop without inventing a match.
+        ps = PrefixSet([("10.0.0.0/8", "wide"), ("172.16.0.0/30", "tiny")])
+        assert ps.lookup("11.0.0.0") is None
+        assert ps.lookup("172.16.0.4") is None
+
+    def test_bound_is_widest_original_block(self):
+        ps = PrefixSet(["10.0.0.0/24", "10.1.0.0/16", "10.2.0.0/30"])
+        assert ps._max_span == 65536
+
+    def test_same_start_prefers_longer_prefix(self):
+        ps = PrefixSet([("10.5.0.0/16", "coarse"), ("10.5.0.0/24", "fine")])
+        assert ps.lookup("10.5.0.77") == "fine"
+        assert ps.lookup("10.5.1.77") == "coarse"
