@@ -2,13 +2,22 @@
 
 Runs the four pipeline stages — world construction, the Alexa
 subdomains dataset, the campus packet capture, and the §5 WAN
-campaign — end to end, records per-stage wall times, and digests the
-stage outputs so two runs (or two revisions) can be compared for
+campaign — end to end, records per-stage wall times (with per-step
+timings inside the dataset stage), and digests the stage outputs so two
+runs (or two revisions, or two worker counts) can be compared for
 bit-identical results as well as speed.  Usage:
 
     PYTHONPATH=src python scripts/profile_pipeline.py \
         [--seed S] [--domains N] [--wan-rounds R] [--workers W] \
-        [--repeat K] [--out BENCH_pipeline.json]
+        [--verify-workers "0,2,4"] [--repeat K] \
+        [--cache-dir DIR | --no-cache-check] [--out BENCH_pipeline.json]
+
+``--workers`` drives both parallel campaigns (dataset shards and WAN
+rounds).  ``--verify-workers`` re-runs the whole pipeline per worker
+count and fails unless every digest agrees.  Unless ``--no-cache-check``
+is given, the script also runs the pipeline twice through the artifact
+cache — a cold run that populates it and a warm run that must be served
+entirely from it — and fails unless both match the uncached digests.
 
 With ``--repeat K`` each stage's reported time is the best of K full
 pipeline runs (the digests must agree across runs, and do — caching is
@@ -20,16 +29,62 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
+import shutil
+import tempfile
 import time
 
 from repro.analysis.dataset import DatasetBuilder
 from repro.analysis.wan import WanAnalysis, WanConfig
+from repro.artifacts import ArtifactStore
+from repro.experiments.context import ExperimentContext
 from repro.world import World, WorldConfig
 
 
 def _digest(obj) -> str:
     return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
+
+
+def _dataset_digests(dataset) -> dict:
+    records = sorted(
+        (
+            record.fqdn,
+            record.domain,
+            record.rank,
+            tuple(sorted(str(a) for a in record.addresses)),
+            tuple(sorted(record.cnames)),
+            tuple(sorted(record.ns_names)),
+            record.lookups,
+        )
+        for record in dataset.records
+    )
+    return {
+        "records": _digest(records),
+        "ns_addresses": _digest(
+            sorted((k, str(v)) for k, v in dataset.ns_addresses.items())
+        ),
+    }
+
+
+def _wan_digests(wan: WanAnalysis) -> dict:
+    wan._measure()
+    return {
+        "wan_latency": _digest(
+            sorted((k, tuple(v)) for k, v in wan._latency.items())
+        ),
+        "wan_throughput": _digest(
+            sorted((k, tuple(v)) for k, v in wan._throughput.items())
+        ),
+    }
+
+
+def _trace_digest(trace) -> dict:
+    return {
+        "trace": _digest(
+            (len(trace.flows), sum(f.total_bytes for f in trace.flows))
+        )
+    }
 
 
 def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
@@ -41,8 +96,10 @@ def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
     timings["world_s"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    dataset = DatasetBuilder(world).build()
+    builder = DatasetBuilder(world)
+    dataset = builder.build(workers=workers)
     timings["dataset_s"] = time.perf_counter() - start
+    dataset_steps = dict(builder.step_timings)
 
     start = time.perf_counter()
     trace = world.capture_trace()
@@ -57,34 +114,74 @@ def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
 
     timings["total_s"] = sum(timings.values())
 
-    records = sorted(
-        (
-            record.fqdn,
-            record.domain,
-            record.rank,
-            tuple(sorted(str(a) for a in record.addresses)),
-            tuple(sorted(record.cnames)),
-            tuple(sorted(record.ns_names)),
-            record.lookups,
-        )
-        for record in dataset.records
-    )
-    digests = {
-        "records": _digest(records),
-        "ns_addresses": _digest(
-            sorted((k, str(v)) for k, v in dataset.ns_addresses.items())
-        ),
-        "wan_latency": _digest(
-            sorted((k, tuple(v)) for k, v in wan._latency.items())
-        ),
-        "wan_throughput": _digest(
-            sorted((k, tuple(v)) for k, v in wan._throughput.items())
-        ),
-        "trace": _digest(
-            (len(trace.flows), sum(f.total_bytes for f in trace.flows))
-        ),
+    digests = {}
+    digests.update(_dataset_digests(dataset))
+    digests.update(_wan_digests(wan))
+    digests.update(_trace_digest(trace))
+    return {
+        "timings": timings,
+        "dataset_steps": dataset_steps,
+        "digests": digests,
     }
-    return {"timings": timings, "digests": digests}
+
+
+def run_cached(
+    seed: int, domains: int, wan_rounds: int, workers: int, cache_dir: str
+) -> dict:
+    """One pipeline run through the artifact cache."""
+    store = ArtifactStore(cache_dir)
+    context = ExperimentContext(
+        WorldConfig(seed=seed, num_domains=domains),
+        WanConfig(rounds=wan_rounds, workers=workers),
+        workers=workers,
+        artifact_store=store,
+    )
+    start = time.perf_counter()
+    digests = {}
+    digests.update(_dataset_digests(context.dataset))
+    wan = context.wan
+    digests.update(_wan_digests(wan))
+    digests.update(_trace_digest(context.trace))
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": round(elapsed, 3),
+        "stats": store.stats.as_dict(),
+        "digests": digests,
+    }
+
+
+def cache_check(args, expected_digests: dict) -> dict:
+    """Cold-vs-warm artifact-cache runs; both must match the uncached
+    digests and the warm run must be served without a single miss."""
+    cache_dir = args.cache_dir or tempfile.mkdtemp(
+        prefix="repro-artifacts-bench-"
+    )
+    cleanup = args.cache_dir is None
+    try:
+        result = {"dir": None if cleanup else cache_dir}
+        for label in ("cold", "warm"):
+            run = run_cached(
+                args.seed, args.domains, args.wan_rounds, args.workers,
+                cache_dir,
+            )
+            result[f"{label}_s"] = run["elapsed_s"]
+            result[f"{label}_stats"] = run["stats"]
+            if run["digests"] != expected_digests:
+                raise SystemExit(
+                    f"{label} artifact-cache run diverged from the "
+                    f"uncached pipeline: {run['digests']} vs "
+                    f"{expected_digests}"
+                )
+        if result["warm_stats"]["misses"]:
+            raise SystemExit(
+                "warm artifact-cache run was not fully served from the "
+                f"cache: {result['warm_stats']}"
+            )
+        result["outputs_identical"] = True
+        return result
+    finally:
+        if cleanup:
+            shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def main() -> int:
@@ -94,17 +191,37 @@ def main() -> int:
     parser.add_argument("--wan-rounds", type=int, default=24)
     parser.add_argument(
         "--workers", type=int, default=0,
-        help="forked WAN workers (0 = sequential; results identical)",
+        help="forked workers for the dataset shards and the WAN rounds "
+             "(0 = sequential; results identical)",
+    )
+    parser.add_argument(
+        "--verify-workers", default=None, metavar="W1,W2,...",
+        help="re-run the pipeline at each worker count and fail unless "
+             "all digests agree",
     )
     parser.add_argument(
         "--repeat", type=int, default=1,
         help="full pipeline runs; per-stage times are the best of K",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache directory for the cold/warm check "
+             "(default: a throwaway temp dir)",
+    )
+    parser.add_argument(
+        "--no-cache-check", action="store_true",
+        help="skip the cold-vs-warm artifact-cache runs",
     )
     parser.add_argument("--out", default="BENCH_pipeline.json")
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
         help="earlier BENCH_pipeline.json to compute a speedup against "
              "(run this script on the pre-optimisation revision first)",
+    )
+    parser.add_argument(
+        "--require-baseline-identical", action="store_true",
+        help="fail unless the baseline file's digests match this run's "
+             "(the sequential-vs-sharded CI gate)",
     )
     args = parser.parse_args()
 
@@ -123,6 +240,10 @@ def main() -> int:
         key: round(min(run["timings"][key] for run in runs), 3)
         for key in runs[0]["timings"]
     }
+    dataset_steps = {
+        key: round(min(run["dataset_steps"][key] for run in runs), 3)
+        for key in runs[0]["dataset_steps"]
+    }
 
     report = {
         "bench": {
@@ -135,10 +256,31 @@ def main() -> int:
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "timings_s": best,
+        "dataset_steps_s": dataset_steps,
         "digests": digests,
     }
+
+    if args.verify_workers:
+        counts = [int(part) for part in args.verify_workers.split(",")]
+        for count in counts:
+            if count == args.workers:
+                continue
+            other = run_once(
+                args.seed, args.domains, args.wan_rounds, count
+            )
+            if other["digests"] != digests:
+                raise SystemExit(
+                    f"digest mismatch at workers={count}: "
+                    f"{other['digests']} vs {digests}"
+                )
+        report["workers_verified"] = counts
+
+    if not args.no_cache_check:
+        report["artifact_cache"] = cache_check(args, digests)
+
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -146,10 +288,13 @@ def main() -> int:
         report["speedup"] = round(
             baseline["timings_s"]["total_s"] / best["total_s"], 2
         )
-        if baseline.get("digests") != digests:
-            report["baseline_outputs_identical"] = False
-        else:
-            report["baseline_outputs_identical"] = True
+        identical = baseline.get("digests") == digests
+        report["baseline_outputs_identical"] = identical
+        if args.require_baseline_identical and not identical:
+            raise SystemExit(
+                "baseline digests differ from this run's: "
+                f"{baseline.get('digests')} vs {digests}"
+            )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

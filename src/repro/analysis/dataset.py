@@ -17,13 +17,15 @@ The pipeline:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dns.enumeration import SubdomainEnumerator
 from repro.dns.records import RRType
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
+from repro.sim import fork_pool_available
 from repro.world import World
 
 
@@ -114,24 +116,48 @@ class DatasetBuilder:
             keep = max(1, int(len(labelled) * range_coverage))
             labelled = labelled[:keep]
         self._cloud_membership = PrefixSet(labelled)
+        #: Wall-clock seconds per pipeline step, filled by :meth:`build`.
+        self.step_timings: Dict[str, float] = {}
+        #: Shard-build hook: a ``ShardRecorder`` tagging digs whose
+        #: rotation state crosses shard boundaries (None when sequential).
+        self._recorder = None
 
     def _is_cloud_address(self, address: IPv4Address) -> bool:
         return address in self._cloud_membership
 
     # -- step 1+2: enumerate and filter ------------------------------------
 
-    def discover_subdomains(self) -> Tuple[Dict[str, List[str]], int]:
-        """Enumerate subdomains for every ranked domain."""
+    def discover_subdomains(
+        self, sites: Optional[Sequence] = None, offset: int = 0
+    ) -> Tuple[Dict[str, List[str]], int]:
+        """Enumerate subdomains for every ranked domain.
+
+        ``sites``/``offset`` let shard workers enumerate a contiguous
+        rank slice while keeping the vantage round-robin aligned with
+        each site's *global* rank position, so every domain is brute
+        forced from the same enumeration node as in a sequential build.
+        """
         vantages = self.world.dns_vantages()
+        recorder = self._recorder
+        observer = None
+        if recorder is not None:
+            observer = (
+                lambda resolver, qname, response:
+                recorder.note_cached_dig(resolver.vantage.name, qname, response)
+            )
         enumerators = [
             SubdomainEnumerator(
-                self.world.dns, self.world.resolver_for(vantage)
+                self.world.dns,
+                self.world.resolver_for(vantage),
+                dig_observer=observer,
             )
             for vantage in vantages[: min(6, len(vantages))]
         ]
+        if sites is None:
+            sites = self.world.alexa.sites
         discovered: Dict[str, List[str]] = {}
         total = 0
-        for i, site in enumerate(self.world.alexa):
+        for i, site in enumerate(sites, start=offset):
             enumerator = enumerators[i % len(enumerators)]
             result = enumerator.enumerate(site.domain)
             discovered[site.domain] = result.subdomains
@@ -155,6 +181,7 @@ class DatasetBuilder:
         """
         vantage = self.world.dns_vantages()[0]
         resolver = self.world.resolver_for(vantage)
+        recorder = self._recorder
         cloudfront_ranges = self.ranges["cloudfront"]
         cloud_using: List[Tuple[str, str]] = []
         cloudfront_using: List[Tuple[str, str]] = []
@@ -162,6 +189,8 @@ class DatasetBuilder:
         for domain, subdomains in discovered.items():
             for fqdn in subdomains:
                 response = resolver.dig(fqdn)
+                if recorder is not None:
+                    recorder.note_cached_dig(vantage.name, fqdn, response)
                 if any(
                     self._is_cloud_address(addr)
                     for addr in response.addresses
@@ -183,16 +212,25 @@ class DatasetBuilder:
     ) -> List[SubdomainRecord]:
         vantages = self.world.dns_vantages()
         resolvers = [self.world.resolver_for(v) for v in vantages]
+        recorder = self._recorder
         records: List[SubdomainRecord] = []
-        for domain, fqdn in cloud_using:
+        for position, (domain, fqdn) in enumerate(cloud_using):
             record = SubdomainRecord(
                 fqdn=fqdn,
                 domain=domain,
                 rank=self.world.alexa.rank_of(domain),
             )
-            for resolver in resolvers:
+            for vantage, resolver in zip(vantages, resolvers):
                 response = resolver.dig(fqdn, fresh=True)
                 record.lookups += 1
+                if recorder is not None and recorder.note_lookup(
+                    position, vantage.name, fqdn, response
+                ):
+                    # Shared-rotation answer: the addresses belong to a
+                    # query index only the merge can assign; the parent
+                    # replays them onto the merged record.
+                    record.cnames.update(response.chain)
+                    continue
                 record.addresses.update(response.addresses)
                 record.cnames.update(response.chain)
             records.append(record)
@@ -200,20 +238,48 @@ class DatasetBuilder:
 
     # -- step 4: the NS survey ------------------------------------------------------
 
-    def ns_survey(
+    def ns_dig_survey(
         self, records: List[SubdomainRecord]
-    ) -> Dict[str, Optional[IPv4Address]]:
-        """Collect and resolve each cloud-using subdomain's NS set."""
+    ) -> List[List[str]]:
+        """NS-survey step 4a: one fresh NS dig per cloud-using record.
+
+        Returns each record's NS names in answer order (the order that
+        drives :meth:`resolve_ns_hostnames`'s first-seen dedup).  NS
+        digs are fresh and the surveyed chains are static, so the step
+        has no cache or rotation side effects — which is what lets
+        shard workers run it locally.
+        """
         vantages = self.world.dns_vantages()
         survey_vantages = vantages[: min(10, len(vantages))]
         # The surveying resolver is the same object for every record;
         # fetching it per record was just loop-invariant overhead.
         resolver = self.world.resolver_for(survey_vantages[0])
-        ns_addresses: Dict[str, Optional[IPv4Address]] = {}
+        recorder = self._recorder
+        ordered: List[List[str]] = []
         for record in records:
             response = resolver.dig(record.fqdn, RRType.NS, fresh=True)
+            if recorder is not None:
+                recorder.note_counter_dig(record.fqdn, response)
             record.ns_names.update(response.ns_names)
-            for hostname in response.ns_names:
+            ordered.append(list(response.ns_names))
+        return ordered
+
+    def resolve_ns_hostnames(
+        self, ns_name_lists: Iterable[List[str]]
+    ) -> Dict[str, Optional[IPv4Address]]:
+        """NS-survey step 4b: resolve each distinct NS hostname once.
+
+        Walks the per-record NS lists in order, resolving each hostname
+        the first time it appears with the paper's flush-and-fresh
+        discipline.  Sharded builds run this on the parent only: the
+        dedup set is global, so splitting it would re-pay (and
+        re-side-effect) duplicate hostname resolutions per shard.
+        """
+        vantages = self.world.dns_vantages()
+        survey_vantages = vantages[: min(10, len(vantages))]
+        ns_addresses: Dict[str, Optional[IPv4Address]] = {}
+        for ns_names in ns_name_lists:
+            for hostname in ns_names:
                 if hostname in ns_addresses:
                     continue
                 address: Optional[IPv4Address] = None
@@ -227,16 +293,60 @@ class DatasetBuilder:
                 ns_addresses[hostname] = address
         return ns_addresses
 
+    def ns_survey(
+        self, records: List[SubdomainRecord]
+    ) -> Dict[str, Optional[IPv4Address]]:
+        """Collect and resolve each cloud-using subdomain's NS set."""
+        return self.resolve_ns_hostnames(self.ns_dig_survey(records))
+
     # -- putting it together -----------------------------------------------------------
 
-    def build(self) -> AlexaSubdomainsDataset:
+    def can_shard(self, workers: int) -> bool:
+        """Whether a ``workers``-way sharded build is available.
+
+        Sharding requires fork-based pools and full published-range
+        coverage: below 1.0 a subdomain's cloud classification can
+        depend on *which* rotated answer a query index returns, so the
+        filter's control flow would no longer be counter-independent
+        and the shard merge could not replay it.
+        """
+        return (
+            workers > 1
+            and len(self.world.alexa.sites) > 1
+            and self.range_coverage >= 1.0
+            and fork_pool_available()
+        )
+
+    def build(self, workers: int = 0) -> AlexaSubdomainsDataset:
+        """Run the full §2.1 pipeline.
+
+        With ``workers > 1`` (where :meth:`can_shard` allows) the ranked
+        domain list is partitioned into contiguous shards built in
+        forked worker processes and merged back in rank order; the
+        result — records, discovered map, NS addresses, query counters,
+        resolver caches — is bit-identical to ``workers=0``.
+        """
+        if self.can_shard(workers):
+            from repro.analysis.shards import build_sharded
+
+            return build_sharded(self, workers)
+        timings = self.step_timings = {}
+        start = time.perf_counter()
         discovered, total = self.discover_subdomains()
+        timings["enumerate_s"] = time.perf_counter() - start
+        start = time.perf_counter()
         cloud_using, cloudfront_using, other_cdn = self.filter_cloud_using(
             discovered
         )
+        timings["filter_s"] = time.perf_counter() - start
+        start = time.perf_counter()
         records = self.distributed_lookups(cloud_using)
         cloudfront_records = self.distributed_lookups(cloudfront_using)
-        ns_addresses = self.ns_survey(records)
+        timings["distributed_lookups_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        ns_name_lists = self.ns_dig_survey(records)
+        ns_addresses = self.resolve_ns_hostnames(ns_name_lists)
+        timings["ns_survey_s"] = time.perf_counter() - start
         return AlexaSubdomainsDataset(
             records=records,
             discovered=discovered,

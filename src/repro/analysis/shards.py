@@ -1,0 +1,443 @@
+"""Sharded, bit-identical §2.1 dataset builds.
+
+The ranked domain list is partitioned into contiguous shards, and each
+shard runs the full enumerate → filter → distributed-lookups → NS-dig
+pipeline in a forked worker process against a copy-on-write view of the
+world (the same worker discipline as the parallel WAN campaign: nothing
+heavy is pickled, closures never cross the process boundary).
+
+What makes naive sharding wrong is rotation state.  Dynamic DNS names
+answer from a monotonically increasing per-name query counter, and one
+of them — ``proxy.heroku.com``-style shared proxies — is reachable from
+*many* tenant domains, so its counter interleaves queries across shards.
+The fix has three parts:
+
+1. before forking, a static reverse-CNAME alias-graph analysis
+   (:meth:`DnsInfrastructure.shared_dynamic_names`) finds every dynamic
+   name reachable from two or more tenant domains;
+2. workers detect digs that terminated on a shared name (possible
+   post-hoc: dynamic answers are alias-graph terminals, so a response's
+   addresses are either entirely static or entirely the terminal's),
+   exclude those answers from their outputs, and log a compact
+   descriptor instead;
+3. the parent replays the logged queries against the real answer
+   functions in exact sequential global order — phase-major, then shard
+   order, then per-shard sequence — with query indices seeded from its
+   own counters, patching the merged records and exported cache entries
+   with the replayed answers.
+
+Names reachable from at most one tenant domain need none of this: the
+owning tenant lives in exactly one shard, so the worker's locally
+observed rotation already matches the sequential one, and the parent
+only has to advance its counters by the workers' reported deltas.
+
+The NS survey is split: workers do the per-record NS digs (fresh, no
+cache or rotation side effects), while the parent resolves the distinct
+NS hostnames — that step's first-seen dedup is global, so shard-local
+copies would both re-pay and re-side-effect duplicate resolutions.
+
+The result is bit-identical to a sequential build for any worker count:
+records, discovered map, NS addresses, dynamic query counters, resolver
+caches and query counts.  ``tests/test_determinism_caching.py`` holds
+the fresh-vs-sharded equivalence to the same standard as the
+fresh-vs-warmed one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dns.records import DnsResponse, RRType
+from repro.net.ipv4 import IPv4Address
+
+#: Pipeline phases in sequential execution order; the replay sorts
+#: logged descriptors phase-major so cross-shard rotations are assigned
+#: the indices sequential execution would have used.
+PHASES = ("enumerate", "filter", "lookup", "cloudfront_lookup", "ns_dig")
+_PHASE_RANK = {phase: rank for rank, phase in enumerate(PHASES)}
+
+#: Copy-on-write state inherited by forked workers; holds the builder so
+#: the world is never pickled (its dynamic names close over cloud state).
+_WORKER_STATE: Optional[tuple] = None
+
+
+@dataclass
+class ShardLogEntry:
+    """One worker dig whose answer came from a shared dynamic name.
+
+    ``kind`` says what the replayed answer must patch: a ``"cache"``
+    entry the dig wrote, a merged ``"record"``'s address set, or — for
+    ``"counter"`` — nothing beyond consuming one query index.
+    """
+
+    phase: str
+    seq: int
+    kind: str
+    name: str
+    vantage_name: str
+    qname: str
+    position: int = -1
+
+
+class ShardRecorder:
+    """Collects shared-rotation descriptors inside one shard worker."""
+
+    def __init__(self, shared_names: Set[str]):
+        self.shared = shared_names
+        self.entries: List[ShardLogEntry] = []
+        self.phase: str = PHASES[0]
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    def shared_terminal(
+        self, qname: str, response: DnsResponse
+    ) -> Optional[str]:
+        """The shared dynamic name this executed dig terminated on.
+
+        Cache hits never advance rotation state; an executed A dig
+        touches a dynamic counter exactly when its chain terminal (or
+        the qname itself) is dynamic, since dynamic answers never
+        contain CNAMEs.
+        """
+        if response.from_cache or not self.shared:
+            return None
+        if response.chain and response.chain[-1] in self.shared:
+            return response.chain[-1]
+        if qname in self.shared:
+            return qname
+        return None
+
+    def _log(self, kind: str, name: str, vantage_name: str, qname: str,
+             position: int = -1) -> None:
+        self.entries.append(
+            ShardLogEntry(
+                phase=self.phase,
+                seq=len(self.entries),
+                kind=kind,
+                name=name,
+                vantage_name=vantage_name,
+                qname=qname,
+                position=position,
+            )
+        )
+
+    def note_cached_dig(
+        self, vantage_name: str, qname: str, response: DnsResponse
+    ) -> None:
+        """A non-fresh dig (enumeration or filter) just executed.
+
+        If it rotated a shared name, the addresses it observed — and, if
+        it cached, the cache entry it wrote — belong to a query index
+        only the merge can assign.  Classification stays local: at full
+        range coverage every rotation of a given name classifies
+        identically, which is exactly the :meth:`DatasetBuilder.can_shard`
+        precondition.
+        """
+        name = self.shared_terminal(qname, response)
+        if name is None:
+            return
+        if response.exists and response.ttl > 0:
+            self._log("cache", name, vantage_name, qname)
+        else:
+            self._log("counter", name, vantage_name, qname)
+
+    def note_lookup(
+        self, position: int, vantage_name: str, qname: str,
+        response: DnsResponse,
+    ) -> bool:
+        """A fresh distributed-lookup dig executed; True when its
+        addresses must be withheld for the parent replay."""
+        name = self.shared_terminal(qname, response)
+        if name is None:
+            return False
+        self._log("record", name, vantage_name, qname, position)
+        return True
+
+    def note_counter_dig(self, qname: str, response: DnsResponse) -> None:
+        """A fresh NS dig executed; only the consumed index matters."""
+        name = self.shared_terminal(qname, response)
+        if name is not None:
+            self._log("counter", name, qname, qname)
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker sends back for reconciliation."""
+
+    shard_index: int
+    discovered: Dict[str, List[str]]
+    total: int
+    records: list
+    cloudfront_records: list
+    other_cdn: Dict[str, List[str]]
+    ns_name_lists: List[List[str]]
+    entries: List[ShardLogEntry]
+    #: (zone origin, dynamic name) → how far this shard's queries
+    #: advanced the counter.
+    counter_deltas: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: vantage name → (query-count delta, cache entries this shard wrote).
+    resolver_payload: Dict[str, tuple] = field(default_factory=dict)
+    step_timings: Dict[str, float] = field(default_factory=dict)
+
+
+def partition_ranks(count: int, shards: int) -> List[Tuple[int, int]]:
+    """Near-equal contiguous ``[lo, hi)`` rank slices, in rank order."""
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _build_shard(shard_index: int) -> ShardResult:
+    """Worker body: run the pipeline over one contiguous rank slice."""
+    builder, bounds, shared, resolver_baselines, counter_baseline = (
+        _WORKER_STATE
+    )
+    lo, hi = bounds[shard_index]
+    world = builder.world
+    recorder = ShardRecorder(shared)
+    builder._recorder = recorder
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    recorder.set_phase("enumerate")
+    discovered, total = builder.discover_subdomains(
+        world.alexa.sites[lo:hi], offset=lo
+    )
+    timings["enumerate_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recorder.set_phase("filter")
+    cloud_using, cloudfront_using, other_cdn = builder.filter_cloud_using(
+        discovered
+    )
+    timings["filter_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recorder.set_phase("lookup")
+    records = builder.distributed_lookups(cloud_using)
+    recorder.set_phase("cloudfront_lookup")
+    cloudfront_records = builder.distributed_lookups(cloudfront_using)
+    timings["distributed_lookups_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recorder.set_phase("ns_dig")
+    ns_name_lists = builder.ns_dig_survey(records)
+    timings["ns_survey_s"] = time.perf_counter() - start
+
+    counter_deltas: Dict[Tuple[str, str], int] = {}
+    for key, count in world.dns.dynamic_query_counts().items():
+        delta = count - counter_baseline.get(key, 0)
+        if delta:
+            counter_deltas[key] = delta
+
+    resolver_payload: Dict[str, tuple] = {}
+    for vantage in world.dns_vantages():
+        resolver = world._resolvers.get(vantage.name)
+        if resolver is None:
+            continue
+        baseline_count, baseline_keys = resolver_baselines.get(
+            vantage.name, (0, frozenset())
+        )
+        new_entries = resolver.export_cache_entries(baseline_keys)
+        query_delta = resolver.query_count - baseline_count
+        if new_entries or query_delta:
+            resolver_payload[vantage.name] = (query_delta, new_entries)
+
+    return ShardResult(
+        shard_index=shard_index,
+        discovered=discovered,
+        total=total,
+        records=records,
+        cloudfront_records=cloudfront_records,
+        other_cdn=other_cdn,
+        ns_name_lists=ns_name_lists,
+        entries=recorder.entries,
+        counter_deltas=counter_deltas,
+        resolver_payload=resolver_payload,
+        step_timings=timings,
+    )
+
+
+def build_sharded(builder, workers: int):
+    """Build the §2.1 dataset with a fork pool, bit-identically.
+
+    See the module docstring for the full merge/replay/reconcile
+    contract.  Callers go through :meth:`DatasetBuilder.build`, which
+    gates on :meth:`DatasetBuilder.can_shard`.
+    """
+    from repro.analysis.dataset import AlexaSubdomainsDataset
+
+    world = builder.world
+    sites = world.alexa.sites
+    bounds = partition_ranks(len(sites), workers)
+
+    setup_start = time.perf_counter()
+    shared = world.dns.shared_dynamic_names(
+        site.domain for site in sites
+    )
+    counter_baseline = world.dns.dynamic_query_counts()
+    resolver_baselines = {
+        name: (resolver.query_count, resolver.cache_keys())
+        for name, resolver in world._resolvers.items()
+    }
+    setup_s = time.perf_counter() - setup_start
+
+    global _WORKER_STATE
+    _WORKER_STATE = (
+        builder, bounds, shared, resolver_baselines, counter_baseline
+    )
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=len(bounds)) as pool:
+            results = pool.map(_build_shard, range(len(bounds)))
+    finally:
+        _WORKER_STATE = None
+
+    merge_start = time.perf_counter()
+
+    # -- merge outputs in rank (= shard) order -------------------------
+    discovered: Dict[str, List[str]] = {}
+    other_cdn: Dict[str, List[str]] = {}
+    records: list = []
+    cloudfront_records: list = []
+    ns_name_lists: List[List[str]] = []
+    total = 0
+    record_offsets: List[int] = []
+    cloudfront_offsets: List[int] = []
+    for result in results:
+        record_offsets.append(len(records))
+        cloudfront_offsets.append(len(cloudfront_records))
+        discovered.update(result.discovered)
+        other_cdn.update(result.other_cdn)
+        records.extend(result.records)
+        cloudfront_records.extend(result.cloudfront_records)
+        ns_name_lists.extend(result.ns_name_lists)
+        total += result.total
+
+    # -- replay shared rotations in sequential global order ------------
+    dynamic_zone = {
+        name: (origin, zone)
+        for origin, zone in ((z.origin, z) for z in world.dns.zones())
+        for name in zone.dynamic_names()
+    }
+    vantage_by_name = {v.name: v for v in world.dns_vantages()}
+    replay = sorted(
+        (
+            (_PHASE_RANK[entry.phase], result.shard_index, entry.seq,
+             result, entry)
+            for result in results
+            for entry in result.entries
+        ),
+        key=lambda item: item[:3],
+    )
+    next_index: Dict[str, int] = {}
+    replay_counts: Dict[Tuple[str, str], int] = {}
+    for _, _, _, result, entry in replay:
+        origin, zone = dynamic_zone[entry.name]
+        index = next_index.get(entry.name)
+        if index is None:
+            index = counter_baseline.get((origin, entry.name), 0)
+        next_index[entry.name] = index + 1
+        replay_counts[(origin, entry.name)] = (
+            replay_counts.get((origin, entry.name), 0) + 1
+        )
+        if entry.kind == "counter":
+            continue
+        answers = zone.dynamic_answer(
+            entry.name, RRType.A, vantage_by_name[entry.vantage_name], index
+        )
+        addresses = [r.value for r in answers if r.rtype is RRType.A]
+        if entry.kind == "cache":
+            payload = result.resolver_payload[entry.vantage_name][1]
+            cached = payload.get((entry.qname, RRType.A))
+            if cached is None:
+                raise RuntimeError(
+                    f"shard {result.shard_index} logged a cache patch for "
+                    f"{entry.qname} but exported no matching entry"
+                )
+            cached.response.addresses = list(addresses)
+        else:  # "record"
+            offsets = (
+                record_offsets
+                if entry.phase == "lookup"
+                else cloudfront_offsets
+            )
+            target = (
+                records if entry.phase == "lookup" else cloudfront_records
+            )
+            target[offsets[result.shard_index] + entry.position].addresses.update(
+                addresses
+            )
+
+    # -- reconcile rotation counters -----------------------------------
+    total_deltas: Dict[Tuple[str, str], int] = {}
+    for result in results:
+        for key, delta in result.counter_deltas.items():
+            total_deltas[key] = total_deltas.get(key, 0) + delta
+    for (origin, name), count in replay_counts.items():
+        if total_deltas.get((origin, name), 0) != count:
+            raise RuntimeError(
+                f"shared-name replay drift for {name}: replayed {count} "
+                f"queries, workers reported "
+                f"{total_deltas.get((origin, name), 0)}"
+            )
+    for (origin, name), delta in total_deltas.items():
+        if name in shared and (origin, name) not in replay_counts:
+            raise RuntimeError(
+                f"shared name {name} advanced {delta} queries that no "
+                f"worker descriptor accounts for"
+            )
+    world.dns.apply_dynamic_query_deltas(total_deltas)
+
+    # -- reconcile resolver caches and query counts --------------------
+    # Cache keys are (fqdn, rtype) and fqdns are domain-unique, so the
+    # per-shard exports are disjoint and their union is exactly the
+    # sequential cache state at this point in the pipeline.
+    for vantage in world.dns_vantages():
+        world.resolver_for(vantage)
+    for result in results:
+        for vantage_name, (query_delta, entries) in (
+            result.resolver_payload.items()
+        ):
+            resolver = world.resolver_for(vantage_by_name[vantage_name])
+            resolver.query_count += query_delta
+            resolver.adopt_cache_entries(entries)
+    merge_s = time.perf_counter() - merge_start
+
+    # -- the global half of the NS survey ------------------------------
+    resolve_start = time.perf_counter()
+    ns_addresses = builder.resolve_ns_hostnames(ns_name_lists)
+    resolve_s = time.perf_counter() - resolve_start
+
+    timings: Dict[str, float] = {}
+    for step in ("enumerate_s", "filter_s", "distributed_lookups_s"):
+        timings[step] = max(
+            result.step_timings.get(step, 0.0) for result in results
+        )
+    timings["ns_survey_s"] = (
+        max(result.step_timings.get("ns_survey_s", 0.0) for result in results)
+        + resolve_s
+    )
+    timings["shard_setup_s"] = setup_s
+    timings["merge_s"] = merge_s
+    builder.step_timings = timings
+
+    return AlexaSubdomainsDataset(
+        records=records,
+        discovered=discovered,
+        ns_addresses=ns_addresses,
+        total_discovered_subdomains=total,
+        cloudfront_records=cloudfront_records,
+        other_cdn_subdomains=other_cdn,
+    )

@@ -17,11 +17,12 @@ import multiprocessing
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.base import Instance, InstanceRole, InstanceType
+from repro.internet.vantage import VantagePoint
 from repro.probing.httpget import DEFAULT_OBJECT_BYTES
-from repro.sim import advance_gauss
+from repro.sim import advance_gauss, fork_pool_available
 from repro.world import World
 
 #: Account the measurement instances run under.
@@ -64,22 +65,95 @@ class WanConfig:
     traceroute_instances_per_zone: int = 3  # paper: 3
     #: Fan the measurement rounds out over this many forked workers.
     #: 0 or 1 keeps the campaign sequential; any value produces
-    #: bit-identical series (only the DNS dataset stage must stay
-    #: sequential — it advances server-side ELB rotation counters).
+    #: bit-identical series.  (The DNS dataset stage shards the same
+    #: way — see ``repro.analysis.shards`` — so one ``--workers`` knob
+    #: drives both campaigns.)
     workers: int = 0
 
 
 class WanAnalysis:
-    """Runs the §5 measurements over a world."""
+    """Runs the §5 measurements over a world.
 
-    def __init__(self, world: World, config: Optional[WanConfig] = None):
-        self.world = world
+    ``world`` may be a built :class:`World` or a zero-argument provider
+    returning one; with a provider, the world is only constructed when
+    something actually needs it.  Combined with ``clients``/``regions``
+    overrides and :meth:`preload_measurements`, an analysis revived from
+    cached matrices answers every matrix-derived question — figures
+    9-12, headline statistics — without ever building a world.
+    """
+
+    def __init__(
+        self,
+        world: Union[World, Callable[[], World]],
+        config: Optional[WanConfig] = None,
+        clients: Optional[Sequence[VantagePoint]] = None,
+        regions: Optional[Sequence[str]] = None,
+    ):
+        if callable(world):
+            self._world: Optional[World] = None
+            self._world_provider = world
+        else:
+            self._world = world
+            self._world_provider = None
         self.config = config or WanConfig()
-        self.clients = world.probe_vantages()
-        self.regions = list(world.ec2.region_names())
+        self._clients = list(clients) if clients is not None else None
+        self._regions = list(regions) if regions is not None else None
         self._instances: Optional[Dict[str, List[Instance]]] = None
         self._latency: Optional[Dict[Tuple[str, str], List[float]]] = None
         self._throughput: Optional[Dict[Tuple[str, str], List[float]]] = None
+        #: Called once with (latency, throughput) right after a campaign
+        #: fills the matrices; the artifact cache stores them from here.
+        self.on_measured: Optional[Callable] = None
+
+    @property
+    def world(self) -> World:
+        if self._world is None:
+            self._world = self._world_provider()
+        return self._world
+
+    @property
+    def clients(self) -> List[VantagePoint]:
+        if self._clients is None:
+            self._clients = self.world.probe_vantages()
+        return self._clients
+
+    @property
+    def regions(self) -> List[str]:
+        if self._regions is None:
+            self._regions = list(self.world.ec2.region_names())
+        return self._regions
+
+    def preload_measurements(
+        self,
+        latency: Dict[Tuple[str, str], List[float]],
+        throughput: Dict[Tuple[str, str], List[float]],
+    ) -> None:
+        """Adopt cached campaign matrices; :meth:`_measure` becomes a
+        no-op, so neither the fleet nor the world is ever built."""
+        self._latency = dict(latency)
+        self._throughput = dict(throughput)
+
+    def replay_side_effects(self) -> None:
+        """Reproduce the world mutations a real campaign would make.
+
+        Serving the matrices from the artifact cache skips
+        :meth:`_measure`, but the campaign's *world* side effects — the
+        launched measurement fleet and the jitter/noise stream draws —
+        are state later direct consumers of the world may depend on.
+        Launching the fleet and fast-forwarding the streams past the
+        campaign (the per-round draw count is exact, see
+        :meth:`_draws_per_round`) restores that state at a fraction of
+        the measurement cost.
+        """
+        self.instances()
+        jitter_per_round, noise_per_round = self._draws_per_round()
+        rounds = self.config.rounds
+        advance_gauss(
+            self.world.latency._jitter_rng, rounds * jitter_per_round
+        )
+        advance_gauss(
+            self.world.throughput._noise_rng, rounds * noise_per_round
+        )
 
     # -- instance fleet ----------------------------------------------------
 
@@ -120,7 +194,7 @@ class WanAnalysis:
             return
         self.instances()  # launch the fleet before any fork
         workers = min(self.config.workers, self.config.rounds)
-        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        if workers > 1 and fork_pool_available():
             parts = self._measure_parallel(workers)
         else:
             parts = [self._measure_rounds(0, self.config.rounds)]
@@ -133,6 +207,8 @@ class WanAnalysis:
                 throughput[key].extend(values)
         self._latency = dict(latency)
         self._throughput = dict(throughput)
+        if self.on_measured is not None:
+            self.on_measured(self._latency, self._throughput)
 
     def _measure_rounds(
         self, start: int, stop: int

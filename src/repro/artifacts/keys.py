@@ -1,0 +1,90 @@
+"""Cache keys: canonical config encodings and a code fingerprint.
+
+A key must change exactly when the artifact would: it hashes (a) the
+artifact kind, (b) a canonical encoding of every configuration object
+that feeds the build, and (c) a fingerprint of the ``repro`` package
+sources.  Keys deliberately exclude execution knobs that are proven not
+to affect outputs — worker counts, most prominently, since both parallel
+campaigns are bit-identical to their sequential counterparts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def canonical(value: object) -> str:
+    """A stable, recursive text encoding of a configuration value.
+
+    Dataclasses encode as ``ClassName(field=..., ...)`` in field order,
+    mappings with sorted keys, sequences element-wise; everything else
+    falls back to ``repr`` (deterministic for the primitives configs
+    hold).  Unlike raw ``repr`` this never depends on object identity.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = ", ".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in fields(value)
+        )
+        return f"{type(value).__name__}({parts})"
+    if isinstance(value, dict):
+        parts = ", ".join(
+            f"{canonical(k)}: {canonical(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "{" + parts + "}"
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(canonical(v) for v in value)
+        return ("[%s]" if isinstance(value, list) else "(%s)") % inner
+    if isinstance(value, (set, frozenset)):
+        inner = ", ".join(sorted(canonical(v) for v in value))
+        return "{" + inner + "}"
+    return repr(value)
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (paths and contents).
+
+    Computed once per process.  Any edit to the package — a changed
+    constant, a new answer function — yields a different fingerprint, so
+    cached artifacts from older code can never be served for newer code.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(
+            package_root.rglob("*.py"),
+            key=lambda p: p.relative_to(package_root).as_posix(),
+        ):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def artifact_key(
+    kind: str,
+    components: Dict[str, object],
+    code: Optional[str] = None,
+) -> str:
+    """The content address for one artifact build."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode())
+    digest.update(b"\x00")
+    for name in sorted(components):
+        digest.update(name.encode())
+        digest.update(b"=")
+        digest.update(canonical(components[name]).encode())
+        digest.update(b"\x00")
+    digest.update((code if code is not None else code_fingerprint()).encode())
+    return digest.hexdigest()

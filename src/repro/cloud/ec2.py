@@ -53,6 +53,16 @@ EC2_REGION_SPECS: Tuple[RegionSpec, ...] = (
     RegionSpec("ap-southeast-2", "Sydney, Australia", GeoPoint(-33.87, 151.21), 2),
 )
 
+def ec2_region_names() -> List[str]:
+    """Region names in launch order, from the static specs alone.
+
+    Equal to ``EC2Cloud.region_names()`` on any built world; callers
+    that only need the region list (e.g. a WAN analysis revived from
+    cached measurement matrices) use this to avoid building a cloud.
+    """
+    return [spec.name for spec in EC2_REGION_SPECS]
+
+
 #: Synthetic stand-ins for the forum-published EC2 public ranges [12].
 _EC2_SUPERNETS = ("54.192.0.0/11", "50.16.0.0/14", "107.20.0.0/14")
 

@@ -66,10 +66,15 @@ class SubdomainEnumerator:
         infra: DnsInfrastructure,
         resolver: StubResolver,
         wordlist: Iterable[str] | None = None,
+        dig_observer=None,
     ):
         self.infra = infra
         self.resolver = resolver
         self.wordlist = list(wordlist) if wordlist is not None else default_wordlist()
+        #: Called as ``observer(resolver, qname, response)`` after every
+        #: brute-force ``dig`` that executed (shard builds use it to tag
+        #: answers whose rotation state crosses shard boundaries).
+        self.dig_observer = dig_observer
 
     def try_zone_transfer(self, domain: str) -> List[str]:
         """Names learned via AXFR; raises TransferRefused when refused."""
@@ -114,6 +119,8 @@ class SubdomainEnumerator:
                 continue
             response = resolver.dig(candidate, RRType.A)
             result.queries_issued += 1
+            if self.dig_observer is not None:
+                self.dig_observer(resolver, candidate, response)
             if response.exists:
                 result.subdomains.append(candidate)
         result.subdomains.sort()

@@ -10,7 +10,7 @@ server addresses against cloud IP ranges in §4.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dns.records import RRType, ResourceRecord, normalize_name, parent_of
 from repro.dns.zone import Zone
@@ -130,6 +130,77 @@ class DnsInfrastructure:
         """True if any zone has data (of any type) at ``qname``."""
         zone = self.zone_for(qname)
         return zone is not None and zone.has_name(qname)
+
+    # -- shard reconciliation -----------------------------------------
+
+    def dynamic_query_counts(self) -> Dict[Tuple[str, str], int]:
+        """All nonzero ``(zone origin, name) -> query count`` counters.
+
+        The rotation state of every dynamic name in one snapshot; shard
+        workers diff two snapshots to report how far their queries
+        advanced each counter.
+        """
+        counts: Dict[Tuple[str, str], int] = {}
+        for origin, zone in self._zones.items():
+            for name, count in zone.query_counts().items():
+                counts[(origin, name)] = count
+        return counts
+
+    def apply_dynamic_query_deltas(
+        self, deltas: Dict[Tuple[str, str], int]
+    ) -> None:
+        """Advance dynamic-name counters by per-name deltas, as if the
+        queries a shard worker answered had been answered here."""
+        for (origin, name), delta in deltas.items():
+            zone = self._zones.get(origin)
+            if zone is None:
+                raise KeyError(f"no zone {origin} for counter delta")
+            zone.advance_query_count(name, delta)
+
+    def shared_dynamic_names(
+        self, tenant_domains: Iterable[str]
+    ) -> Set[str]:
+        """Dynamic names whose rotation state is shared across tenants.
+
+        Walks the static CNAME alias graph backwards from every dynamic
+        name and attributes each reachable alias to the tenant domain
+        whose zone holds it.  A dynamic name reachable from two or more
+        tenant domains (``proxy.heroku.com`` is the canonical case: many
+        Heroku apps CNAME onto one shared rotating proxy name) cannot be
+        measured shard-locally — its query counter interleaves queries
+        from different domains, which different shards would replay
+        inconsistently.  Names reachable from at most one tenant are
+        private: their counters evolve identically whether the tenant is
+        measured alone or in sequence.
+
+        Dynamic answers never contain CNAMEs (they are alias-graph
+        terminals), so the static graph is complete.
+        """
+        tenants = {normalize_name(d) for d in tenant_domains}
+        sources: Dict[str, List[Tuple[str, str]]] = {}
+        for origin, zone in self._zones.items():
+            for name, target in zone.cname_links():
+                sources.setdefault(target, []).append((name, origin))
+        shared: Set[str] = set()
+        for origin, zone in self._zones.items():
+            for dynamic_name in zone.dynamic_names():
+                owners: Set[str] = set()
+                if origin in tenants:
+                    owners.add(origin)
+                stack = [dynamic_name]
+                seen = {dynamic_name}
+                while stack and len(owners) < 2:
+                    target = stack.pop()
+                    for alias, alias_origin in sources.get(target, ()):
+                        if alias in seen:
+                            continue
+                        seen.add(alias)
+                        stack.append(alias)
+                        if alias_origin in tenants:
+                            owners.add(alias_origin)
+                if len(owners) >= 2:
+                    shared.add(dynamic_name)
+        return shared
 
     def nameserver_address(self, hostname: str) -> Optional[IPv4Address]:
         """Resolve a name-server hostname to its address.

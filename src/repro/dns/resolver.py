@@ -47,6 +47,36 @@ class StubResolver:
     def flush_cache(self) -> None:
         self._cache.clear()
 
+    # -- shard reconciliation -----------------------------------------
+
+    def cache_keys(self) -> set:
+        """The current set of cache keys (a cheap pre-fork baseline)."""
+        return set(self._cache)
+
+    def export_cache_entries(
+        self, exclude: Optional[set] = None
+    ) -> Dict[Tuple[str, RRType], _CacheEntry]:
+        """Cache entries not present in a baseline key set.
+
+        Shard workers call this after building their slice; with the
+        pre-fork baseline as ``exclude`` it yields exactly the entries
+        the shard's queries populated (entries are only ever written on
+        a miss, so a baseline key can never be overwritten mid-build —
+        the clock does not advance, hence nothing expires).
+        """
+        exclude = exclude or set()
+        return {
+            key: entry
+            for key, entry in self._cache.items()
+            if key not in exclude
+        }
+
+    def adopt_cache_entries(
+        self, entries: Dict[Tuple[str, RRType], _CacheEntry]
+    ) -> None:
+        """Install entries exported from a shard worker's resolver."""
+        self._cache.update(entries)
+
     def dig(
         self, qname: str, rtype: RRType = RRType.A, fresh: bool = False
     ) -> DnsResponse:

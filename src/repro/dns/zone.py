@@ -9,7 +9,7 @@ performance-based answers, and CDN edge selection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.dns.records import RRType, ResourceRecord, normalize_name
 
@@ -98,6 +98,43 @@ class Zone:
         if self._names_cache is None:
             self._names_cache = sorted(set(self._static) | set(self._dynamic))
         return list(self._names_cache)
+
+    # -- shard-reconciliation accessors --------------------------------
+
+    def dynamic_names(self) -> List[str]:
+        """The zone's dynamic names, in registration order."""
+        return list(self._dynamic)
+
+    def dynamic_answer(
+        self, name: str, rtype: RRType, vantage: object, query_index: int
+    ) -> List[ResourceRecord]:
+        """Call a dynamic name's answer function at an explicit index,
+        without advancing the zone's query counter (used by the shard
+        merge to replay cross-shard rotations in sequential order)."""
+        return self._dynamic[name].answer(rtype, vantage, query_index)
+
+    def query_counts(self) -> Dict[str, int]:
+        """Per-dynamic-name query counters (names with zero count are
+        omitted, exactly as :meth:`lookup` stores them)."""
+        return dict(self._query_counts)
+
+    def advance_query_count(self, name: str, delta: int) -> None:
+        """Advance one dynamic name's counter by ``delta`` queries, as
+        if ``delta`` lookups had been answered."""
+        if delta:
+            self._query_counts[name] = (
+                self._query_counts.get(name, 0) + delta
+            )
+
+    def cname_links(self) -> List[Tuple[str, str]]:
+        """Every static ``(name, target)`` CNAME edge in the zone, for
+        the cross-zone alias-graph analysis in
+        :meth:`DnsInfrastructure.shared_dynamic_names`."""
+        return [
+            (name, str(record.value))
+            for name, by_type in self._static.items()
+            for record in by_type.get(RRType.CNAME, ())
+        ]
 
     def has_name(self, name: str) -> bool:
         name = normalize_name(name)

@@ -49,8 +49,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=0,
-        help="forked workers for the WAN campaign (0 = sequential; "
-             "any value yields bit-identical results)",
+        help="forked workers for the parallel campaigns — both the "
+             "§2.1 dataset shards and the §5 WAN rounds (0 = "
+             "sequential; any value yields bit-identical results)",
+    )
+    parser.add_argument(
+        "--artifact-dir", metavar="DIR", default=".repro-artifacts",
+        help="directory for the content-addressed artifact cache "
+             "(dataset / capture / WAN products, keyed on config + "
+             "code version)",
+    )
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="always rebuild; neither read nor write the artifact cache",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
@@ -70,10 +81,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{exp.title}")
         return 0
     from repro.analysis.wan import WanConfig
+    from repro.artifacts import ArtifactStore
 
+    store = (
+        None if args.no_artifact_cache
+        else ArtifactStore(args.artifact_dir)
+    )
     context = ExperimentContext(
         WorldConfig(seed=args.seed, num_domains=args.domains),
         WanConfig(rounds=args.wan_rounds, workers=args.workers),
+        workers=args.workers,
+        artifact_store=store,
     )
     if args.experiments:
         experiments = [get_experiment(e) for e in args.experiments]
@@ -88,6 +106,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         summaries.append(summary)
         print(summary)
         print(f"({elapsed:.1f}s)\n")
+    if store is not None:
+        stats = store.stats
+        print(
+            f"artifact cache [{args.artifact_dir}]: "
+            f"{stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stored"
+        )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(summaries) + "\n")

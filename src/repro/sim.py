@@ -51,6 +51,20 @@ def derive_rng(seed: int, *labels: object) -> random.Random:
     return random.Random(derive_seed(seed, *labels))
 
 
+def fork_pool_available() -> bool:
+    """Whether copy-on-write fork workers can be used on this platform.
+
+    Both parallel campaigns (the §5 WAN rounds and the §2.1 dataset
+    shards) rely on ``fork`` semantics: children inherit the fully built
+    world by copy-on-write instead of pickling it, and closures (dynamic
+    DNS answer functions) never cross a process boundary.  Spawn-based
+    platforms fall back to the sequential path, which is bit-identical.
+    """
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def advance_gauss(rng: random.Random, count: int) -> None:
     """Advance ``rng`` past ``count`` gaussian draws.
 

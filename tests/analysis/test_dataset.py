@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.dataset import DatasetBuilder
+from repro.world import World, WorldConfig
 
 
 class TestDatasetBuild:
@@ -74,6 +75,14 @@ class TestDatasetBuild:
         cf_fqdns = {r.fqdn for r in dataset.cloudfront_records}
         assert not cloud_fqdns & cf_fqdns
 
+    def test_cloudfront_records_excluded_from_indexes(self, dataset):
+        # The CloudFront side channel must never leak into the joins
+        # the EC2/Azure analyses run on.
+        assert dataset.cloudfront_records
+        for record in dataset.cloudfront_records:
+            assert dataset.by_fqdn.get(record.fqdn) is not record
+            assert record not in dataset.by_domain.get(record.domain, [])
+
     def test_multi_vantage_collects_tm_regions(self, world, dataset):
         # Traffic Manager subdomains answer per-vantage; the dataset's
         # distributed lookups should therefore surface more than one
@@ -84,3 +93,61 @@ class TestDatasetBuild:
         ]
         if tm_records:
             assert any(len(r.addresses) > 1 for r in tm_records)
+
+
+class TestRangeCoverage:
+    def test_zero_coverage_rejected(self, world):
+        with pytest.raises(ValueError):
+            DatasetBuilder(world, range_coverage=0.0)
+
+    def test_above_one_rejected(self, world):
+        with pytest.raises(ValueError):
+            DatasetBuilder(world, range_coverage=1.0001)
+
+    def test_negative_rejected(self, world):
+        with pytest.raises(ValueError):
+            DatasetBuilder(world, range_coverage=-0.5)
+
+    def test_tiny_coverage_keeps_at_least_one_block(self, world):
+        # ``int(len * coverage)`` would round down to zero blocks — the
+        # builder must clamp to one so classification stays defined.
+        builder = DatasetBuilder(world, range_coverage=1e-9)
+        assert len(builder._cloud_membership) >= 1
+
+    def test_partial_coverage_is_a_subset(self):
+        # Fresh worlds: building twice on one world would advance its
+        # rotation counters between the two runs.
+        config = WorldConfig(seed=21, num_domains=200)
+        full = {
+            r.fqdn for r in DatasetBuilder(World(config)).build().records
+        }
+        partial = {
+            r.fqdn
+            for r in DatasetBuilder(
+                World(config), range_coverage=0.5
+            ).build().records
+        }
+        assert partial <= full
+        assert len(partial) < len(full)
+
+
+class TestSmallWorlds:
+    def test_single_dns_vantage_builds(self):
+        world = World(
+            WorldConfig(seed=21, num_domains=120, num_dns_vantages=1)
+        )
+        dataset = DatasetBuilder(world).build()
+        assert len(dataset) > 0
+        for record in dataset.records:
+            # One vantage means one lookup per fqdn — no distributed
+            # disagreement is possible.
+            assert record.lookups == 1
+
+    def test_fewer_vantages_than_survey_slots(self):
+        # The NS survey asks for up to 10 survey vantages; worlds with
+        # fewer must still complete it.
+        world = World(
+            WorldConfig(seed=21, num_domains=120, num_dns_vantages=3)
+        )
+        dataset = DatasetBuilder(world).build()
+        assert dataset.ns_addresses

@@ -62,6 +62,7 @@ class TestCli:
         out_path = tmp_path / "summaries.txt"
         assert main([
             "--domains", "300", "--wan-rounds", "2",
+            "--no-artifact-cache",
             "--out", str(out_path), "table03",
         ]) == 0
         capsys.readouterr()

@@ -128,6 +128,94 @@ class TestWeightedChooser:
         assert direct.getstate() == compiled.getstate()
 
 
+class TestShardedDataset:
+    """The fork-pool dataset shards must match sequential bit for bit.
+
+    Beyond the dataset outputs themselves, the merge has to leave the
+    *server and resolver state* — dynamic rotation counters and every
+    per-vantage resolver cache — exactly where a sequential build leaves
+    it, because the downstream capture stage consumes that state.
+    """
+
+    # Smallest config whose tenants share a dynamic name (the Heroku
+    # routing proxy), so the shard-log replay path is truly exercised.
+    SHARED = WorldConfig(seed=7, num_domains=300)
+
+    @classmethod
+    def _full_state(cls, workers):
+        world = World(cls.SHARED)
+        dataset = DatasetBuilder(world).build(workers=workers)
+        resolvers = {
+            name: (
+                resolver.query_count,
+                sorted(
+                    (
+                        key,
+                        tuple(
+                            sorted(
+                                str(a)
+                                for a in entry.response.addresses
+                            )
+                        ),
+                        tuple(sorted(entry.response.chain)),
+                        entry.expires_at,
+                    )
+                    for key, entry in resolver._cache.items()
+                ),
+            )
+            for name, resolver in sorted(world._resolvers.items())
+        }
+        return {
+            "records": [_record_key(r) for r in dataset.records],
+            "cloudfront": [
+                _record_key(r) for r in dataset.cloudfront_records
+            ],
+            "discovered": dataset.discovered,
+            "total": dataset.total_discovered_subdomains,
+            "other_cdn": dataset.other_cdn_subdomains,
+            "ns_addresses": sorted(
+                (k, str(v)) for k, v in dataset.ns_addresses.items()
+            ),
+            "counters": sorted(world.dns.dynamic_query_counts().items()),
+            "resolvers": resolvers,
+        }
+
+    def test_config_exercises_shared_dynamic_names(self):
+        # Guard: if this ever comes back empty the tests below would
+        # silently stop covering the shared-name replay machinery.
+        world = World(self.SHARED)
+        shared = world.dns.shared_dynamic_names(
+            site.domain for site in world.alexa.sites
+        )
+        assert shared == {"proxy.heroku.com"}
+
+    def test_sharded_build_bit_identical_to_sequential(self):
+        sequential = self._full_state(workers=0)
+        for workers in (2, 4):
+            assert self._full_state(workers) == sequential
+
+    def test_can_shard_requires_full_range_coverage(self):
+        world = World(TINY)
+        partial = DatasetBuilder(world, range_coverage=0.8)
+        assert not partial.can_shard(workers=4)
+        full = DatasetBuilder(world)
+        assert not full.can_shard(workers=0)
+        assert not full.can_shard(workers=1)
+
+    def test_workers_one_falls_back_to_sequential(self):
+        # workers=1 gains nothing from forking; it must take the
+        # sequential path and still produce identical output.
+        base = sorted(
+            _record_key(r)
+            for r in DatasetBuilder(World(TINY)).build().records
+        )
+        single = sorted(
+            _record_key(r)
+            for r in DatasetBuilder(World(TINY)).build(workers=1).records
+        )
+        assert single == base
+
+
 class TestParallelWan:
     def test_workers_bit_identical_to_sequential(self):
         sequential_world = World(TINY)
