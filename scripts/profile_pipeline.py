@@ -1,9 +1,11 @@
 """Time the measurement pipeline at bench scale; write BENCH_pipeline.json.
 
-Runs the four pipeline stages — world construction, the Alexa
-subdomains dataset, the campus packet capture, and the §5 WAN
-campaign — end to end, records per-stage wall times (with per-step
-timings inside the dataset stage), and digests the stage outputs so two
+Runs the five pipeline stages — world construction, the Alexa
+subdomains dataset, the campus packet capture, the §5 WAN campaign,
+and the §5.2 traceroute sweep — end to end, records per-stage wall
+times (with per-step timings inside the dataset stage and
+per-engine-campaign timings from :mod:`repro.campaign`), and digests
+the stage outputs — all four probe kinds the engine schedules — so two
 runs (or two revisions, or two worker counts) can be compared for
 bit-identical results as well as speed.  Usage:
 
@@ -87,6 +89,22 @@ def _trace_digest(trace) -> dict:
     }
 
 
+def _isp_digest(isp: dict) -> dict:
+    return {
+        "isp_diversity": _digest(
+            sorted(
+                (
+                    region,
+                    tuple(sorted(info["per_zone"].items())),
+                    info["region_total"],
+                    info["top_isp_route_share"],
+                )
+                for region, info in isp.items()
+            )
+        )
+    }
+
+
 def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
     """One full pipeline run: stage timings plus output digests."""
     timings = {}
@@ -112,15 +130,23 @@ def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
     wan._measure()
     timings["wan_s"] = time.perf_counter() - start
 
+    start = time.perf_counter()
+    isp = wan.isp_diversity()
+    timings["traceroute_s"] = time.perf_counter() - start
+
     timings["total_s"] = sum(timings.values())
 
     digests = {}
     digests.update(_dataset_digests(dataset))
     digests.update(_wan_digests(wan))
     digests.update(_trace_digest(trace))
+    digests.update(_isp_digest(isp))
     return {
         "timings": timings,
         "dataset_steps": dataset_steps,
+        "campaigns": {
+            **builder.campaign_timings, **wan.campaign_timings
+        },
         "digests": digests,
     }
 
@@ -142,6 +168,10 @@ def run_cached(
     wan = context.wan
     digests.update(_wan_digests(wan))
     digests.update(_trace_digest(context.trace))
+    # The traceroute sweep is not a cached product; on a warm run it
+    # is what materializes the world and drains the queued side-effect
+    # replays — exercising the pure-accelerator rule end to end.
+    digests.update(_isp_digest(wan.isp_diversity()))
     elapsed = time.perf_counter() - start
     return {
         "elapsed_s": round(elapsed, 3),
@@ -244,6 +274,10 @@ def main() -> int:
         key: round(min(run["dataset_steps"][key] for run in runs), 3)
         for key in runs[0]["dataset_steps"]
     }
+    campaigns = {
+        key: round(min(run["campaigns"][key] for run in runs), 3)
+        for key in runs[0]["campaigns"]
+    }
 
     report = {
         "bench": {
@@ -260,6 +294,7 @@ def main() -> int:
         },
         "timings_s": best,
         "dataset_steps_s": dataset_steps,
+        "campaigns_s": campaigns,
         "digests": digests,
     }
 

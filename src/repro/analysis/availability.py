@@ -20,9 +20,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.dataset import AlexaSubdomainsDataset
 from repro.analysis.patterns import PatternAnalysis
 from repro.analysis.zones import ZoneAnalysis
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.probes import TracerouteCampaign
 from repro.cloud.base import InstanceRole
 from repro.faults.scenarios import OutageScenario
 from repro.net.ipv4 import IPv4Address
+from repro.probing.traceroute import TracerouteTool
 from repro.world import World
 
 UNAFFECTED = "unaffected"
@@ -212,6 +215,31 @@ class AvailabilityAnalysis:
 
     # -- ISP failures (§5.2) ---------------------------------------------------------
 
+    def _probe_instance(self, region: str):
+        return self.world.ec2.launch_instance(
+            "availability-probe", region, role=InstanceRole.PROBE
+        )
+
+    def _traceroute_sweep(
+        self,
+        instance,
+        vantages,
+        scenario: Optional[OutageScenario] = None,
+    ):
+        """One engine traceroute campaign: a probe instance against
+        ``vantages``, optionally under an outage drill."""
+        tool = TracerouteTool(
+            self.world.routing, self.world.ec2.published_range_set()
+        )
+        engine = CampaignEngine(
+            self.world.streams.seed, scenario=scenario
+        )
+        campaign = TracerouteCampaign(
+            tool, [instance], vantages,
+            name=f"traceroute:availability:{instance.region_name}",
+        )
+        return engine.run(campaign)
+
     def isp_failover_analysis(
         self, provider: str, region: str, as_number: int
     ) -> dict:
@@ -221,35 +249,34 @@ class AvailabilityAnalysis:
         §5.2's remedy, quantified: without re-routing the ISP's whole
         route share is stranded; with re-convergence only clients for
         whom *no* surviving downstream exists stay dark (zero in a
-        multihomed region).
+        multihomed region).  Both sweeps are engine campaigns — the
+        second simply runs the same grid under an
+        :func:`~repro.faults.isp_outage` scenario.
         """
-        routing = self.world.routing
+        from repro.faults.scenarios import isp_outage
+
         vantages = self.world.traceroute_vantages()
-        cloud_ranges = self.world.ec2.published_range_set()
-        instance = self.world.ec2.launch_instance(
-            "availability-probe", region, role=InstanceRole.PROBE
+        instance = self._probe_instance(region)
+        healthy = self._traceroute_sweep(instance, vantages)
+        stranded = [
+            record.task.vantage
+            for record in healthy.records
+            if record.observed
+            and record.payload.first_external_asn == as_number
+        ]
+        stranded_set = set(stranded)
+        rerouted = self._traceroute_sweep(
+            instance,
+            [v for v in vantages if v.name in stranded_set],
+            scenario=isp_outage(as_number),
         )
-        failed = frozenset({as_number})
-        stranded_static = 0
-        stranded_reconverged = 0
-        for vantage in vantages:
-            hops = routing.traceroute(instance, vantage)
-            hop = routing.first_non_cloud_hop(hops, cloud_ranges)
-            if hop is None:
-                continue
-            asys = routing.registry.whois(hop.address)
-            if asys is None or asys.number != as_number:
-                continue
-            stranded_static += 1
-            rerouted = routing.traceroute(
-                instance, vantage, failed_isps=failed
-            )
-            if routing.first_non_cloud_hop(rerouted, cloud_ranges) is None:
-                stranded_reconverged += 1
+        stranded_reconverged = sum(
+            1 for record in rerouted.records if not record.ok
+        )
         total = len(vantages)
         return {
             "as_number": as_number,
-            "stranded_fraction_static": stranded_static / total,
+            "stranded_fraction_static": len(stranded) / total,
             "stranded_fraction_reconverged": (
                 stranded_reconverged / total
             ),
@@ -264,21 +291,17 @@ class AvailabilityAnalysis:
         Sorted worst-first; the paper's point is that the spread is
         uneven, so one ISP can strand a third of clients.
         """
-        routing = self.world.routing
         vantages = self.world.traceroute_vantages()
-        cloud_ranges = self.world.ec2.published_range_set()
-        instance = self.world.ec2.launch_instance(
-            "availability-probe", region, role=InstanceRole.PROBE
+        sweep = self._traceroute_sweep(
+            self._probe_instance(region), vantages
         )
         per_isp: Counter = Counter()
-        for vantage in vantages:
-            hops = routing.traceroute(instance, vantage)
-            hop = routing.first_non_cloud_hop(hops, cloud_ranges)
-            if hop is None:
+        for record in sweep.records:
+            if not record.observed:
                 continue
-            asys = routing.registry.whois(hop.address)
-            if asys is not None:
-                per_isp[asys.number] += 1
+            asn = record.payload.first_external_asn
+            if asn is not None:
+                per_isp[asn] += 1
         total = sum(per_isp.values()) or 1
         return sorted(
             ((asn, count / total) for asn, count in per_isp.items()),

@@ -21,8 +21,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.probes import DnsLookupCampaign
 from repro.dns.enumeration import SubdomainEnumerator
 from repro.dns.records import RRType
+from repro.faults.scenarios import OutageScenario
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
 from repro.sim import fork_pool_available
@@ -100,13 +103,23 @@ class DatasetBuilder:
     measured.
     """
 
-    def __init__(self, world: World, range_coverage: float = 1.0):
+    def __init__(
+        self,
+        world: World,
+        range_coverage: float = 1.0,
+        scenario: Optional[OutageScenario] = None,
+    ):
         if not 0.0 < range_coverage <= 1.0:
             raise ValueError(
                 f"range_coverage must be in (0, 1]: {range_coverage}"
             )
         self.world = world
         self.range_coverage = range_coverage
+        #: Outage drill the lookup campaigns run under.  DNS probes are
+        #: deliberately scenario-transparent (see
+        #: :mod:`repro.campaign.probes`), so today this only tags the
+        #: engine runs; it is threaded for uniformity with the WAN side.
+        self.scenario = scenario
         self.ranges = world.published_ranges()
         labelled = (
             [(net, "ec2") for net in world.ec2.published_ranges()]
@@ -118,9 +131,17 @@ class DatasetBuilder:
         self._cloud_membership = PrefixSet(labelled)
         #: Wall-clock seconds per pipeline step, filled by :meth:`build`.
         self.step_timings: Dict[str, float] = {}
+        #: Engine wall time per campaign name (accumulated across the
+        #: cloud-using and CloudFront lookup passes).
+        self.campaign_timings: Dict[str, float] = {}
         #: Shard-build hook: a ``ShardRecorder`` tagging digs whose
         #: rotation state crosses shard boundaries (None when sequential).
         self._recorder = None
+
+    def _engine(self) -> CampaignEngine:
+        return CampaignEngine(
+            self.world.streams.seed, scenario=self.scenario
+        )
 
     def _is_cloud_address(self, address: IPv4Address) -> bool:
         return address in self._cloud_membership
@@ -210,22 +231,36 @@ class DatasetBuilder:
     def distributed_lookups(
         self, cloud_using: Iterable[Tuple[str, str]]
     ) -> List[SubdomainRecord]:
-        vantages = self.world.dns_vantages()
-        resolvers = [self.world.resolver_for(v) for v in vantages]
-        recorder = self._recorder
+        """Dig every cloud-using subdomain from all DNS vantages.
+
+        Runs as a target-major :class:`~repro.campaign.DnsLookupCampaign`
+        through the engine (digs advance rotation counters, so the
+        campaign itself never forks; rank-sliced shard workers run it
+        per slice instead) and folds the probe records into
+        :class:`SubdomainRecord` accumulators.
+        """
+        targets = list(cloud_using)
+        campaign = DnsLookupCampaign(
+            self.world, targets, recorder=self._recorder
+        )
+        result = self._engine().run(campaign)
+        self.campaign_timings[campaign.name] = (
+            self.campaign_timings.get(campaign.name, 0.0)
+            + result.elapsed_s
+        )
+        vantage_count = result.num_vantages
         records: List[SubdomainRecord] = []
-        for position, (domain, fqdn) in enumerate(cloud_using):
+        for position, (domain, fqdn) in enumerate(targets):
             record = SubdomainRecord(
                 fqdn=fqdn,
                 domain=domain,
                 rank=self.world.alexa.rank_of(domain),
             )
-            for vantage, resolver in zip(vantages, resolvers):
-                response = resolver.dig(fqdn, fresh=True)
+            lo = position * vantage_count
+            for probe in result.records[lo:lo + vantage_count]:
+                response, withheld = probe.payload
                 record.lookups += 1
-                if recorder is not None and recorder.note_lookup(
-                    position, vantage.name, fqdn, response
-                ):
+                if withheld:
                     # Shared-rotation answer: the addresses belong to a
                     # query index only the merge can assign; the parent
                     # replays them onto the merged record.

@@ -45,11 +45,11 @@ fresh-vs-warmed one.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.campaign.fanout import fork_map, partition
 from repro.dns.records import DnsResponse, RRType
 from repro.net.ipv4 import IPv4Address
 
@@ -58,10 +58,6 @@ from repro.net.ipv4 import IPv4Address
 #: the indices sequential execution would have used.
 PHASES = ("enumerate", "filter", "lookup", "cloudfront_lookup", "ns_dig")
 _PHASE_RANK = {phase: rank for rank, phase in enumerate(PHASES)}
-
-#: Copy-on-write state inherited by forked workers; holds the builder so
-#: the world is never pickled (its dynamic names close over cloud state).
-_WORKER_STATE: Optional[tuple] = None
 
 
 @dataclass
@@ -185,24 +181,23 @@ class ShardResult:
 
 
 def partition_ranks(count: int, shards: int) -> List[Tuple[int, int]]:
-    """Near-equal contiguous ``[lo, hi)`` rank slices, in rank order."""
-    shards = max(1, min(shards, count))
-    base, extra = divmod(count, shards)
-    bounds: List[Tuple[int, int]] = []
-    lo = 0
-    for i in range(shards):
-        hi = lo + base + (1 if i < extra else 0)
-        if hi > lo:
-            bounds.append((lo, hi))
-        lo = hi
-    return bounds
+    """Near-equal contiguous ``[lo, hi)`` rank slices, in rank order.
+
+    The arithmetic lives in :func:`repro.campaign.fanout.partition` —
+    the same slicing every engine campaign shards by.
+    """
+    return partition(count, shards)
 
 
-def _build_shard(shard_index: int) -> ShardResult:
+def _build_shard(
+    builder,
+    bounds: List[Tuple[int, int]],
+    shared: Set[str],
+    resolver_baselines: Dict[str, tuple],
+    counter_baseline: Dict[Tuple[str, str], int],
+    shard_index: int,
+) -> ShardResult:
     """Worker body: run the pipeline over one contiguous rank slice."""
-    builder, bounds, shared, resolver_baselines, counter_baseline = (
-        _WORKER_STATE
-    )
     lo, hi = bounds[shard_index]
     world = builder.world
     recorder = ShardRecorder(shared)
@@ -293,16 +288,17 @@ def build_sharded(builder, workers: int):
     }
     setup_s = time.perf_counter() - setup_start
 
-    global _WORKER_STATE
-    _WORKER_STATE = (
-        builder, bounds, shared, resolver_baselines, counter_baseline
+    # One shard per fork via the engine's single fan-out path; the
+    # closure (builder, world, bounds, baselines) reaches workers by
+    # copy-on-write, never by pickling.
+    results = fork_map(
+        lambda shard_index: _build_shard(
+            builder, bounds, shared, resolver_baselines,
+            counter_baseline, shard_index,
+        ),
+        len(bounds),
+        len(bounds),
     )
-    try:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=len(bounds)) as pool:
-            results = pool.map(_build_shard, range(len(bounds)))
-    finally:
-        _WORKER_STATE = None
 
     merge_start = time.perf_counter()
 

@@ -13,45 +13,25 @@ diversity table (Table 16).
 
 from __future__ import annotations
 
-import multiprocessing
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.model import ProbeKind, ProbePolicy
+from repro.campaign.probes import TracerouteCampaign, WanMeasurementCampaign
 from repro.cloud.base import Instance, InstanceRole, InstanceType
+from repro.faults.scenarios import OutageScenario
 from repro.internet.vantage import VantagePoint
-from repro.probing.httpget import DEFAULT_OBJECT_BYTES
-from repro.sim import advance_gauss, fork_pool_available
+from repro.probing.traceroute import TracerouteTool
+from repro.sim import advance_gauss
 from repro.world import World
 
 #: Account the measurement instances run under.
 WAN_ACCOUNT = "wan-measurement"
 
 US_REGIONS = ("us-east-1", "us-west-1", "us-west-2")
-
-#: Set around each fork so workers inherit the analysis by copy-on-write
-#: instead of pickling the whole world per task.
-_WORKER_STATE: Optional[Tuple["WanAnalysis", int, int]] = None
-
-
-def _measure_chunk(bounds: Tuple[int, int]):
-    """Worker entry point: measure rounds [start, stop) of the campaign.
-
-    The forked child starts with the parent's RNG streams positioned at
-    round 0, so it first fast-forwards the jitter and noise streams past
-    the rounds earlier chunks own.  Both streams are consumed purely via
-    ``gauss`` and the per-round draw count is fixed (see
-    :meth:`WanAnalysis._draws_per_round`), which makes the stream
-    positions — and therefore every value — bit-identical to a
-    sequential run.
-    """
-    start, stop = bounds
-    analysis, jitter_per_round, noise_per_round = _WORKER_STATE
-    world = analysis.world
-    advance_gauss(world.latency._jitter_rng, start * jitter_per_round)
-    advance_gauss(world.throughput._noise_rng, start * noise_per_round)
-    return analysis._measure_rounds(start, stop)
 
 
 @dataclass
@@ -80,6 +60,12 @@ class WanAnalysis:
     overrides and :meth:`preload_measurements`, an analysis revived from
     cached matrices answers every matrix-derived question — figures
     9-12, headline statistics — without ever building a world.
+
+    All active measurement runs through the
+    :class:`~repro.campaign.engine.CampaignEngine`; ``scenario`` puts
+    every campaign under an outage drill (down regions/zones time the
+    probes out, failed ISPs strand traceroutes) and ``policy`` sets the
+    engine's retry/timeout/loss semantics.
     """
 
     def __init__(
@@ -88,6 +74,8 @@ class WanAnalysis:
         config: Optional[WanConfig] = None,
         clients: Optional[Sequence[VantagePoint]] = None,
         regions: Optional[Sequence[str]] = None,
+        scenario: Optional[OutageScenario] = None,
+        policy: Optional[ProbePolicy] = None,
     ):
         if callable(world):
             self._world: Optional[World] = None
@@ -96,6 +84,8 @@ class WanAnalysis:
             self._world = world
             self._world_provider = None
         self.config = config or WanConfig()
+        self.scenario = scenario
+        self.policy = policy
         self._clients = list(clients) if clients is not None else None
         self._regions = list(regions) if regions is not None else None
         self._instances: Optional[Dict[str, List[Instance]]] = None
@@ -104,6 +94,9 @@ class WanAnalysis:
         #: Called once with (latency, throughput) right after a campaign
         #: fills the matrices; the artifact cache stores them from here.
         self.on_measured: Optional[Callable] = None
+        #: Engine wall time per campaign name, filled as campaigns run
+        #: (the bench script exports these).
+        self.campaign_timings: Dict[str, float] = {}
 
     @property
     def world(self) -> World:
@@ -141,19 +134,14 @@ class WanAnalysis:
         launched measurement fleet and the jitter/noise stream draws —
         are state later direct consumers of the world may depend on.
         Launching the fleet and fast-forwarding the streams past the
-        campaign (the per-round draw count is exact, see
-        :meth:`_draws_per_round`) restores that state at a fraction of
-        the measurement cost.
+        campaign (the per-round draw counts are exact, see
+        :meth:`~repro.campaign.probes.WanMeasurementCampaign.stream_advances`)
+        restores that state at a fraction of the measurement cost.
         """
-        self.instances()
-        jitter_per_round, noise_per_round = self._draws_per_round()
+        campaign = self._campaign()
         rounds = self.config.rounds
-        advance_gauss(
-            self.world.latency._jitter_rng, rounds * jitter_per_round
-        )
-        advance_gauss(
-            self.world.throughput._noise_rng, rounds * noise_per_round
-        )
+        for stream, per_round in campaign.stream_advances(self.scenario):
+            advance_gauss(stream, rounds * per_round)
 
     # -- instance fleet ----------------------------------------------------
 
@@ -179,132 +167,81 @@ class WanAnalysis:
 
     # -- the measurement campaign ----------------------------------------------
 
+    def _engine(self) -> CampaignEngine:
+        return CampaignEngine(
+            self.world.streams.seed,
+            scenario=self.scenario,
+            policy=self.policy,
+        )
+
+    def _campaign(self) -> WanMeasurementCampaign:
+        """The §5 grid: clients × the flattened region-ordered fleet."""
+        fleet = self.instances()
+        pairs = [
+            (region_name, instance)
+            for region_name in self.regions
+            for instance in fleet[region_name]
+        ]
+        return WanMeasurementCampaign(
+            self.world,
+            self.clients,
+            pairs,
+            rounds=self.config.rounds,
+            round_seconds=self.config.round_seconds,
+            pings_per_round=self.config.pings_per_round,
+        )
+
     def _measure(self) -> None:
         """Fill the latency and throughput matrices.
 
         Keys are (client name, region); values are one sample per
         round: the mean ping RTT (ms) and the measured download rate
-        (KB/s) averaged over the region's instances.
-
-        With ``config.workers > 1`` (and fork available) the rounds are
-        split into contiguous chunks measured by forked workers; the
-        merged matrices are bit-identical to a sequential campaign.
+        (KB/s) averaged over the region's instances.  The engine fans
+        the rounds out over ``config.workers`` forked workers; the
+        matrices are bit-identical to a sequential campaign.
         """
         if self._latency is not None:
             return
-        self.instances()  # launch the fleet before any fork
-        workers = min(self.config.workers, self.config.rounds)
-        if workers > 1 and fork_pool_available():
-            parts = self._measure_parallel(workers)
-        else:
-            parts = [self._measure_rounds(0, self.config.rounds)]
+        campaign = self._campaign()
+        result = self._engine().run(campaign, workers=self.config.workers)
+        self.campaign_timings[campaign.name] = result.elapsed_s
         latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
         throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
-        for lat_part, thr_part in parts:
-            for key, values in lat_part.items():
-                latency[key].extend(values)
-            for key, values in thr_part.items():
-                throughput[key].extend(values)
-        self._latency = dict(latency)
-        self._throughput = dict(throughput)
-        if self.on_measured is not None:
-            self.on_measured(self._latency, self._throughput)
-
-    def _measure_rounds(
-        self, start: int, stop: int
-    ) -> Tuple[
-        Dict[Tuple[str, str], List[float]], Dict[Tuple[str, str], List[float]]
-    ]:
-        """Measure rounds [start, stop) against the launched fleet."""
-        latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
-        throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
-        fleet = self.instances()
-        prober = self.world.prober
-        downloader = self.world.downloader
-        for round_index in range(start, stop):
-            time_s = round_index * self.config.round_seconds
+        records = result.records
+        index = 0
+        for _round in range(campaign.rounds):
             for client in self.clients:
+                rtts_by_region: Dict[str, List[float]] = defaultdict(list)
+                rates_by_region: Dict[str, List[float]] = defaultdict(list)
+                for region_name, _instance in campaign.pairs:
+                    ping_record = records[index]
+                    get_record = records[index + 1]
+                    index += 2
+                    ping = ping_record.payload
+                    if ping_record.observed and ping.responded:
+                        valid = [r for r in ping.rtts_ms if r is not None]
+                        rtts_by_region[region_name].append(
+                            sum(valid) / len(valid)
+                        )
+                    download = get_record.payload
+                    if get_record.observed and download.completed:
+                        rates_by_region[region_name].append(
+                            download.rate_kb_per_s
+                        )
                 for region_name in self.regions:
-                    rtts: List[float] = []
-                    rates: List[float] = []
-                    for instance in fleet[region_name]:
-                        ping = prober.tcp_ping(
-                            client,
-                            instance,
-                            count=self.config.pings_per_round,
-                            time_s=time_s,
-                        )
-                        if ping.rtts_ms and ping.responded:
-                            valid = [
-                                r for r in ping.rtts_ms if r is not None
-                            ]
-                            rtts.append(sum(valid) / len(valid))
-                        download = downloader.get(
-                            client, instance,
-                            size_bytes=DEFAULT_OBJECT_BYTES,
-                            time_s=time_s,
-                        )
-                        if download.completed:
-                            rates.append(download.rate_kb_per_s)
                     key = (client.name, region_name)
+                    rtts = rtts_by_region.get(region_name, [])
+                    rates = rates_by_region.get(region_name, [])
                     latency[key].append(
                         sum(rtts) / len(rtts) if rtts else float("nan")
                     )
                     throughput[key].append(
                         sum(rates) / len(rates) if rates else 0.0
                     )
-        return dict(latency), dict(throughput)
-
-    def _draws_per_round(self) -> Tuple[int, int]:
-        """(jitter gauss draws, noise gauss draws) per campaign round.
-
-        The counts are exact, not estimates, because every draw in a
-        round is unconditional: probe instances always answer pings (no
-        response coin is flipped), every client↔instance pair is
-        wide-area (two jitter gauss per probe), and every download takes
-        exactly one noise gauss regardless of whether it times out.
-        """
-        total_instances = sum(
-            len(group) for group in self.instances().values()
-        )
-        pairs = len(self.clients) * total_instances
-        jitter = pairs * 2 * self.config.pings_per_round
-        noise = pairs
-        return jitter, noise
-
-    def _measure_parallel(self, workers: int):
-        """Fan rounds out over forked workers; returns ordered chunks.
-
-        Each worker fast-forwards the two campaign RNG streams to its
-        chunk's start position (:func:`_measure_chunk`); after the pool
-        joins, the parent fast-forwards its own copies past the whole
-        campaign so downstream consumers of the streams see exactly the
-        state a sequential run would have left.
-        """
-        rounds = self.config.rounds
-        base, extra = divmod(rounds, workers)
-        bounds: List[Tuple[int, int]] = []
-        start = 0
-        for index in range(workers):
-            stop = start + base + (1 if index < extra else 0)
-            bounds.append((start, stop))
-            start = stop
-        jitter_per_round, noise_per_round = self._draws_per_round()
-        global _WORKER_STATE
-        _WORKER_STATE = (self, jitter_per_round, noise_per_round)
-        try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_measure_chunk, bounds)
-        finally:
-            _WORKER_STATE = None
-        advance_gauss(
-            self.world.latency._jitter_rng, rounds * jitter_per_round
-        )
-        advance_gauss(
-            self.world.throughput._noise_rng, rounds * noise_per_round
-        )
-        return parts
+        self._latency = dict(latency)
+        self._throughput = dict(throughput)
+        if self.on_measured is not None:
+            self.on_measured(self._latency, self._throughput)
 
     def latency_series(self, client_name: str, region: str) -> List[float]:
         self._measure()
@@ -446,27 +383,31 @@ class WanAnalysis:
         by_zone: Dict[int, List[Instance]] = defaultdict(list)
         for instance in fleet:
             by_zone[instance.zone_index].append(instance)
-        prober = self.world.prober
-        downloader = self.world.downloader
+        engine = self._engine()
         latency_means: Dict[int, float] = {}
         throughput_means: Dict[int, float] = {}
         for zone, instances in sorted(by_zone.items()):
+            campaign = WanMeasurementCampaign(
+                self.world,
+                self.clients[:20],
+                [(region_name, instance) for instance in instances],
+                rounds=self.config.rounds,
+                round_seconds=self.config.round_seconds,
+                pings_per_round=1,
+                name=f"wan-zone:{region_name}#{zone}",
+            )
+            result = engine.run(campaign, workers=self.config.workers)
+            self.campaign_timings[campaign.name] = result.elapsed_s
             rtts: List[float] = []
             rates: List[float] = []
-            for round_index in range(self.config.rounds):
-                time_s = round_index * self.config.round_seconds
-                for client in self.clients[:20]:
-                    for instance in instances:
-                        ping = prober.tcp_ping(
-                            client, instance, count=1, time_s=time_s
-                        )
-                        if ping.min_ms is not None:
-                            rtts.append(ping.min_ms)
-                        download = downloader.get(
-                            client, instance, time_s=time_s
-                        )
-                        if download.completed:
-                            rates.append(download.rate_kb_per_s)
+            for record in result.records:
+                if not record.observed:
+                    continue
+                if record.task.kind is ProbeKind.TCP_PING:
+                    if record.payload.min_ms is not None:
+                        rtts.append(record.payload.min_ms)
+                elif record.payload.completed:
+                    rates.append(record.payload.rate_kb_per_s)
             latency_means[zone] = sum(rtts) / len(rtts) if rtts else 0.0
             throughput_means[zone] = (
                 sum(rates) / len(rates) if rates else 0.0
@@ -492,13 +433,15 @@ class WanAnalysis:
         """Distinct downstream ISPs per region and zone, plus the
         unevenness of the route spread."""
         vantages = self.world.traceroute_vantages()
-        routing = self.world.routing
-        cloud_ranges = self.world.ec2.published_range_set()
+        tool = TracerouteTool(
+            self.world.routing, self.world.ec2.published_range_set()
+        )
+        engine = self._engine()
         result: Dict[str, dict] = {}
         for region_name in self.regions:
             region = self.world.ec2.region(region_name)
-            zone_ases: Dict[int, set] = defaultdict(set)
-            route_counter: Counter = Counter()
+            instances: List[Instance] = []
+            zone_of: Dict[str, int] = {}
             for zone in range(region.num_zones):
                 for _ in range(self.config.traceroute_instances_per_zone):
                     instance = self.world.ec2.launch_instance(
@@ -508,18 +451,25 @@ class WanAnalysis:
                         itype=InstanceType.M1_MEDIUM,
                         role=InstanceRole.PROBE,
                     )
-                    for vantage in vantages:
-                        hops = routing.traceroute(instance, vantage)
-                        hop = routing.first_non_cloud_hop(
-                            hops, cloud_ranges
-                        )
-                        if hop is None:
-                            continue
-                        asys = routing.registry.whois(hop.address)
-                        if asys is None:
-                            continue
-                        zone_ases[zone].add(asys.number)
-                        route_counter[asys.number] += 1
+                    instances.append(instance)
+                    zone_of[instance.instance_id] = zone
+            campaign = TracerouteCampaign(
+                tool, instances, vantages,
+                name=f"traceroute:{region_name}",
+            )
+            sweep = engine.run(campaign, workers=self.config.workers)
+            self.campaign_timings[campaign.name] = sweep.elapsed_s
+            zone_ases: Dict[int, set] = defaultdict(set)
+            route_counter: Counter = Counter()
+            for record in sweep.records:
+                if not record.observed:
+                    continue
+                asn = record.payload.first_external_asn
+                if asn is None:
+                    continue
+                zone = zone_of[record.task.target]
+                zone_ases[zone].add(asn)
+                route_counter[asn] += 1
             total_routes = sum(route_counter.values()) or 1
             top_share = (
                 route_counter.most_common(1)[0][1] / total_routes

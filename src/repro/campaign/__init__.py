@@ -1,0 +1,43 @@
+"""The measurement plane: one engine for every probe campaign.
+
+The paper's four measurement activities — distributed DNS lookups
+(§2.1), TCP pings and HTTP downloads from the PlanetLab clients (§5),
+and traceroutes for ISP counting (§5.3) — all run as (vantage ×
+target × round) task grids through one deterministic
+:class:`CampaignEngine`: typed :class:`ProbeTask`/:class:`ProbeRecord`
+cells, per-lane derived RNG streams for retry/loss semantics,
+:class:`~repro.faults.OutageScenario` injection, and a single
+sharding/fork fan-out path (:mod:`repro.campaign.fanout`) that is
+bit-identical to sequential execution for any worker count.
+"""
+
+from repro.campaign.engine import CampaignEngine, CellContext, GridCampaign
+from repro.campaign.fanout import fork_map, partition
+from repro.campaign.model import (
+    CampaignResult,
+    ProbeKind,
+    ProbePolicy,
+    ProbeRecord,
+    ProbeTask,
+)
+from repro.campaign.probes import (
+    DnsLookupCampaign,
+    TracerouteCampaign,
+    WanMeasurementCampaign,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "CellContext",
+    "DnsLookupCampaign",
+    "GridCampaign",
+    "ProbeKind",
+    "ProbePolicy",
+    "ProbeRecord",
+    "ProbeTask",
+    "TracerouteCampaign",
+    "WanMeasurementCampaign",
+    "fork_map",
+    "partition",
+]

@@ -1,0 +1,82 @@
+"""The single fork fan-out path of the measurement plane.
+
+Every parallel campaign in the repository — the engine's round-chunked
+WAN grids, its traceroute sweeps, and the rank-sliced §2.1 dataset
+shards — funnels through :func:`fork_map`.  The discipline it encodes
+(inherited from the PR 1 WAN fork and the PR 2 dataset shards it
+subsumes) is:
+
+* workers are **forked**, never spawned: the fully built world reaches
+  the children by copy-on-write, nothing heavy is pickled, and the
+  closures the world holds (dynamic DNS answer functions) never cross
+  a process boundary;
+* the callable runs over a contiguous index range and results come
+  back **in index order**, so merges are deterministic;
+* platforms without ``fork`` fall back to in-process execution, which
+  is bit-identical by construction.
+
+Only the module-level trampoline is ever pickled by the pool; the work
+callable itself (usually a closure over campaign state) stays in the
+parent's memory image and reaches children through the fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim import fork_pool_available
+
+#: The active work callable, inherited by forked children.
+_ACTIVE_FN: Optional[Callable[[int], object]] = None
+
+
+def _invoke(index: int):
+    """Pool trampoline: the only object that crosses via pickling."""
+    return _ACTIVE_FN(index)
+
+
+def partition(count: int, shards: int) -> List[Tuple[int, int]]:
+    """Near-equal contiguous ``[lo, hi)`` index slices, in order."""
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def fork_map(
+    fn: Callable[[int], object], count: int, workers: int
+) -> List[object]:
+    """Run ``fn(0) .. fn(count - 1)`` over forked workers, in order.
+
+    ``fn`` must be self-contained under fork semantics: whatever state
+    it closes over is copied into the children at fork time and
+    mutations never propagate back — results must carry everything the
+    parent needs to reconcile.  With ``workers <= 1``, ``count <= 1``,
+    or no fork support, the calls run in-process instead.
+    """
+    if count <= 0:
+        return []
+    workers = min(workers, count)
+    if workers <= 1 or not fork_pool_available():
+        return [fn(index) for index in range(count)]
+    global _ACTIVE_FN
+    _ACTIVE_FN = fn
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(_invoke, range(count))
+    finally:
+        _ACTIVE_FN = None
+    if len(results) != count:
+        raise RuntimeError(
+            f"fork fan-out drift: {count} tasks submitted, "
+            f"{len(results)} results returned"
+        )
+    return results

@@ -1,0 +1,151 @@
+"""The typed probe-task model of the measurement plane.
+
+Every active measurement the reproduction performs — distributed DNS
+lookups (§2.1), TCP pings and HTTP downloads from the PlanetLab
+clients (§5), traceroutes for ISP counting (§5.3) — is expressed as a
+grid of :class:`ProbeTask` cells executed by the
+:class:`~repro.campaign.engine.CampaignEngine`, each producing one
+:class:`ProbeRecord`.  The model is deliberately tool-shaped: a task
+says *which probe a vantage fires at which target at which time*, and
+a record says what came back, including timeouts, engine-injected
+probe loss, and scenario-blocked probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class ProbeKind(str, Enum):
+    """The four probe types of the paper's measurement activities."""
+
+    DNS_LOOKUP = "dns-lookup"
+    TCP_PING = "tcp-ping"
+    HTTP_GET = "http-get"
+    TRACEROUTE = "traceroute"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeTask:
+    """One cell of a campaign grid: (vantage × target × round)."""
+
+    kind: ProbeKind
+    #: Name of the vantage point (client) firing the probe.
+    vantage: str
+    #: Stable identifier of the probed target (instance id, fqdn, ...).
+    target: str
+    round_index: int = 0
+    #: Virtual campaign time the probe fires at.
+    time_s: float = 0.0
+
+
+@dataclass(slots=True)
+class ProbeRecord:
+    """What one executed :class:`ProbeTask` observed.
+
+    ``payload`` carries the kind-specific observation — a
+    :class:`~repro.probing.ping.PingResult`, a
+    :class:`~repro.probing.httpget.DownloadResult`, a
+    :class:`~repro.probing.traceroute.TracerouteResult`, or a
+    ``(DnsResponse, withheld)`` pair for dataset lookups.  ``lost`` is
+    set by the engine's loss policy (the observation was made but every
+    retransmission of the report was dropped); ``blocked`` means an
+    :class:`~repro.faults.OutageScenario` failed the probe before it
+    touched the wide-area models (no RNG stream draws were consumed).
+    """
+
+    task: ProbeTask
+    ok: bool
+    payload: object = None
+    attempts: int = 1
+    lost: bool = False
+    blocked: bool = False
+
+    @property
+    def observed(self) -> bool:
+        """True when the probe's observation reached the campaign."""
+        return self.ok and not self.lost
+
+
+@dataclass(frozen=True)
+class ProbePolicy:
+    """Retry/timeout/loss semantics applied uniformly by the engine.
+
+    ``loss_rate`` is the per-attempt probability that a probe's report
+    is dropped in flight; up to ``attempts`` deterministic retries are
+    made, each drawing from the task's own lane stream (see
+    ``CampaignEngine``), so loss outcomes are independent of execution
+    order and of the worker count.  A lost probe does **not** re-drive
+    the underlying wide-area models: the path was already sampled, only
+    the report is retransmitted — which is what keeps the world's
+    shared RNG streams consuming exactly one observation per cell.
+
+    ``timeout_s`` overrides the HTTP download cancel threshold (the
+    paper's 10 s); ``None`` keeps each probe type's default.
+    """
+
+    attempts: int = 1
+    loss_rate: float = 0.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {self.attempts}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(
+                f"loss_rate must be a probability: {self.loss_rate}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive: {self.timeout_s}")
+
+    @property
+    def is_default(self) -> bool:
+        return self.attempts == 1 and self.loss_rate == 0.0
+
+
+@dataclass
+class CampaignResult:
+    """The ordered record stream one engine run produced.
+
+    Records appear in deterministic grid order — round-major, then the
+    campaign's major axis, then its minor axis — regardless of the
+    worker count, which is what makes :meth:`digest` comparable between
+    sequential and sharded runs.
+    """
+
+    name: str
+    records: List[ProbeRecord] = field(default_factory=list)
+    rounds: int = 0
+    num_vantages: int = 0
+    num_targets: int = 0
+    workers: int = 0
+    elapsed_s: float = 0.0
+    scenario_name: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: ProbeKind) -> List[ProbeRecord]:
+        return [r for r in self.records if r.task.kind is kind]
+
+    def digest(self) -> str:
+        """A stable content digest of the full record stream."""
+        import hashlib
+
+        parts = repr([
+            (
+                record.task.kind.value,
+                record.task.vantage,
+                record.task.target,
+                record.task.round_index,
+                record.ok,
+                record.attempts,
+                record.lost,
+                record.blocked,
+                repr(record.payload),
+            )
+            for record in self.records
+        ])
+        return hashlib.sha256(parts.encode()).hexdigest()[:16]

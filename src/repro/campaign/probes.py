@@ -1,0 +1,317 @@
+"""The concrete campaigns of the paper's measurement activities.
+
+Three :class:`~repro.campaign.engine.GridCampaign` subclasses cover the
+repository's four probe types:
+
+* :class:`WanMeasurementCampaign` — the §5 wide-area campaign: every
+  cell fires one TCP ping and one HTTP GET from a PlanetLab client at
+  a measurement instance.  Round-sharded (the pings and downloads
+  consume the shared jitter/noise streams).
+* :class:`TracerouteCampaign` — the §5.2 sweeps: one traceroute per
+  (instance, vantage), classified by
+  :class:`~repro.probing.traceroute.TracerouteTool`.  All randomness
+  is hash-derived, so the grid itself shards.
+* :class:`DnsLookupCampaign` — the §2.1 distributed lookups: one fresh
+  dig per (subdomain, vantage).  Digs advance server-side rotation
+  counters and resolver caches, so the campaign is not fork-shardable
+  on its own (``shardable = False``); the rank-sliced dataset shards
+  in :mod:`repro.analysis.shards` parallelize around that state and
+  run this campaign inside each worker.
+
+Scenario semantics (the same :class:`~repro.faults.OutageScenario`
+the availability analysis evaluates): a down region or zone blocks
+pings, downloads, and traceroutes sourced at its instances — the probe
+is marked ``blocked``, no wide-area model is consulted, and no shared
+stream draw is consumed (``stream_advances`` counts only surviving
+instances, keeping the round fast-forward exact).  Failed ISPs reach
+traceroutes as BGP re-convergence (``failed_isps``).  DNS lookups are
+deliberately unaffected: the paper's resolution infrastructure is
+anycast and survives single-region failures, and modelling partial DNS
+damage would change rotation-counter state in ways the dataset shard
+replay could no longer reconcile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.campaign.engine import CellContext, GridCampaign
+from repro.campaign.model import ProbeKind, ProbeRecord, ProbeTask
+from repro.cloud.base import Instance
+from repro.faults.scenarios import OutageScenario
+from repro.internet.vantage import VantagePoint
+from repro.probing.httpget import (
+    DEFAULT_OBJECT_BYTES,
+    DEFAULT_TIMEOUT_S,
+    DownloadResult,
+)
+from repro.probing.ping import PingResult
+from repro.probing.traceroute import TracerouteResult, TracerouteTool
+
+
+def _instance_down(
+    scenario: Optional[OutageScenario], instance: Instance
+) -> bool:
+    return scenario is not None and scenario.zone_down(
+        instance.provider_name, instance.region_name, instance.zone_index
+    )
+
+
+class WanMeasurementCampaign(GridCampaign):
+    """§5 ping + download rounds: clients × measurement instances.
+
+    ``pairs`` is the flattened (region name, instance) fleet in region
+    order — the minor axis — so a round visits every client, and each
+    client every region's instances in fleet order, exactly the
+    sequential order the shared jitter/noise streams were seeded for.
+    """
+
+    probes_per_cell = 2
+    vantage_major = True
+    shard_axis = "round"
+
+    def __init__(
+        self,
+        world,
+        clients: Sequence[VantagePoint],
+        pairs: Sequence[Tuple[str, Instance]],
+        rounds: int,
+        round_seconds: float,
+        pings_per_round: int,
+        name: str = "wan-measure",
+    ):
+        self.world = world
+        self.clients = list(clients)
+        self.pairs = list(pairs)
+        self.rounds = rounds
+        self.round_seconds = round_seconds
+        self.pings_per_round = pings_per_round
+        self.name = name
+
+    def vantage_axis(self) -> Sequence[VantagePoint]:
+        return self.clients
+
+    def target_axis(self) -> Sequence[Tuple[str, Instance]]:
+        return self.pairs
+
+    def time_of_round(self, round_index: int) -> float:
+        return round_index * self.round_seconds
+
+    def stream_advances(
+        self, scenario: Optional[OutageScenario]
+    ) -> Sequence[Tuple[object, int]]:
+        """Exact per-round draws on the shared jitter/noise streams.
+
+        Every surviving client↔instance pair is wide-area (two jitter
+        gauss per ping probe) and every download takes one noise gauss
+        whether or not it times out; blocked instances never touch the
+        models, so only survivors count.
+        """
+        live = sum(
+            1
+            for _, instance in self.pairs
+            if not _instance_down(scenario, instance)
+        )
+        pair_count = len(self.clients) * live
+        return (
+            (
+                self.world.latency._jitter_rng,
+                pair_count * 2 * self.pings_per_round,
+            ),
+            (self.world.throughput._noise_rng, pair_count),
+        )
+
+    def execute_cell(
+        self, vantage: VantagePoint, target: Tuple[str, Instance],
+        cell: CellContext,
+    ) -> List[ProbeRecord]:
+        _, instance = target
+        ping_task = ProbeTask(
+            kind=ProbeKind.TCP_PING,
+            vantage=vantage.name,
+            target=instance.instance_id,
+            round_index=cell.round_index,
+            time_s=cell.time_s,
+        )
+        get_task = ProbeTask(
+            kind=ProbeKind.HTTP_GET,
+            vantage=vantage.name,
+            target=instance.instance_id,
+            round_index=cell.round_index,
+            time_s=cell.time_s,
+        )
+        if _instance_down(cell.scenario, instance):
+            # The outage swallows both probes before they reach the
+            # wide-area models: pure timeouts, zero stream draws.
+            return [
+                ProbeRecord(
+                    task=ping_task,
+                    ok=False,
+                    payload=PingResult(
+                        rtts_ms=[None] * self.pings_per_round
+                    ),
+                    blocked=True,
+                ),
+                ProbeRecord(
+                    task=get_task,
+                    ok=False,
+                    payload=DownloadResult(
+                        completed=False,
+                        duration_s=None,
+                        rate_bytes_per_s=None,
+                    ),
+                    blocked=True,
+                ),
+            ]
+        ping = self.world.prober.tcp_ping(
+            vantage,
+            instance,
+            count=self.pings_per_round,
+            time_s=cell.time_s,
+        )
+        timeout_s = (
+            cell.policy.timeout_s
+            if cell.policy.timeout_s is not None
+            else DEFAULT_TIMEOUT_S
+        )
+        download = self.world.downloader.get(
+            vantage,
+            instance,
+            size_bytes=DEFAULT_OBJECT_BYTES,
+            time_s=cell.time_s,
+            timeout_s=timeout_s,
+        )
+        return [
+            ProbeRecord(task=ping_task, ok=ping.responded, payload=ping),
+            ProbeRecord(
+                task=get_task, ok=download.completed, payload=download
+            ),
+        ]
+
+
+class TracerouteCampaign(GridCampaign):
+    """§5.2 sweeps: instances × vantage points, one trace per cell.
+
+    Target-major (the legacy loops walked each instance's vantages in
+    turn); every draw is hash-derived from (instance, vantage), so the
+    grid shards along the instance axis with no stream bookkeeping.
+    """
+
+    probes_per_cell = 1
+    rounds = 1
+    vantage_major = False
+    shard_axis = "grid"
+
+    def __init__(
+        self,
+        tool: TracerouteTool,
+        instances: Sequence[Instance],
+        vantages: Sequence[VantagePoint],
+        name: str = "traceroute",
+    ):
+        self.tool = tool
+        self.instances = list(instances)
+        self.vantages = list(vantages)
+        self.name = name
+
+    def vantage_axis(self) -> Sequence[VantagePoint]:
+        return self.vantages
+
+    def target_axis(self) -> Sequence[Instance]:
+        return self.instances
+
+    def execute_cell(
+        self, vantage: VantagePoint, target: Instance, cell: CellContext
+    ) -> List[ProbeRecord]:
+        task = ProbeTask(
+            kind=ProbeKind.TRACEROUTE,
+            vantage=vantage.name,
+            target=target.instance_id,
+            round_index=cell.round_index,
+        )
+        if _instance_down(cell.scenario, target):
+            return [
+                ProbeRecord(
+                    task=task,
+                    ok=False,
+                    payload=TracerouteResult(
+                        hops=(),
+                        reached=False,
+                        first_external_asn=None,
+                        first_external_owner=None,
+                    ),
+                    blocked=True,
+                )
+            ]
+        failed = (
+            cell.scenario.isp_as_numbers
+            if cell.scenario is not None
+            else frozenset()
+        )
+        result = self.tool.trace(target, vantage, failed_isps=failed)
+        return [
+            ProbeRecord(task=task, ok=result.reached, payload=result)
+        ]
+
+
+class DnsLookupCampaign(GridCampaign):
+    """§2.1 distributed lookups: (domain, fqdn) targets × DNS vantages.
+
+    Target-major to match the sequential build: each subdomain is dug
+    from every vantage before the next subdomain.  ``recorder`` is the
+    shard build's :class:`~repro.analysis.shards.ShardRecorder`; a dig
+    it flags (shared-rotation answer) has its addresses withheld for
+    the parent replay, which the payload's ``withheld`` flag records.
+    """
+
+    probes_per_cell = 1
+    rounds = 1
+    vantage_major = False
+    #: Digs advance rotation counters and resolver caches — server-side
+    #: state a forked child cannot hand back; see the module docstring.
+    shardable = False
+
+    def __init__(
+        self,
+        world,
+        targets: Sequence[Tuple[str, str]],
+        recorder=None,
+        name: str = "dns-lookup",
+    ):
+        self.world = world
+        self.targets = list(targets)
+        self.recorder = recorder
+        self.name = name
+        self._vantages = world.dns_vantages()
+        self._resolvers = [
+            world.resolver_for(vantage) for vantage in self._vantages
+        ]
+
+    def vantage_axis(self) -> Sequence:
+        return self._vantages
+
+    def target_axis(self) -> Sequence[Tuple[str, str]]:
+        return self.targets
+
+    def execute_cell(
+        self, vantage, target: Tuple[str, str], cell: CellContext
+    ) -> List[ProbeRecord]:
+        _, fqdn = target
+        resolver = self._resolvers[cell.vantage_index]
+        response = resolver.dig(fqdn, fresh=True)
+        withheld = self.recorder is not None and self.recorder.note_lookup(
+            cell.target_index, vantage.name, fqdn, response
+        )
+        task = ProbeTask(
+            kind=ProbeKind.DNS_LOOKUP,
+            vantage=vantage.name,
+            target=fqdn,
+            round_index=cell.round_index,
+        )
+        return [
+            ProbeRecord(
+                task=task,
+                ok=response.exists,
+                payload=(response, withheld),
+            )
+        ]

@@ -54,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
              "sequential; any value yields bit-identical results)",
     )
     parser.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="run every campaign under a named outage drill, e.g. "
+             "ec2.us-east-1-outage, ec2.us-east-1#0-outage, elb-outage, "
+             "isp-outage-7018, or compositions like "
+             "ec2.us-east-1-outage+elb-outage (resolved from the "
+             "repro.faults registry)",
+    )
+    parser.add_argument(
         "--artifact-dir", metavar="DIR", default=".repro-artifacts",
         help="directory for the content-addressed artifact cache "
              "(dataset / capture / WAN products, keyed on config + "
@@ -82,7 +90,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     from repro.analysis.wan import WanConfig
     from repro.artifacts import ArtifactStore
+    from repro.faults import resolve_scenario
 
+    scenario = None
+    if args.scenario:
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"outage drill: {scenario.name}\n")
     store = (
         None if args.no_artifact_cache
         else ArtifactStore(args.artifact_dir)
@@ -92,6 +109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         WanConfig(rounds=args.wan_rounds, workers=args.workers),
         workers=args.workers,
         artifact_store=store,
+        scenario=scenario,
     )
     if args.experiments:
         experiments = [get_experiment(e) for e in args.experiments]

@@ -46,6 +46,7 @@ from repro.artifacts import ArtifactStore, artifact_key
 from repro.analysis.zones import ZoneAnalysis
 from repro.capture.flow import Trace
 from repro.cloud.ec2 import ec2_region_names
+from repro.faults.scenarios import OutageScenario
 from repro.internet.vantage import planetlab_sites
 from repro.world import World, WorldConfig
 
@@ -59,6 +60,7 @@ class ExperimentContext:
         wan_config: Optional[WanConfig] = None,
         workers: int = 0,
         artifact_store: Optional[ArtifactStore] = None,
+        scenario: Optional[OutageScenario] = None,
     ):
         self.world_config = world_config or WorldConfig()
         self.wan_config = wan_config or WanConfig()
@@ -66,6 +68,10 @@ class ExperimentContext:
         #: own ``wan_config.workers``; the CLI sets both from one flag).
         self.workers = workers
         self.artifacts = artifact_store
+        #: Outage drill threaded into every engine campaign this context
+        #: runs (and into the dataset/WAN artifact keys — a drilled run
+        #: must never be served a healthy run's products).
+        self.scenario = scenario
         self._world: Optional[World] = None
         #: Side-effect replays queued by cache hits, run (in serve
         #: order) the moment the world materializes — see the module
@@ -84,6 +90,10 @@ class ExperimentContext:
     # -- artifact keys -------------------------------------------------
 
     def _key(self, kind: str, **extra: object) -> str:
+        # The scenario joins the key only when set, so healthy-run keys
+        # are unchanged across revisions that predate scenarios.
+        if self.scenario is not None:
+            extra["scenario"] = self.scenario.name
         return artifact_key(
             kind, {"world": self.world_config, **extra}
         )
@@ -135,7 +145,9 @@ class ExperimentContext:
         build's DNS side effects are part of the state the capture
         generator consumes.
         """
-        dataset = DatasetBuilder(self.world).build(workers=self.workers)
+        dataset = DatasetBuilder(
+            self.world, scenario=self.scenario
+        ).build(workers=self.workers)
         self._dataset_built_in_world = True
         return dataset
 
@@ -187,6 +199,7 @@ class ExperimentContext:
                     self.world_config.num_probe_vantages
                 ),
                 regions=ec2_region_names(),
+                scenario=self.scenario,
             )
             if self.artifacts is not None:
                 key = self._wan_key()

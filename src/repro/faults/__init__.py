@@ -12,16 +12,21 @@ out.
 """
 
 from repro.faults.scenarios import (
+    KNOWN_SERVICES,
     OutageScenario,
     region_outage,
     zone_outage,
     service_outage,
     isp_outage,
 )
+from repro.faults.registry import named_scenarios, resolve_scenario
 
 __all__ = [
+    "KNOWN_SERVICES",
     "OutageScenario",
+    "named_scenarios",
     "region_outage",
+    "resolve_scenario",
     "zone_outage",
     "service_outage",
     "isp_outage",

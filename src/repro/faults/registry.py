@@ -1,0 +1,119 @@
+"""Named outage drills: resolve scenario names back into scenarios.
+
+Every scenario factory in :mod:`repro.faults.scenarios` produces a
+canonical ``name``; this module inverts that mapping so a drill can be
+requested end-to-end by name — the CLI's ``--scenario`` flag, config
+files, cached-artifact keys.  The grammar is exactly the factories'
+naming scheme:
+
+* ``<provider>.<region>-outage``            → :func:`region_outage`
+* ``<provider>.<region>#<zone>-outage``     → :func:`zone_outage`
+* ``<service>-outage``                      → :func:`service_outage`
+* ``isp-outage-<AS>[-<AS>...]``             → :func:`isp_outage`
+* ``<name>+<name>[+...]``                   → composition with ``|``
+
+Composed names are canonicalized by ``OutageScenario.__or__`` (sorted,
+deduplicated components), so ``resolve_scenario(s.name).name == s.name``
+holds for any scenario built from the factories.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.cloud.azure import AZURE_REGION_SPECS
+from repro.cloud.ec2 import EC2_REGION_SPECS, ec2_region_names
+from repro.faults.scenarios import (
+    KNOWN_SERVICES,
+    OutageScenario,
+    isp_outage,
+    region_outage,
+    service_outage,
+    zone_outage,
+)
+
+_ZONE_PATTERN = re.compile(
+    r"^(?P<provider>ec2|azure)\.(?P<region>[a-z0-9-]+)"
+    r"#(?P<zone>\d+)-outage$"
+)
+_REGION_PATTERN = re.compile(
+    r"^(?P<provider>ec2|azure)\.(?P<region>[a-z0-9-]+)-outage$"
+)
+_ISP_PATTERN = re.compile(r"^isp-outage-(?P<numbers>\d+(-\d+)*)$")
+
+
+def _known_regions() -> Dict[str, List[str]]:
+    return {
+        "ec2": ec2_region_names(),
+        "azure": [spec.name for spec in AZURE_REGION_SPECS],
+    }
+
+
+def _check_region(provider: str, region: str, name: str) -> None:
+    known = _known_regions()[provider]
+    if region not in known:
+        raise ValueError(
+            f"unknown {provider} region {region!r} in scenario "
+            f"{name!r}; known: {', '.join(known)}"
+        )
+
+
+def _resolve_component(name: str) -> OutageScenario:
+    match = _ZONE_PATTERN.match(name)
+    if match:
+        _check_region(match["provider"], match["region"], name)
+        return zone_outage(
+            match["provider"], match["region"], int(match["zone"])
+        )
+    match = _REGION_PATTERN.match(name)
+    if match:
+        _check_region(match["provider"], match["region"], name)
+        return region_outage(match["provider"], match["region"])
+    match = _ISP_PATTERN.match(name)
+    if match:
+        return isp_outage(
+            *(int(part) for part in match["numbers"].split("-"))
+        )
+    service = name.removesuffix("-outage")
+    if name.endswith("-outage") and service in KNOWN_SERVICES:
+        return service_outage(service)
+    raise ValueError(
+        f"unresolvable scenario component {name!r}; expected one of "
+        f"<provider>.<region>-outage, <provider>.<region>#<zone>-outage, "
+        f"<service>-outage (services: {', '.join(sorted(KNOWN_SERVICES))}), "
+        f"or isp-outage-<AS>[-<AS>...]"
+    )
+
+
+def resolve_scenario(name: str) -> OutageScenario:
+    """The scenario a (possibly composed) drill name denotes."""
+    components = [part for part in name.split("+") if part]
+    if not components:
+        raise ValueError("empty scenario name")
+    scenario = _resolve_component(components[0])
+    for part in components[1:]:
+        scenario = scenario | _resolve_component(part)
+    return scenario
+
+
+def named_scenarios() -> Dict[str, OutageScenario]:
+    """The canonical single-failure drills, for listings and docs.
+
+    Every EC2/Azure region outage, the first-zone outage of each EC2
+    region (the paper's §4.3 "us-east-1a" style drill), and each
+    value-added service failure.  Composed and ISP drills are spelled
+    directly in the name grammar instead of being enumerated here.
+    """
+    drills: Dict[str, OutageScenario] = {}
+    for provider, regions in _known_regions().items():
+        for region in regions:
+            scenario = region_outage(provider, region)
+            drills[scenario.name] = scenario
+    for spec in EC2_REGION_SPECS:
+        scenario = zone_outage("ec2", spec.name, 0)
+        drills[scenario.name] = scenario
+    for service in sorted(KNOWN_SERVICES):
+        scenario = service_outage(service)
+        drills[scenario.name] = scenario
+    return drills

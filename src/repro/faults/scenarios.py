@@ -14,6 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
+#: Value-added services an outage can take down while plain VMs survive.
+KNOWN_SERVICES = frozenset({
+    "elb", "heroku", "beanstalk", "cloudfront",
+    "traffic-manager", "route53",
+})
+
 
 @dataclass(frozen=True)
 class OutageScenario:
@@ -31,8 +37,15 @@ class OutageScenario:
     isp_as_numbers: FrozenSet[int] = frozenset()
 
     def __or__(self, other: "OutageScenario") -> "OutageScenario":
+        # The composed name is canonical — sorted, deduplicated "+"
+        # components — so stacked drills report the same scenario_name
+        # (and hit the same artifact-cache keys) regardless of
+        # composition order or repetition.
+        components = sorted(
+            set(self.name.split("+")) | set(other.name.split("+"))
+        )
         return OutageScenario(
-            name=f"{self.name}+{other.name}",
+            name="+".join(components),
             regions=self.regions | other.regions,
             zones=self.zones | other.zones,
             services=self.services | other.services,
@@ -79,12 +92,10 @@ def service_outage(service: str) -> OutageScenario:
     Models the EC2 events the paper cites: deployments that only used
     VMs were unaffected, while everything behind ELB went down.
     """
-    known = {
-        "elb", "heroku", "beanstalk", "cloudfront",
-        "traffic-manager", "route53",
-    }
-    if service not in known:
-        raise ValueError(f"unknown service {service!r}; known: {known}")
+    if service not in KNOWN_SERVICES:
+        raise ValueError(
+            f"unknown service {service!r}; known: {set(KNOWN_SERVICES)}"
+        )
     return OutageScenario(
         name=f"{service}-outage", services=frozenset({service})
     )

@@ -1,0 +1,62 @@
+"""Traceroute as a probe tool (the paper's §5.2 methodology step).
+
+Wraps :class:`~repro.internet.routing.RoutingModel`'s hop synthesis
+with the classification the paper applies to every trace: find the
+first hop outside the cloud's published ranges and ``whois`` it.  The
+campaign layer consumes the packaged result instead of re-implementing
+the hop-walking at every call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cloud.base import Instance
+from repro.internet.routing import RoutingModel, TracerouteHop
+from repro.internet.vantage import VantagePoint
+
+
+@dataclass
+class TracerouteResult:
+    """One classified traceroute."""
+
+    hops: Tuple[TracerouteHop, ...]
+    #: True when the trace escaped the cloud (a non-cloud hop exists).
+    reached: bool
+    #: AS number of the first non-cloud hop's owner (the downstream
+    #: ISP the paper counts), None when unreachable or unregistered.
+    first_external_asn: Optional[int]
+    first_external_owner: Optional[str]
+
+
+class TracerouteTool:
+    """Runs and classifies traceroutes against one routing model."""
+
+    def __init__(self, routing: RoutingModel, cloud_ranges):
+        self.routing = routing
+        self.cloud_ranges = cloud_ranges
+
+    def trace(
+        self,
+        instance: Instance,
+        vantage: VantagePoint,
+        failed_isps: frozenset = frozenset(),
+    ) -> TracerouteResult:
+        hops: List[TracerouteHop] = self.routing.traceroute(
+            instance, vantage, failed_isps=failed_isps
+        )
+        hop = self.routing.first_non_cloud_hop(hops, self.cloud_ranges)
+        asn: Optional[int] = None
+        owner: Optional[str] = None
+        if hop is not None:
+            asys = self.routing.registry.whois(hop.address)
+            if asys is not None:
+                asn = asys.number
+                owner = asys.name
+        return TracerouteResult(
+            hops=tuple(hops),
+            reached=hop is not None,
+            first_external_asn=asn,
+            first_external_owner=owner,
+        )

@@ -57,6 +57,25 @@ class TestCli:
         assert "table01" in out
         assert "figure12" in out
 
+    def test_scenario_flag_runs_drilled_experiment(self, capsys):
+        from repro.experiments.cli import main
+        assert main([
+            "--domains", "300", "--wan-rounds", "2",
+            "--no-artifact-cache",
+            "--scenario", "ec2.us-east-1-outage+elb-outage",
+            "table03",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "outage drill: ec2.us-east-1-outage+elb-outage" in out
+
+    def test_scenario_flag_rejects_unknown_name(self, capsys):
+        from repro.experiments.cli import main
+        assert main([
+            "--scenario", "gcp.us-central1-outage", "table03",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unresolvable scenario component" in err
+
     def test_out_file(self, tmp_path, capsys):
         from repro.experiments.cli import main
         out_path = tmp_path / "summaries.txt"

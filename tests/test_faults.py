@@ -5,7 +5,9 @@ import pytest
 from repro.faults import (
     OutageScenario,
     isp_outage,
+    named_scenarios,
     region_outage,
+    resolve_scenario,
     service_outage,
     zone_outage,
 )
@@ -50,3 +52,68 @@ class TestScenarios:
         b = zone_outage("ec2", "us-east-1", 0)
         assert a == b
         assert hash(a) == hash(b)
+
+
+class TestComposedNames:
+    def test_composition_order_does_not_matter(self):
+        a = region_outage("ec2", "us-east-1")
+        b = service_outage("elb")
+        c = isp_outage(7018)
+        assert ((a | b) | c).name == ((c | a) | b).name
+        assert (a | b).name == (b | a).name
+
+    def test_composition_deduplicates(self):
+        a = region_outage("ec2", "us-east-1")
+        b = service_outage("elb")
+        assert ((a | b) | a).name == (a | b).name
+        assert (a | a).name == a.name
+
+    def test_composed_name_is_sorted(self):
+        combined = service_outage("heroku") | service_outage("elb")
+        assert combined.name == "elb-outage+heroku-outage"
+
+
+class TestRegistry:
+    def test_resolves_each_component_kind(self):
+        assert resolve_scenario("ec2.us-east-1-outage").region_down(
+            "ec2", "us-east-1"
+        )
+        assert resolve_scenario("ec2.us-east-1#1-outage").zone_down(
+            "ec2", "us-east-1", 1
+        )
+        assert resolve_scenario("elb-outage").service_down("elb")
+        drill = resolve_scenario("isp-outage-7018-3356")
+        assert drill.isp_down(7018) and drill.isp_down(3356)
+
+    def test_resolves_composed_names(self):
+        drill = resolve_scenario("ec2.us-east-1-outage+elb-outage")
+        assert drill.region_down("ec2", "us-east-1")
+        assert drill.service_down("elb")
+
+    def test_roundtrip_through_name(self):
+        scenarios = [
+            region_outage("azure", "us-east"),
+            zone_outage("ec2", "sa-east-1", 2),
+            service_outage("cloudfront"),
+            isp_outage(7018, 3356),
+            region_outage("ec2", "us-west-2") | service_outage("elb"),
+        ]
+        for scenario in scenarios:
+            assert resolve_scenario(scenario.name) == scenario
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unresolvable"):
+            resolve_scenario("gcp.us-central1-outage")
+        with pytest.raises(ValueError, match="unknown ec2 region"):
+            resolve_scenario("ec2.mars-north-1-outage")
+        with pytest.raises(ValueError, match="empty"):
+            resolve_scenario("")
+
+    def test_named_scenarios_roundtrip(self):
+        drills = named_scenarios()
+        assert "ec2.us-east-1-outage" in drills
+        assert "ec2.us-east-1#0-outage" in drills
+        assert "elb-outage" in drills
+        for name, scenario in drills.items():
+            assert scenario.name == name
+            assert resolve_scenario(name) == scenario
