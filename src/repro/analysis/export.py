@@ -83,3 +83,34 @@ def load_subdomains_tsv(path: Union[str, Path]):
                 "cnames": [] if cnames == "-" else cnames.split(","),
             })
     return rows
+
+
+def load_nameservers_tsv(path: Union[str, Path]):
+    """Parse a ``nameservers.tsv`` back into {hostname: address-or-None}."""
+    survey = {}
+    with Path(path).open() as fh:
+        header = fh.readline()
+        if not header.startswith("#nameserver"):
+            raise ValueError(f"{path} is not a nameservers export")
+        for line in fh:
+            hostname, address = line.rstrip("\n").split("\t")
+            survey[hostname] = None if address == "-" else address
+    return survey
+
+
+def load_published_ranges_tsv(path: Union[str, Path]):
+    """Parse a ``published_ranges.tsv`` back into
+    [{provider, region, cidr}] rows."""
+    rows = []
+    with Path(path).open() as fh:
+        header = fh.readline()
+        if not header.startswith("#provider"):
+            raise ValueError(f"{path} is not a published-ranges export")
+        for line in fh:
+            provider, region, cidr = line.rstrip("\n").split("\t")
+            rows.append({
+                "provider": provider,
+                "region": region,
+                "cidr": cidr,
+            })
+    return rows

@@ -1,13 +1,29 @@
-"""The experiment harness: one runnable unit per paper table/figure.
+"""The experiment harness — the study's *results plane*.
 
-Each experiment regenerates its table or figure from a shared
+Each experiment is an :class:`ExperimentSpec`: a measure callable that
+regenerates its table or figure from a shared
 :class:`ExperimentContext` (which builds the world and the datasets
-once) and reports the measured values next to the paper's, so that
-EXPERIMENTS.md can record paper-vs-measured for every artifact.
+once), plus the paper's expected values with explicit tolerance
+bands.  Running a spec yields an :class:`ExperimentResult` scored into
+per-key ``match``/``drift``/``divergent`` verdicts; a whole run rolls
+up into a :class:`FidelityReport` and, with ``--out-dir``, a
+:class:`RunManifest` on disk.
 """
 
-from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fidelity import (
+    ExperimentFidelity,
+    FidelityReport,
+    KeyVerdict,
+)
+from repro.experiments.spec import (
+    Expectation,
+    ExperimentSpec,
+    Measurement,
+    Tolerance,
+)
 from repro.experiments.context import ExperimentContext
+from repro.experiments.manifest import RunManifest
 from repro.experiments.registry import (
     all_experiments,
     get_experiment,
@@ -15,9 +31,16 @@ from repro.experiments.registry import (
 )
 
 __all__ = [
-    "Experiment",
+    "ExperimentSpec",
+    "Expectation",
+    "Tolerance",
+    "Measurement",
     "ExperimentResult",
     "ExperimentContext",
+    "ExperimentFidelity",
+    "FidelityReport",
+    "KeyVerdict",
+    "RunManifest",
     "all_experiments",
     "get_experiment",
     "experiment_ids",

@@ -1,10 +1,15 @@
 """Experiment plumbing: results that pair measured values with the
-paper's reported ones."""
+paper's reported ones.
+
+The expectations themselves (paper values, tolerance bands) live in
+:mod:`repro.experiments.spec`; this module only defines the result
+record the rest of the results plane consumes.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -20,27 +25,50 @@ class ExperimentResult:
     #: The paper's corresponding values, same keys where comparable.
     paper: Dict[str, object] = field(default_factory=dict)
     notes: str = ""
+    #: Per-key verdicts vs the spec's tolerance bands (attached by
+    #: :meth:`ExperimentSpec.run`; ``None`` for hand-built results).
+    fidelity: Optional["ExperimentFidelity"] = None
+
+    def missing_keys(self) -> list:
+        """Paper keys the measurement failed to produce."""
+        return [key for key in self.paper if key not in self.measured
+                or self.measured[key] is None]
+
+    def unexpected_keys(self) -> list:
+        """Measured keys with no paper counterpart (specs declare
+        these explicitly as unreported, so here they signal drift
+        between a hand-built result's two dicts)."""
+        return [key for key in self.measured if key not in self.paper]
 
     def summary(self) -> str:
+        verdicts = {}
+        if self.fidelity is not None:
+            verdicts = {v.key: v for v in self.fidelity.verdicts}
         lines = [f"[{self.experiment_id}] {self.title}", self.rendered]
         if self.paper:
             lines.append("paper vs measured:")
             for key, paper_value in self.paper.items():
-                measured = self.measured.get(key, "—")
-                lines.append(f"  {key}: paper={paper_value} measured={measured}")
+                if key in self.measured and self.measured[key] is not None:
+                    measured = self.measured[key]
+                else:
+                    measured = "MISSING"
+                line = f"  {key}: paper={paper_value} measured={measured}"
+                verdict = verdicts.get(key)
+                if verdict is not None and verdict.verdict != "info":
+                    line += f" [{verdict.verdict}]"
+                lines.append(line)
+        missing = self.missing_keys()
+        if missing:
+            lines.append(
+                "key mismatch: no measured value for "
+                + ", ".join(missing)
+            )
+        unexpected = self.unexpected_keys()
+        if unexpected and self.fidelity is None:
+            lines.append(
+                "key mismatch: measured without paper counterpart: "
+                + ", ".join(unexpected)
+            )
         if self.notes:
             lines.append(f"notes: {self.notes}")
         return "\n".join(lines)
-
-
-@dataclass(frozen=True)
-class Experiment:
-    """A registered, runnable experiment."""
-
-    experiment_id: str
-    title: str
-    paper_section: str
-    runner: Callable[["ExperimentContext"], ExperimentResult]
-
-    def run(self, context) -> ExperimentResult:
-        return self.runner(context)

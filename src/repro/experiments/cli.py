@@ -5,6 +5,14 @@ Usage::
     repro-experiments                      # run everything
     repro-experiments table03 figure12     # run a subset
     repro-experiments --domains 5000 --seed 11 table09
+    repro-experiments --out-dir runs/      # leave a run manifest
+
+With ``--out-dir`` the run writes a content-addressed run directory
+(JSON manifest with per-experiment measured/paper/delta/verdict,
+fidelity report in text and JSON, the rendered summaries, and the
+§2.1 TSV release) — see :mod:`repro.experiments.manifest`.
+``--fidelity-gate`` turns any ``divergent`` verdict into a non-zero
+exit, the regression gate CI runs at seed scale.
 """
 
 from __future__ import annotations
@@ -15,12 +23,16 @@ import time
 from typing import List, Optional
 
 from repro.experiments.context import ExperimentContext
+from repro.experiments.fidelity import FidelityReport
 from repro.experiments.registry import (
     all_experiments,
     experiment_ids,
     get_experiment,
 )
 from repro.world import WorldConfig
+
+#: Exit status when ``--fidelity-gate`` trips.
+EXIT_DIVERGENT = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
              "ec2.us-east-1-outage, ec2.us-east-1#0-outage, elb-outage, "
              "isp-outage-7018, or compositions like "
              "ec2.us-east-1-outage+elb-outage (resolved from the "
-             "repro.faults registry)",
+             "repro.faults registry); drilled runs are exempt from "
+             "paper comparison",
     )
     parser.add_argument(
         "--artifact-dir", metavar="DIR", default=".repro-artifacts",
@@ -78,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default=None,
         help="also write the summaries to FILE",
     )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="write a run directory under DIR: JSON manifest with "
+             "per-experiment measured/paper/delta/verdict, fidelity "
+             "report (text + JSON), rendered summaries, and the §2.1 "
+             "TSV release",
+    )
+    parser.add_argument(
+        "--fidelity-gate", action="store_true",
+        help=f"exit {EXIT_DIVERGENT} if any measured key is judged "
+             f"divergent from the paper (no effect on --scenario "
+             f"runs, which are exempt)",
+    )
     return parser
 
 
@@ -90,6 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     from repro.analysis.wan import WanConfig
     from repro.artifacts import ArtifactStore
+    from repro.experiments.manifest import RunManifest
     from repro.faults import resolve_scenario
 
     scenario = None
@@ -115,19 +142,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiments = [get_experiment(e) for e in args.experiments]
     else:
         experiments = all_experiments()
+    runs = []
     summaries = []
     for exp in experiments:
         start = time.time()
         result = exp.run(context)
         elapsed = time.time() - start
+        runs.append((exp, result, elapsed))
         summary = result.summary()
         summaries.append(summary)
         print(summary)
         print(f"({elapsed:.1f}s)\n")
+    report = FidelityReport(
+        [result.fidelity for _, result, _ in runs
+         if result.fidelity is not None],
+        scenario=scenario.name if scenario is not None else None,
+    )
+    print(report.render_text())
     if store is not None:
         stats = store.stats
         print(
-            f"artifact cache [{args.artifact_dir}]: "
+            f"\nartifact cache [{args.artifact_dir}]: "
             f"{stats.hits} hits, {stats.misses} misses, "
             f"{stats.stores} stored"
         )
@@ -135,6 +170,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(summaries) + "\n")
         print(f"wrote {args.out}")
+    if args.out_dir:
+        manifest = RunManifest.from_run(context, runs)
+        paths = manifest.write(
+            args.out_dir,
+            results=[result for _, result, _ in runs],
+            context=context,
+        )
+        print(f"run {manifest.run_id}: wrote {paths['manifest']}")
+    if args.fidelity_gate and report.divergent_keys:
+        for experiment_id, key in report.divergent_keys:
+            print(
+                f"fidelity gate: {experiment_id}.{key} is divergent",
+                file=sys.stderr,
+            )
+        return EXIT_DIVERGENT
     return 0
 
 

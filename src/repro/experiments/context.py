@@ -33,8 +33,9 @@ the world and pays for none of this.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
 from repro.analysis.clouduse import CloudUseAnalysis
@@ -73,6 +74,11 @@ class ExperimentContext:
         #: must never be served a healthy run's products).
         self.scenario = scenario
         self._world: Optional[World] = None
+        #: Wall time per expensive build this context actually ran
+        #: (cache hits skip the stage and leave no entry); the run
+        #: manifest exports these next to the campaign telemetry.
+        self.stage_timings: Dict[str, float] = {}
+        self._dataset_builder: Optional[DatasetBuilder] = None
         #: Side-effect replays queued by cache hits, run (in serve
         #: order) the moment the world materializes — see the module
         #: docstring's pure-accelerator rule.
@@ -114,7 +120,9 @@ class ExperimentContext:
     @property
     def world(self) -> World:
         if self._world is None:
+            start = time.perf_counter()
             self._world = World(self.world_config)
+            self.stage_timings["world_s"] = time.perf_counter() - start
             pending, self._replays = self._replays, []
             for replay in pending:
                 replay()
@@ -145,9 +153,11 @@ class ExperimentContext:
         build's DNS side effects are part of the state the capture
         generator consumes.
         """
-        dataset = DatasetBuilder(
-            self.world, scenario=self.scenario
-        ).build(workers=self.workers)
+        start = time.perf_counter()
+        builder = DatasetBuilder(self.world, scenario=self.scenario)
+        dataset = builder.build(workers=self.workers)
+        self.stage_timings["dataset_s"] = time.perf_counter() - start
+        self._dataset_builder = builder
         self._dataset_built_in_world = True
         return dataset
 
@@ -183,11 +193,17 @@ class ExperimentContext:
                     dataset = self._build_dataset()
                     if self._dataset is None:
                         self._dataset = dataset
-                self._trace = world.capture_trace()
+                self._trace = self._capture(world)
                 self.artifacts.store("capture", key, self._trace)
             else:
-                self._trace = self.world.capture_trace()
+                self._trace = self._capture(self.world)
         return self._trace
+
+    def _capture(self, world: World) -> Trace:
+        start = time.perf_counter()
+        trace = world.capture_trace()
+        self.stage_timings["capture_s"] = time.perf_counter() - start
+        return trace
 
     @property
     def wan(self) -> WanAnalysis:
@@ -250,3 +266,35 @@ class ExperimentContext:
         if self._traffic is None:
             self._traffic = TrafficAnalysis(self.world, trace=self.trace)
         return self._traffic
+
+    # -- run telemetry -------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """Per-stage wall times and campaign telemetry for this
+        context's builds — the ``profile_pipeline`` instrumentation,
+        lifted into the run manifest.  Only stages that actually ran
+        appear; a fully warm artifact-cache run reports none."""
+        campaigns: Dict[str, float] = {}
+        dataset_steps: Dict[str, float] = {}
+        if self._dataset_builder is not None:
+            dataset_steps.update(self._dataset_builder.step_timings)
+            campaigns.update(self._dataset_builder.campaign_timings)
+        if self._wan is not None:
+            campaigns.update(self._wan.campaign_timings)
+        telemetry = {
+            "stages_s": {
+                key: round(value, 3)
+                for key, value in self.stage_timings.items()
+            },
+            "dataset_steps_s": {
+                key: round(value, 3)
+                for key, value in dataset_steps.items()
+            },
+            "campaigns_s": {
+                key: round(value, 3)
+                for key, value in campaigns.items()
+            },
+        }
+        if self.artifacts is not None:
+            telemetry["artifact_cache"] = self.artifacts.stats.as_dict()
+        return telemetry

@@ -1,0 +1,208 @@
+"""Fidelity scoring: how close is the reproduction to the paper?
+
+Every measured key is judged against its spec's tolerance band —
+``match`` / ``drift`` / ``divergent`` — and the per-key verdicts roll
+up into a per-experiment status (the worst key verdict) and a
+whole-run :class:`FidelityReport` (text + JSON).  Outage-scenario runs
+are *exempt*: a drilled world is deliberately not the paper's, so its
+keys carry the ``exempt`` verdict and never count against fidelity.
+
+The CI gate consumes the JSON form: a seed-scale run must produce
+zero ``divergent`` verdicts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Experiment/run status ladder; the rollup takes the worst present.
+_STATUS_ORDER = ("match", "drift", "missing", "divergent")
+
+
+@dataclass(frozen=True)
+class KeyVerdict:
+    """One key's judgement: paper vs measured under a tolerance band."""
+
+    key: str
+    paper: object
+    measured: object
+    delta: Optional[float]
+    verdict: str
+    band: str = ""
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "paper": self.paper,
+            "measured": self.measured,
+            "delta": (
+                round(self.delta, 6) if self.delta is not None else None
+            ),
+            "verdict": self.verdict,
+            "band": self.band,
+            **({"note": self.note} if self.note else {}),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentFidelity:
+    """All key verdicts for one experiment, plus the rollup."""
+
+    experiment_id: str
+    verdicts: Tuple[KeyVerdict, ...]
+    scenario: Optional[str] = None
+
+    @property
+    def exempt(self) -> bool:
+        return self.scenario is not None
+
+    @property
+    def counts(self) -> Counter:
+        return Counter(v.verdict for v in self.verdicts)
+
+    @property
+    def status(self) -> str:
+        """The experiment's verdict: the worst of its keys' verdicts.
+
+        ``missing`` ranks between drift and divergent — a key we could
+        not measure is worse than drift but is not evidence the
+        reproduction is wrong.  Purely informational experiments come
+        out as ``match``; drilled runs as ``exempt``.
+        """
+        if self.exempt:
+            return "exempt"
+        present = self.counts
+        for status in reversed(_STATUS_ORDER):
+            if present.get(status):
+                return status
+        return "match"
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            **({"scenario": self.scenario} if self.exempt else {}),
+            "keys": [v.as_dict() for v in self.verdicts],
+        }
+
+
+def score_experiment(spec, measured: Dict[str, object],
+                     scenario: Optional[str] = None) -> ExperimentFidelity:
+    """Judge every declared expectation against the measured values."""
+    verdicts = []
+    for expectation in spec.expectations:
+        value = measured.get(expectation.key)
+        if scenario is not None:
+            delta, verdict = None, "exempt"
+        else:
+            delta, verdict = expectation.judge(value)
+        verdicts.append(KeyVerdict(
+            key=expectation.key,
+            paper=expectation.paper,
+            measured=value,
+            delta=delta,
+            verdict=verdict,
+            band=expectation.band.describe(),
+            note=expectation.note,
+        ))
+    return ExperimentFidelity(
+        spec.experiment_id, tuple(verdicts), scenario=scenario
+    )
+
+
+@dataclass
+class FidelityReport:
+    """The whole-run rollup across every experiment that ran."""
+
+    experiments: List[ExperimentFidelity]
+    scenario: Optional[str] = None
+
+    @property
+    def exempt(self) -> bool:
+        return self.scenario is not None
+
+    @property
+    def counts(self) -> Counter:
+        total: Counter = Counter()
+        for fidelity in self.experiments:
+            total.update(fidelity.counts)
+        return total
+
+    @property
+    def status(self) -> str:
+        if self.exempt:
+            return "exempt"
+        present = self.counts
+        for status in reversed(_STATUS_ORDER):
+            if present.get(status):
+                return status
+        return "match"
+
+    @property
+    def divergent_keys(self) -> List[Tuple[str, str]]:
+        """(experiment_id, key) pairs the CI gate trips on."""
+        return [
+            (fidelity.experiment_id, verdict.key)
+            for fidelity in self.experiments
+            for verdict in fidelity.verdicts
+            if verdict.verdict == "divergent"
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "exempt": self.exempt,
+            **({"scenario": self.scenario} if self.exempt else {}),
+            "counts": dict(self.counts),
+            "experiments": [f.as_dict() for f in self.experiments],
+        }
+
+    def render_text(self) -> str:
+        """The human-facing fidelity report."""
+        from repro.report.table import TextTable
+
+        if self.exempt:
+            return (
+                f"fidelity: exempt — outage drill "
+                f"'{self.scenario}' runs are not comparable to the "
+                f"paper's healthy-world numbers"
+            )
+        table = TextTable(
+            ["Experiment", "Status", "Match", "Drift", "Divergent",
+             "Worst key"],
+            title="Fidelity vs the paper",
+        )
+        for fidelity in self.experiments:
+            counts = fidelity.counts
+            worst = _worst_key(fidelity)
+            table.add_row([
+                fidelity.experiment_id,
+                fidelity.status,
+                counts.get("match", 0),
+                counts.get("drift", 0),
+                counts.get("divergent", 0),
+                worst or "-",
+            ])
+        counts = self.counts
+        summary = (
+            f"run fidelity: {self.status} — "
+            f"{counts.get('match', 0)} match, "
+            f"{counts.get('drift', 0)} drift, "
+            f"{counts.get('divergent', 0)} divergent, "
+            f"{counts.get('missing', 0)} missing, "
+            f"{counts.get('info', 0)} informational"
+        )
+        return table.render() + "\n\n" + summary
+
+
+def _worst_key(fidelity: ExperimentFidelity) -> Optional[str]:
+    for status in reversed(_STATUS_ORDER):
+        if status == "match":
+            return None
+        for verdict in fidelity.verdicts:
+            if verdict.verdict == status:
+                return f"{verdict.key} ({status})"
+    return None

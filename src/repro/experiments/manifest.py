@@ -1,0 +1,178 @@
+"""Run manifests: every experiments run leaves a machine-readable trail.
+
+A :class:`RunManifest` captures one ``repro-experiments`` invocation:
+a deterministic run id (content-addressed on the configuration, the
+code fingerprint, the scenario, and the experiment subset — *not* on
+wall-clock time, so the same run always lands in the same directory),
+the full configuration, per-experiment measured/paper/delta/verdict
+records, the fidelity rollup, and the per-stage/campaign telemetry.
+
+``write`` lays out the run directory::
+
+    <out-dir>/<run-id>/
+        manifest.json     # everything below, machine-readable
+        summaries.txt     # the rendered tables/figures + comparisons
+        fidelity.txt      # the human-facing fidelity report
+        fidelity.json     # the same rollup, for the CI gate
+        release/          # the §2.1 TSV export (subdomains,
+                          # nameservers, published ranges)
+
+Everything except the telemetry timings is deterministic given
+(seed, config): re-running the same configuration on the same code
+rewrites byte-identical verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.artifacts import artifact_key
+from repro.artifacts.keys import code_fingerprint
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fidelity import FidelityReport
+from repro.experiments.spec import ExperimentSpec
+
+
+def run_identifier(context, experiment_ids: Tuple[str, ...]) -> str:
+    """The deterministic run id for one (config, code, subset) tuple."""
+    # Worker counts never change outputs (the campaigns are
+    # bit-identical), so sequential and parallel runs share an id.
+    components = {
+        "world": context.world_config,
+        "wan": replace(context.wan_config, workers=0),
+        "experiments": tuple(experiment_ids),
+    }
+    if context.scenario is not None:
+        components["scenario"] = context.scenario.name
+    return "run-" + artifact_key("run-manifest", components)[:12]
+
+
+@dataclass
+class RunManifest:
+    """One run's complete, machine-readable record."""
+
+    run_id: str
+    config: Dict[str, object]
+    code_fingerprint: str
+    scenario: Optional[str]
+    experiments: List[Dict[str, object]]
+    fidelity: FidelityReport
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls,
+        context,
+        runs: List[Tuple[ExperimentSpec, ExperimentResult, float]],
+    ) -> "RunManifest":
+        """Assemble the manifest from executed (spec, result, elapsed)
+        triples sharing one context."""
+        scenario = (
+            context.scenario.name if context.scenario is not None
+            else None
+        )
+        experiments = []
+        for spec, result, elapsed in runs:
+            fidelity = result.fidelity
+            experiments.append({
+                "id": spec.experiment_id,
+                "title": spec.headline,
+                "section": spec.paper_section,
+                "status": (
+                    fidelity.status if fidelity is not None else None
+                ),
+                "elapsed_s": round(elapsed, 3),
+                "keys": (
+                    [v.as_dict() for v in fidelity.verdicts]
+                    if fidelity is not None else []
+                ),
+                **({"notes": result.notes} if result.notes else {}),
+            })
+        report = FidelityReport(
+            [result.fidelity for _, result, _ in runs
+             if result.fidelity is not None],
+            scenario=scenario,
+        )
+        world = context.world_config
+        wan = context.wan_config
+        return cls(
+            run_id=run_identifier(
+                context, tuple(spec.experiment_id for spec, _, _ in runs)
+            ),
+            config={
+                "seed": world.seed,
+                "domains": world.num_domains,
+                "wan_rounds": wan.rounds,
+                "workers": context.workers,
+                "scenario": scenario,
+                "experiments": [
+                    spec.experiment_id for spec, _, _ in runs
+                ],
+            },
+            code_fingerprint=code_fingerprint(),
+            scenario=scenario,
+            experiments=experiments,
+            fidelity=report,
+            telemetry=context.telemetry(),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "config": self.config,
+            "code_fingerprint": self.code_fingerprint,
+            "scenario": self.scenario,
+            "experiments": self.experiments,
+            "fidelity": self.fidelity.as_dict(),
+            "telemetry": self.telemetry,
+        }
+
+    def write(
+        self,
+        out_dir: Union[str, Path],
+        results: Optional[List[ExperimentResult]] = None,
+        context=None,
+    ) -> Dict[str, Path]:
+        """Write the run directory; returns {name: path}.
+
+        ``results`` feeds ``summaries.txt``; ``context`` (when given)
+        adds the §2.1 TSV release under ``release/``.
+        """
+        from repro.analysis.export import export_dataset
+
+        run_dir = Path(out_dir) / self.run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        paths: Dict[str, Path] = {"run_dir": run_dir}
+
+        paths["manifest"] = run_dir / "manifest.json"
+        with paths["manifest"].open("w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+        if results is not None:
+            paths["summaries"] = run_dir / "summaries.txt"
+            paths["summaries"].write_text(
+                "\n\n".join(r.summary() for r in results) + "\n"
+            )
+
+        paths["fidelity_text"] = run_dir / "fidelity.txt"
+        paths["fidelity_text"].write_text(
+            self.fidelity.render_text() + "\n"
+        )
+        paths["fidelity_json"] = run_dir / "fidelity.json"
+        with paths["fidelity_json"].open("w") as fh:
+            json.dump(self.fidelity.as_dict(), fh, indent=2)
+            fh.write("\n")
+
+        if context is not None:
+            release = export_dataset(
+                context.world, context.dataset, run_dir / "release"
+            )
+            paths.update({
+                f"release_{name}": path
+                for name, path in release.items()
+            })
+        return paths

@@ -1,15 +1,20 @@
-"""Registry of all experiments, keyed by id."""
+"""Registry of all experiment specs, keyed by id.
+
+Registered once here; the CLI, the run manifest, the fidelity report,
+and the docs generator all consume the same spec objects, so the
+paper's expected values have exactly one home.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.base import Experiment
 from repro.experiments.extensions import EXTENSION_EXPERIMENTS
 from repro.experiments.figures import FIGURE_EXPERIMENTS
+from repro.experiments.spec import ExperimentSpec
 from repro.experiments.tables import TABLE_EXPERIMENTS
 
-_ALL: Dict[str, Experiment] = {
+_ALL: Dict[str, ExperimentSpec] = {
     exp.experiment_id: exp
     for exp in (
         TABLE_EXPERIMENTS + FIGURE_EXPERIMENTS + EXTENSION_EXPERIMENTS
@@ -17,7 +22,7 @@ _ALL: Dict[str, Experiment] = {
 }
 
 
-def all_experiments() -> List[Experiment]:
+def all_experiments() -> List[ExperimentSpec]:
     return list(_ALL.values())
 
 
@@ -25,7 +30,7 @@ def experiment_ids() -> List[str]:
     return list(_ALL)
 
 
-def get_experiment(experiment_id: str) -> Experiment:
+def get_experiment(experiment_id: str) -> ExperimentSpec:
     try:
         return _ALL[experiment_id]
     except KeyError:

@@ -1,0 +1,308 @@
+"""Declarative experiment specs: the paper's expectations, in one place.
+
+Every table/figure/extension experiment is an :class:`ExperimentSpec`:
+an id, a title, the paper section, a *measure* callable that renders
+the artifact and returns scale-free measured quantities, and — the
+point of the module — the paper's expected values as a tuple of
+:class:`Expectation` objects, each with an explicit tolerance band.
+
+The run functions in ``tables.py``/``figures.py``/``extensions.py``
+contain **no** paper numbers; they return a :class:`Measurement`
+(rendered text + measured dict) and the spec supplies everything the
+registry, the CLI, the run manifest, and the docs generator need:
+the paper dict, the per-key verdicts, and the fidelity rollup.
+
+Tolerance vocabulary (half of the keys are percentages of something,
+so bands come in two currencies):
+
+* :func:`absolute` — |measured − paper| judged in the key's own units
+  (percentage *points* for ``*_pct`` keys);
+* :func:`relative` — |measured − paper| / |paper|, for raw counts and
+  physical quantities whose scale the paper fixes;
+* :func:`exact` — equality, for booleans, names, and exact counts;
+* :func:`at_least` / :func:`at_most` — one-sided paper statements
+  ("at least 2.3%", "small");
+* :func:`between` — the paper printed a range ("1.4-2.0 ms");
+* :func:`info` — the paper's value is not comparable at this scale
+  (absolute counts that shrink with ``--domains``); recorded in every
+  report but never scored.
+
+Each band yields one of three verdicts: ``match`` (inside the band),
+``drift`` (outside it but inside the declared drift band), or
+``divergent`` (outside both) — the vocabulary the fidelity report and
+the CI gate consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+
+#: Verdicts a scored key can receive, in increasing order of badness.
+SCORED_VERDICTS = ("match", "drift", "divergent")
+#: Verdicts that carry no score: the paper value is informational, the
+#: measured value is absent, or the run is an outage drill.
+UNSCORED_VERDICTS = ("info", "missing", "exempt")
+
+
+class SpecError(ValueError):
+    """A spec is internally inconsistent (bad band, misaligned keys)."""
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How far a measured value may sit from the paper's.
+
+    ``kind`` selects the rule; ``match``/``drift`` are the band edges
+    (same currency as the rule); ``lo``/``hi`` bound range rules;
+    ``target`` overrides the numeric anchor when the expectation's
+    display value is qualitative ("12 of 14" → target 12).
+    """
+
+    kind: str
+    match: float = 0.0
+    drift: float = 0.0
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    target: Optional[float] = None
+
+    def judge(self, paper: object, measured: object):
+        """Return ``(delta, verdict)`` for one measured value."""
+        if self.kind == "info":
+            return None, "info"
+        if measured is None:
+            return None, "missing"
+        if self.kind == "exact":
+            return None, ("match" if measured == paper else "divergent")
+        value = _as_number(measured)
+        if value is None:
+            # Present but not a number under a numeric band: a type
+            # mismatch, which is worse than an absent key.
+            return None, "divergent"
+        if self.kind in ("absolute", "relative"):
+            anchor = self._anchor(paper)
+            delta = value - anchor
+            span = abs(delta)
+            if self.kind == "relative":
+                span = span / max(abs(anchor), 1e-9)
+            return delta, _banded(span, self.match, self.drift)
+        if self.kind == "at_least":
+            delta = value - self.lo
+            if value >= self.lo:
+                return delta, "match"
+            return delta, ("drift" if value >= self.lo - self.drift
+                           else "divergent")
+        if self.kind == "at_most":
+            delta = value - self.hi
+            if value <= self.hi:
+                return delta, "match"
+            return delta, ("drift" if value <= self.hi + self.drift
+                           else "divergent")
+        if self.kind == "between":
+            if self.lo <= value <= self.hi:
+                return 0.0, "match"
+            delta = (value - self.hi) if value > self.hi else (value - self.lo)
+            return delta, ("drift" if abs(delta) <= self.drift
+                           else "divergent")
+        raise SpecError(f"unknown tolerance kind {self.kind!r}")
+
+    def _anchor(self, paper: object) -> float:
+        if self.target is not None:
+            return self.target
+        value = _as_number(paper)
+        if value is None:
+            raise SpecError(
+                f"{self.kind} band needs a numeric anchor but the paper "
+                f"value is {paper!r} and no target= was given"
+            )
+        return value
+
+    def describe(self) -> str:
+        """A human-readable band, for the fidelity report."""
+        if self.kind == "absolute":
+            return f"±{self.match:g} (drift ±{self.drift:g})"
+        if self.kind == "relative":
+            return (f"±{100 * self.match:g}% "
+                    f"(drift ±{100 * self.drift:g}%)")
+        if self.kind == "exact":
+            return "exact"
+        if self.kind == "at_least":
+            return f">= {self.lo:g} (drift -{self.drift:g})"
+        if self.kind == "at_most":
+            return f"<= {self.hi:g} (drift +{self.drift:g})"
+        if self.kind == "between":
+            return f"[{self.lo:g}, {self.hi:g}] (drift ±{self.drift:g})"
+        return self.kind
+
+
+def _as_number(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _banded(span: float, match: float, drift: float) -> str:
+    if span <= match:
+        return "match"
+    return "drift" if span <= drift else "divergent"
+
+
+def absolute(match: float, drift: Optional[float] = None,
+             target: Optional[float] = None) -> Tolerance:
+    """|measured − paper| ≤ ``match`` in the key's own units."""
+    return Tolerance("absolute", match,
+                     drift if drift is not None else 3 * match,
+                     target=target)
+
+
+def relative(match: float, drift: Optional[float] = None,
+             target: Optional[float] = None) -> Tolerance:
+    """|measured − paper| / |paper| ≤ ``match`` (fractions, not %)."""
+    return Tolerance("relative", match,
+                     drift if drift is not None else 3 * match,
+                     target=target)
+
+
+def exact() -> Tolerance:
+    return Tolerance("exact")
+
+
+def at_least(lo: float, drift: float = 0.0) -> Tolerance:
+    return Tolerance("at_least", lo=lo, drift=drift)
+
+
+def at_most(hi: float, drift: float = 0.0) -> Tolerance:
+    return Tolerance("at_most", hi=hi, drift=drift)
+
+
+def between(lo: float, hi: float, drift: float = 0.0) -> Tolerance:
+    return Tolerance("between", lo=lo, hi=hi, drift=drift)
+
+
+def info() -> Tolerance:
+    return Tolerance("info")
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper value: the display form plus its tolerance band.
+
+    ``paper`` is the value exactly as the paper prints it (a number
+    where the paper gives one; the quoted phrase otherwise).  ``paper``
+    may be ``None`` for keys we measure but the paper never reports —
+    they render as unreported and are never scored.
+    """
+
+    key: str
+    paper: object
+    band: Tolerance = field(default_factory=info)
+    note: str = ""
+
+    def __post_init__(self):
+        if self.paper is None and self.band.kind != "info":
+            raise SpecError(
+                f"expectation {self.key!r} has no paper value; "
+                f"its band must be info()"
+            )
+        # Fail at registration, not mid-run: numeric bands must be able
+        # to resolve their anchor.
+        if self.band.kind in ("absolute", "relative"):
+            self.band._anchor(self.paper)
+
+    def judge(self, measured: object):
+        return self.band.judge(self.paper, measured)
+
+
+def expect(key: str, paper: object, band: Optional[Tolerance] = None,
+           note: str = "") -> Expectation:
+    return Expectation(key, paper, band if band is not None else info(),
+                       note)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """What a measure callable returns: the rendered artifact plus the
+    scale-free measured quantities (no paper values — those live in
+    the spec)."""
+
+    rendered: str
+    measured: Dict[str, object]
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered, runnable experiment with declared expectations."""
+
+    experiment_id: str
+    title: str
+    #: Long title used on the rendered result (the registry listing
+    #: uses the short ``title``).
+    headline: str
+    paper_section: str
+    measure: Callable[["ExperimentContext"], Measurement]
+    expectations: Tuple[Expectation, ...] = ()
+
+    def __post_init__(self):
+        keys = [e.key for e in self.expectations]
+        if len(keys) != len(set(keys)):
+            raise SpecError(
+                f"{self.experiment_id}: duplicate expectation keys"
+            )
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(e.key for e in self.expectations)
+
+    @property
+    def paper(self) -> Dict[str, object]:
+        """The paper dict, for summaries and EXPERIMENTS.md."""
+        return {
+            e.key: e.paper for e in self.expectations
+            if e.paper is not None
+        }
+
+    def run(self, context) -> ExperimentResult:
+        """Measure, assert key alignment, and score fidelity.
+
+        Measured keys must all be declared in the spec (an undeclared
+        key is a programming error and raises); declared keys the
+        measurement failed to produce are flagged ``missing`` rather
+        than silently rendered as ``—``.  Runs under an outage
+        scenario are exempted from paper comparison entirely.
+        """
+        from repro.experiments.fidelity import score_experiment
+
+        measurement = self.measure(context)
+        unknown = set(measurement.measured) - set(self.keys)
+        if unknown:
+            raise SpecError(
+                f"{self.experiment_id}: measured keys not declared in "
+                f"the spec: {sorted(unknown)}"
+            )
+        scenario = getattr(context, "scenario", None)
+        fidelity = score_experiment(
+            self, measurement.measured,
+            scenario=scenario.name if scenario is not None else None,
+        )
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.headline,
+            rendered=measurement.rendered,
+            measured=dict(measurement.measured),
+            paper=self.paper,
+            notes=measurement.notes,
+            fidelity=fidelity,
+        )
+
+
+def spec(experiment_id: str, title: str, headline: str,
+         paper_section: str, measure: Callable,
+         *expectations: Expectation) -> ExperimentSpec:
+    """Terse constructor used by the spec tables."""
+    return ExperimentSpec(
+        experiment_id, title, headline, paper_section, measure,
+        tuple(expectations),
+    )

@@ -4,6 +4,14 @@ experiment harness."""
 from repro.report.cdf import CDF
 from repro.report.table import TextTable, format_percent
 from repro.report.ascii_plot import ascii_cdf, ascii_series
+from repro.report.format import (
+    fmt_kb,
+    fmt_mb,
+    fmt_ms,
+    fmt_num,
+    fmt_pct,
+    fmt_share,
+)
 
 __all__ = [
     "CDF",
@@ -11,4 +19,10 @@ __all__ = [
     "format_percent",
     "ascii_cdf",
     "ascii_series",
+    "fmt_kb",
+    "fmt_mb",
+    "fmt_ms",
+    "fmt_num",
+    "fmt_pct",
+    "fmt_share",
 ]

@@ -1,0 +1,39 @@
+"""Shared number formatting for rendered tables and figures.
+
+One home for the helpers the table and figure experiments used to
+duplicate: percentages arrive either already scaled to 0–100
+(:func:`fmt_pct`) or as 0–1 fractions (:func:`fmt_share`), byte
+counts render in KB/MB, and latencies in whole milliseconds.
+"""
+
+from __future__ import annotations
+
+
+def fmt_pct(value: float, digits: int = 2) -> str:
+    """A percentage that is already on the 0–100 scale."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_share(fraction: float, digits: int = 2) -> str:
+    """A 0–1 fraction rendered as a 0–100 percentage."""
+    return fmt_pct(100.0 * fraction, digits)
+
+
+def fmt_kb(nbytes: float, digits: int = 0) -> str:
+    """A byte count in kilobytes."""
+    return f"{nbytes / 1e3:.{digits}f}"
+
+
+def fmt_mb(nbytes: float, digits: int = 1) -> str:
+    """A byte count in megabytes."""
+    return f"{nbytes / 1e6:.{digits}f}"
+
+
+def fmt_num(value: float, digits: int = 0) -> str:
+    """A plain decimal with a fixed digit count."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_ms(value: float, digits: int = 0) -> str:
+    """A latency in milliseconds."""
+    return fmt_num(value, digits)

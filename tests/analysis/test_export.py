@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.export import export_dataset, load_subdomains_tsv
+from repro.analysis.export import (
+    export_dataset,
+    load_nameservers_tsv,
+    load_published_ranges_tsv,
+    load_subdomains_tsv,
+)
 
 
 @pytest.fixture(scope="module")
@@ -30,20 +35,71 @@ class TestExport:
             str(a) for a in sample.addresses
         }
 
+    def test_subdomains_roundtrip_cnames(self, exported):
+        """CNAME chains survive the round trip exactly — including
+        records with none, which render as '-' and load as []."""
+        paths, _, dataset = exported
+        by_fqdn = {
+            row["subdomain"]: row
+            for row in load_subdomains_tsv(paths["subdomains"])
+        }
+        with_cnames = without_cnames = 0
+        for record in dataset.records:
+            row = by_fqdn[record.fqdn]
+            assert row["cnames"] == sorted(record.cnames)
+            if record.cnames:
+                with_cnames += 1
+            else:
+                without_cnames += 1
+        # The fixture world must exercise both shapes for this test
+        # to mean anything.
+        assert with_cnames > 0
+        assert without_cnames > 0
+
     def test_nameservers_complete(self, exported):
         paths, _, dataset = exported
         lines = paths["nameservers"].read_text().splitlines()
         assert len(lines) - 1 == len(dataset.ns_addresses)
 
+    def test_nameservers_roundtrip(self, exported):
+        paths, _, dataset = exported
+        survey = load_nameservers_tsv(paths["nameservers"])
+        assert set(survey) == set(dataset.ns_addresses)
+        for hostname, address in dataset.ns_addresses.items():
+            expected = str(address) if address else None
+            assert survey[hostname] == expected
+
+    def test_published_ranges_roundtrip(self, exported):
+        paths, world, _ = exported
+        rows = load_published_ranges_tsv(paths["published_ranges"])
+        assert {row["provider"] for row in rows} == {
+            "ec2", "azure", "cloudfront"
+        }
+        expected = [
+            (provider, str(region), str(net))
+            for provider, plan in (
+                ("ec2", world.ec2.plan),
+                ("azure", world.azure.plan),
+                ("cloudfront", world.cloudfront.plan),
+            )
+            for net, region in plan.published_ranges()
+        ]
+        assert [
+            (row["provider"], row["region"], row["cidr"])
+            for row in rows
+        ] == expected
+
     def test_published_ranges_reclassify(self, exported):
         """The released range list suffices to re-run the core
         classification without the library — the release's point."""
         paths, world, dataset = exported
-        ranges = []
-        for line in paths["published_ranges"].read_text().splitlines()[1:]:
-            provider, _region, cidr = line.split("\t")
-            if provider in ("ec2", "azure"):
-                ranges.append(cidr)
+        ranges = [
+            row["cidr"]
+            for row in load_published_ranges_tsv(
+                paths["published_ranges"]
+            )
+            if row["provider"] in ("ec2", "azure")
+        ]
         from repro.net.prefixset import PrefixSet
         cloud = PrefixSet(ranges)
         rows = load_subdomains_tsv(paths["subdomains"])
@@ -55,3 +111,7 @@ class TestExport:
         bogus.write_text("not a header\n")
         with pytest.raises(ValueError):
             load_subdomains_tsv(bogus)
+        with pytest.raises(ValueError):
+            load_nameservers_tsv(bogus)
+        with pytest.raises(ValueError):
+            load_published_ranges_tsv(bogus)

@@ -1,0 +1,162 @@
+"""Unit tests for fidelity scoring and the run-level report."""
+
+from repro.experiments.fidelity import (
+    ExperimentFidelity,
+    FidelityReport,
+    score_experiment,
+)
+from repro.experiments.spec import (
+    Measurement,
+    absolute,
+    expect,
+    info,
+    spec,
+)
+
+
+def _spec(*expectations):
+    return spec(
+        "fid01", "Fidelity fixture", "Fidelity fixture, long", "4",
+        lambda c: Measurement("x", {}), *expectations,
+    )
+
+
+class TestScoreExperiment:
+    def test_verdict_per_key(self):
+        fidelity = score_experiment(
+            _spec(
+                expect("a", 10.0, absolute(2.0, 5.0)),
+                expect("b", 10.0, absolute(2.0, 5.0)),
+                expect("c", 10.0, absolute(2.0, 5.0)),
+            ),
+            {"a": 11.0, "b": 14.0, "c": 30.0},
+        )
+        verdicts = {v.key: v.verdict for v in fidelity.verdicts}
+        assert verdicts == {
+            "a": "match", "b": "drift", "c": "divergent"
+        }
+        assert fidelity.status == "divergent"
+        assert fidelity.counts["match"] == 1
+
+    def test_status_is_worst_verdict(self):
+        fidelity = score_experiment(
+            _spec(
+                expect("a", 10.0, absolute(2.0, 5.0)),
+                expect("b", 10.0, absolute(2.0, 5.0)),
+            ),
+            {"a": 10.0, "b": 13.0},
+        )
+        assert fidelity.status == "drift"
+
+    def test_missing_outranks_drift(self):
+        fidelity = score_experiment(
+            _spec(
+                expect("a", 10.0, absolute(2.0, 5.0)),
+                expect("b", 10.0, absolute(2.0, 5.0)),
+            ),
+            {"a": 13.0},
+        )
+        assert fidelity.status == "missing"
+
+    def test_info_keys_do_not_affect_status(self):
+        fidelity = score_experiment(
+            _spec(
+                expect("a", 10.0, absolute(2.0)),
+                expect("b", None, info()),
+            ),
+            {"a": 10.0, "b": 123456.0},
+        )
+        assert fidelity.status == "match"
+        assert fidelity.counts["info"] == 1
+
+    def test_scenario_exempts_everything(self):
+        fidelity = score_experiment(
+            _spec(expect("a", 10.0, absolute(0.1))),
+            {"a": 99.0},
+            scenario="elb-outage",
+        )
+        assert fidelity.exempt
+        assert fidelity.status == "exempt"
+        assert all(v.verdict == "exempt" for v in fidelity.verdicts)
+
+
+class TestFidelityReport:
+    def _fidelity(self, measured, scenario=None):
+        return score_experiment(
+            _spec(
+                expect("a", 10.0, absolute(2.0, 5.0)),
+                expect("b", 10.0, absolute(2.0, 5.0)),
+            ),
+            measured, scenario=scenario,
+        )
+
+    def test_rollup_and_divergent_keys(self):
+        report = FidelityReport([
+            self._fidelity({"a": 10.0, "b": 10.0}),
+            self._fidelity({"a": 10.0, "b": 30.0}),
+        ])
+        assert report.status == "divergent"
+        assert report.divergent_keys == [("fid01", "b")]
+        counts = report.counts
+        assert counts["match"] == 3
+        assert counts["divergent"] == 1
+
+    def test_all_match_run(self):
+        report = FidelityReport(
+            [self._fidelity({"a": 10.0, "b": 10.0})]
+        )
+        assert report.status == "match"
+        assert report.divergent_keys == []
+
+    def test_exempt_run(self):
+        report = FidelityReport(
+            [self._fidelity({"a": 99.0, "b": 99.0},
+                            scenario="elb-outage")],
+            scenario="elb-outage",
+        )
+        assert report.status == "exempt"
+        assert report.divergent_keys == []
+        assert "not comparable" in report.render_text()
+
+    def test_render_text_table(self):
+        report = FidelityReport([
+            self._fidelity({"a": 10.0, "b": 13.0}),
+        ])
+        text = report.render_text()
+        assert "Fidelity vs the paper" in text
+        assert "fid01" in text
+        assert "drift" in text
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+        report = FidelityReport(
+            [self._fidelity({"a": 10.0, "b": 30.0})]
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["status"] == "divergent"
+        assert payload["experiments"][0]["keys"][1]["verdict"] == (
+            "divergent"
+        )
+
+    def test_empty_report(self):
+        report = FidelityReport([])
+        assert report.status == "match"
+        assert report.divergent_keys == []
+        assert report.render_text()
+
+
+class TestExperimentFidelityDict:
+    def test_as_dict(self):
+        fidelity = score_experiment(
+            _spec(expect("a", 10.0, absolute(2.0))),
+            {"a": 11.0},
+        )
+        assert isinstance(fidelity, ExperimentFidelity)
+        payload = fidelity.as_dict()
+        assert payload["experiment_id"] == "fid01"
+        assert payload["status"] == "match"
+        (key,) = payload["keys"]
+        assert key["paper"] == 10.0
+        assert key["measured"] == 11.0
+        assert key["delta"] == 1.0
+        assert key["verdict"] == "match"

@@ -1,0 +1,148 @@
+"""Tests for the run manifest: ids, shape, determinism, layout."""
+
+import json
+
+import pytest
+
+from repro.analysis.wan import WanConfig
+from repro.experiments import ExperimentContext, RunManifest
+from repro.experiments.manifest import run_identifier
+from repro.experiments.registry import get_experiment
+from repro.world import WorldConfig
+
+
+def _context(**kwargs):
+    defaults = dict(
+        world_config=WorldConfig(seed=7, num_domains=300),
+        wan_config=WanConfig(rounds=2),
+    )
+    defaults.update(kwargs)
+    return ExperimentContext(**defaults)
+
+
+@pytest.fixture(scope="module")
+def manifest_run():
+    context = _context()
+    specs = [get_experiment("table03"), get_experiment("table15")]
+    runs = [(s, s.run(context), 0.1) for s in specs]
+    return context, runs, RunManifest.from_run(context, runs)
+
+
+class TestRunIdentifier:
+    def test_deterministic(self):
+        ids = ("table03", "table15")
+        assert run_identifier(_context(), ids) == run_identifier(
+            _context(), ids
+        )
+
+    def test_sensitive_to_config_and_subset(self):
+        base = run_identifier(_context(), ("table03",))
+        assert base != run_identifier(_context(), ("table04",))
+        other_world = _context(
+            world_config=WorldConfig(seed=8, num_domains=300)
+        )
+        assert base != run_identifier(other_world, ("table03",))
+
+    def test_insensitive_to_workers(self):
+        # Worker counts never change outputs, so parallel and
+        # sequential runs share a run directory.
+        sequential = _context()
+        parallel = _context(
+            wan_config=WanConfig(rounds=2, workers=4), workers=4
+        )
+        assert run_identifier(sequential, ("table03",)) == (
+            run_identifier(parallel, ("table03",))
+        )
+
+    def test_format(self):
+        run_id = run_identifier(_context(), ("table03",))
+        assert run_id.startswith("run-")
+        assert len(run_id) == len("run-") + 12
+
+
+class TestRunManifest:
+    def test_shape(self, manifest_run):
+        _, runs, manifest = manifest_run
+        payload = manifest.as_dict()
+        assert payload["config"]["seed"] == 7
+        assert payload["config"]["domains"] == 300
+        assert payload["config"]["experiments"] == [
+            "table03", "table15"
+        ]
+        assert payload["code_fingerprint"]
+        assert payload["scenario"] is None
+        assert len(payload["experiments"]) == 2
+        entry = payload["experiments"][0]
+        assert entry["id"] == "table03"
+        assert entry["status"] in (
+            "match", "drift", "missing", "divergent"
+        )
+        # Every key record carries the full scoring quadruple.
+        for record in entry["keys"]:
+            assert {"key", "paper", "measured", "verdict"} <= set(
+                record
+            )
+        assert payload["fidelity"]["experiments"]
+        assert "stages_s" in payload["telemetry"]
+
+    def test_json_serialisable(self, manifest_run):
+        _, _, manifest = manifest_run
+        json.dumps(manifest.as_dict())
+
+    def test_write_layout(self, manifest_run, tmp_path):
+        context, runs, manifest = manifest_run
+        paths = manifest.write(
+            tmp_path,
+            results=[result for _, result, _ in runs],
+            context=context,
+        )
+        run_dir = tmp_path / manifest.run_id
+        assert paths["run_dir"] == run_dir
+        for name in ("manifest.json", "summaries.txt",
+                     "fidelity.txt", "fidelity.json"):
+            assert (run_dir / name).exists()
+        for name in ("subdomains.tsv", "nameservers.tsv",
+                     "published_ranges.tsv"):
+            assert (run_dir / "release" / name).exists()
+        reread = json.loads((run_dir / "manifest.json").read_text())
+        assert reread["run_id"] == manifest.run_id
+        assert "table03" in (run_dir / "summaries.txt").read_text()
+        assert "Fidelity vs the paper" in (
+            (run_dir / "fidelity.txt").read_text()
+        )
+
+    def test_deterministic_apart_from_timings(self, manifest_run):
+        context_a, _, manifest_a = manifest_run
+
+        context_b = _context()
+        specs = [get_experiment("table03"), get_experiment("table15")]
+        runs_b = [(s, s.run(context_b), 0.1) for s in specs]
+        manifest_b = RunManifest.from_run(context_b, runs_b)
+
+        def stable(manifest):
+            payload = manifest.as_dict()
+            payload.pop("telemetry")
+            for entry in payload["experiments"]:
+                entry.pop("elapsed_s")
+            return payload
+
+        assert stable(manifest_a) == stable(manifest_b)
+
+    def test_scenario_recorded_and_exempt(self):
+        from repro.faults import resolve_scenario
+
+        scenario = resolve_scenario("elb-outage")
+        context = _context(scenario=scenario)
+        exp = get_experiment("table03")
+        runs = [(exp, exp.run(context), 0.1)]
+        manifest = RunManifest.from_run(context, runs)
+        payload = manifest.as_dict()
+        assert payload["scenario"] == "elb-outage"
+        assert payload["config"]["scenario"] == "elb-outage"
+        assert payload["fidelity"]["status"] == "exempt"
+        # The drilled run id differs from the healthy one.
+        healthy = RunManifest.from_run(
+            _context(),
+            [(exp, exp.run(_context()), 0.1)],
+        )
+        assert manifest.run_id != healthy.run_id

@@ -39,6 +39,13 @@ class TestRegistry:
             assert exp.paper_section
             assert exp.title
 
+    def test_specs_own_all_paper_values(self):
+        """Every spec declares expectations, and its ``paper`` dict is
+        derived from them — the single home for paper numbers."""
+        for exp in all_experiments():
+            assert exp.expectations, exp.experiment_id
+            assert set(exp.paper) <= set(exp.keys)
+
 
 class TestCli:
     def test_parser_defaults(self):
@@ -88,3 +95,43 @@ class TestCli:
         content = out_path.read_text()
         assert "table03" in content
         assert "paper vs measured" in content
+
+    def test_out_dir_writes_manifest(self, tmp_path, capsys):
+        import json
+        from repro.experiments.cli import main
+        assert main([
+            "--domains", "300", "--wan-rounds", "2",
+            "--no-artifact-cache",
+            "--out-dir", str(tmp_path), "table15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fidelity vs the paper" in out
+        (run_dir,) = tmp_path.iterdir()
+        assert run_dir.name.startswith("run-")
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["config"]["experiments"] == ["table15"]
+        (entry,) = manifest["experiments"]
+        for record in entry["keys"]:
+            assert {"key", "paper", "measured", "verdict"} <= set(
+                record
+            )
+
+    def test_fidelity_gate_passes_exempt_scenario_run(self, capsys):
+        from repro.experiments.cli import main
+        assert main([
+            "--domains", "300", "--wan-rounds", "2",
+            "--no-artifact-cache", "--fidelity-gate",
+            "--scenario", "elb-outage", "table03",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_fidelity_gate_trips_on_divergence(self, capsys):
+        from repro.experiments.cli import EXIT_DIVERGENT, main
+        # At 300 domains table03's cloud shares sit far outside the
+        # seed-scale bands, so the gate must trip.
+        assert main([
+            "--domains", "300", "--wan-rounds", "2",
+            "--no-artifact-cache", "--fidelity-gate", "table03",
+        ]) == EXIT_DIVERGENT
+        err = capsys.readouterr().err
+        assert "fidelity gate" in err

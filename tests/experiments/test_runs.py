@@ -1,8 +1,8 @@
 """End-to-end: every registered experiment runs on a small context.
 
 These are the integration tests of the whole reproduction: one shared
-(tiny) context, all 26 experiments executed, every result carrying a
-rendered artifact and paper-comparison keys.
+(tiny) context, all 30 experiments executed, every result carrying a
+rendered artifact, paper-comparison keys, and a fidelity scoring.
 """
 
 import pytest
@@ -33,5 +33,16 @@ def test_experiment_runs(small_ctx, experiment):
     assert result.measured, "every experiment must measure something"
     # Comparable keys should overlap so summaries are meaningful.
     assert set(result.paper) & set(result.measured)
+    # Specs own the key universe: nothing measured may be undeclared.
+    assert set(result.measured) <= set(experiment.keys)
+    # Every run is scored against the paper.
+    assert result.fidelity is not None
+    assert result.fidelity.experiment_id == experiment.experiment_id
+    scored = {v.key: v.verdict for v in result.fidelity.verdicts}
+    assert set(scored) == set(experiment.keys)
+    assert all(
+        verdict in ("match", "drift", "divergent", "missing", "info")
+        for verdict in scored.values()
+    )
     summary = result.summary()
     assert experiment.experiment_id in summary

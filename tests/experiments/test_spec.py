@@ -1,0 +1,207 @@
+"""Unit tests for the declarative experiment-spec plane."""
+
+import pytest
+
+from repro.experiments.spec import (
+    Expectation,
+    ExperimentSpec,
+    Measurement,
+    SpecError,
+    Tolerance,
+    absolute,
+    at_least,
+    at_most,
+    between,
+    exact,
+    expect,
+    info,
+    relative,
+    spec,
+)
+
+
+class TestToleranceJudge:
+    def test_absolute_bands(self):
+        band = absolute(2.0, 5.0)
+        assert band.judge(10.0, 11.0) == (1.0, "match")
+        assert band.judge(10.0, 14.0) == (4.0, "drift")
+        assert band.judge(10.0, 16.0) == (6.0, "divergent")
+
+    def test_absolute_drift_defaults_to_3x(self):
+        band = absolute(2.0)
+        assert band.judge(10.0, 15.0)[1] == "drift"
+        assert band.judge(10.0, 17.0)[1] == "divergent"
+
+    def test_relative_bands(self):
+        band = relative(0.10, 0.50)
+        assert band.judge(100.0, 105.0) == (5.0, "match")
+        assert band.judge(100.0, 140.0) == (40.0, "drift")
+        assert band.judge(100.0, 160.0) == (60.0, "divergent")
+
+    def test_relative_anchor_override(self):
+        # Display value is qualitative; the override anchors the math.
+        band = relative(0.10, 0.50, target=200.0)
+        assert band.judge("about 200", 210.0)[1] == "match"
+
+    def test_exact(self):
+        band = exact()
+        assert band.judge("us-east-1", "us-east-1") == (None, "match")
+        assert band.judge("us-east-1", "eu-west-1") == (
+            None, "divergent"
+        )
+        assert band.judge(True, True)[1] == "match"
+
+    def test_at_least(self):
+        band = at_least(8.0, 4.0)
+        assert band.judge(10, 9.0)[1] == "match"
+        assert band.judge(10, 5.0)[1] == "drift"
+        assert band.judge(10, 3.0)[1] == "divergent"
+        # Exceeding the floor is never penalised.
+        assert band.judge(10, 50.0)[1] == "match"
+
+    def test_at_most(self):
+        band = at_most(5.0, 10.0)
+        assert band.judge(5, 4.0)[1] == "match"
+        assert band.judge(5, 12.0)[1] == "drift"
+        assert band.judge(5, 20.0)[1] == "divergent"
+
+    def test_between(self):
+        band = between(1.4, 2.0, 0.8)
+        assert band.judge("1.4-2.0", 1.7)[1] == "match"
+        assert band.judge("1.4-2.0", 2.5)[1] == "drift"
+        assert band.judge("1.4-2.0", 3.5)[1] == "divergent"
+
+    def test_info_never_scored(self):
+        assert info().judge(None, 123.0) == (None, "info")
+
+    def test_missing_measured(self):
+        assert absolute(1.0).judge(10.0, None) == (None, "missing")
+        assert exact().judge("x", None) == (None, "missing")
+
+    def test_non_numeric_measured_diverges(self):
+        assert absolute(1.0).judge(10.0, "oops")[1] == "divergent"
+
+    def test_bool_is_not_numeric(self):
+        # exact() compares bools; numeric bands must not coerce them.
+        with pytest.raises(SpecError):
+            absolute(1.0).judge(True, 1.0)
+
+    def test_describe(self):
+        assert "±" in absolute(2.0, 5.0).describe()
+        assert "%" in relative(0.1, 0.5).describe()
+        assert at_least(8.0, 4.0).describe().startswith(">=")
+
+
+class TestExpectation:
+    def test_no_paper_requires_info_band(self):
+        with pytest.raises(SpecError):
+            Expectation("k", None, absolute(1.0))
+        Expectation("k", None, info())  # fine
+
+    def test_numeric_band_requires_anchor(self):
+        with pytest.raises(SpecError):
+            Expectation("k", "qualitative", absolute(1.0))
+        # An explicit target resolves the anchor.
+        Expectation(
+            "k", "qualitative", absolute(1.0, target=5.0)
+        )
+
+
+class TestExperimentSpec:
+    @staticmethod
+    def _spec(measure, expectations):
+        return spec(
+            "test01", "A test experiment",
+            "A test experiment, in full", "2.1",
+            measure, *expectations,
+        )
+
+    def test_run_scores_and_attaches_fidelity(self):
+        def measure(context):
+            return Measurement("rendered body", {"pct": 11.0})
+
+        result = self._spec(
+            measure, [expect("pct", 10.0, absolute(2.0))]
+        ).run(_FakeContext())
+        assert result.measured == {"pct": 11.0}
+        assert result.paper == {"pct": 10.0}
+        assert result.fidelity is not None
+        assert result.fidelity.status == "match"
+
+    def test_run_rejects_undeclared_measured_keys(self):
+        def measure(context):
+            return Measurement("x", {"pct": 1.0, "rogue": 2.0})
+
+        with pytest.raises(SpecError, match="rogue"):
+            self._spec(
+                measure, [expect("pct", 10.0, absolute(2.0))]
+            ).run(_FakeContext())
+
+    def test_declared_info_key_not_in_paper_dict(self):
+        def measure(context):
+            return Measurement("x", {"pct": 1.0, "extra": 2.0})
+
+        test_spec = self._spec(measure, [
+            expect("pct", 10.0, absolute(20.0)),
+            expect("extra", None, info()),
+        ])
+        result = test_spec.run(_FakeContext())
+        assert "extra" not in result.paper
+        assert result.measured["extra"] == 2.0
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SpecError):
+            self._spec(lambda c: Measurement("x", {}), [
+                expect("pct", 10.0, absolute(2.0)),
+                expect("pct", 11.0, absolute(2.0)),
+            ])
+
+    def test_registry_importable_and_consistent(self):
+        # Importing the registry builds every spec, which runs the
+        # registration-time validation for the whole catalogue.
+        from repro.experiments.registry import all_experiments
+        for exp in all_experiments():
+            assert isinstance(exp, ExperimentSpec)
+            assert exp.keys
+
+    def test_scenario_run_is_exempt(self):
+        def measure(context):
+            return Measurement("x", {"pct": 99.0})
+
+        result = self._spec(
+            measure, [expect("pct", 10.0, absolute(0.1))]
+        ).run(_FakeContext(scenario=_FakeScenario("elb-outage")))
+        assert result.fidelity.exempt
+        assert result.fidelity.status == "exempt"
+
+
+class _FakeScenario:
+    def __init__(self, name):
+        self.name = name
+
+
+class _FakeContext:
+    def __init__(self, scenario=None):
+        self.scenario = scenario
+
+
+class TestResultSummary:
+    def _result(self, measured, expectations):
+        return spec(
+            "test02", "Summary shapes", "Summary shapes, long", "3",
+            lambda c: Measurement("body", measured), *expectations,
+        ).run(_FakeContext())
+
+    def test_missing_key_flagged(self):
+        result = self._result(
+            {}, [expect("pct", 10.0, absolute(2.0))]
+        )
+        summary = result.summary()
+        assert "measured=MISSING" in summary
+        assert "[missing]" in summary
+
+    def test_verdict_tags_rendered(self):
+        result = self._result(
+            {"pct": 11.0}, [expect("pct", 10.0, absolute(2.0))]
+        )
+        assert "[match]" in result.summary()

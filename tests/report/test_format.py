@@ -1,0 +1,30 @@
+"""Tests for the shared number-formatting helpers."""
+
+from repro.report import (
+    fmt_kb,
+    fmt_mb,
+    fmt_ms,
+    fmt_num,
+    fmt_pct,
+    fmt_share,
+)
+
+
+class TestFormatHelpers:
+    def test_pct_is_already_scaled(self):
+        assert fmt_pct(81.725) == "81.72"
+        assert fmt_pct(81.725, 1) == "81.7"
+
+    def test_share_scales_fractions(self):
+        assert fmt_share(0.817) == "81.70"
+        assert fmt_share(0.5, 0) == "50"
+
+    def test_byte_units(self):
+        assert fmt_kb(12_345) == "12"
+        assert fmt_kb(12_345, 1) == "12.3"
+        assert fmt_mb(12_345_678) == "12.3"
+
+    def test_num_and_ms(self):
+        assert fmt_num(1234.56) == "1235"
+        assert fmt_num(1234.56, 1) == "1234.6"
+        assert fmt_ms(47.94, 1) == "47.9"
