@@ -24,6 +24,16 @@ entirely from it — and fails unless both match the uncached digests.
 With ``--repeat K`` each stage's reported time is the best of K full
 pipeline runs (the digests must agree across runs, and do — caching is
 output-transparent; see docs/PERFORMANCE.md).
+
+All timings come from the :mod:`repro.obs` tracer (the same spans the
+run manifest exports), not ad-hoc stopwatch dicts.  Before overwriting
+``--out``, the script compares the fresh stage times against the
+committed file and warns on any stage that regressed by more than
+20%; the committed file's ``trajectory`` (one entry per code
+fingerprint) is carried forward and extended, so the bench records the
+repo's performance history alongside its current numbers.
+``--trace-out``/``--metrics-out``/``--events-out`` export the first
+run's instrumentation, as in ``repro-experiments``.
 """
 
 from __future__ import annotations
@@ -34,14 +44,22 @@ import json
 import os
 import platform
 import shutil
+import sys
 import tempfile
 import time
 
 from repro.analysis.dataset import DatasetBuilder
 from repro.analysis.wan import WanAnalysis, WanConfig
 from repro.artifacts import ArtifactStore
+from repro.artifacts.keys import code_fingerprint
 from repro.experiments.context import ExperimentContext
+from repro.obs import Observability
+from repro.sim import set_rng_observer
 from repro.world import World, WorldConfig
+
+#: A stage must slow down by more than this (vs the committed bench)
+#: before the script warns about it.
+REGRESSION_THRESHOLD = 0.20
 
 
 def _digest(obj) -> str:
@@ -105,35 +123,42 @@ def _isp_digest(isp: dict) -> dict:
     }
 
 
-def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
-    """One full pipeline run: stage timings plus output digests."""
-    timings = {}
+def run_once(
+    seed: int, domains: int, wan_rounds: int, workers: int,
+    collect_events: bool = False,
+) -> dict:
+    """One full pipeline run: tracer-derived stage timings plus output
+    digests (and the run's :class:`~repro.obs.Observability` plane)."""
+    obs = Observability.collecting(events=collect_events)
+    tracer = obs.tracer
+    previous_observer = obs.install_rng_counter()
+    try:
+        with tracer.span("world", category="stage"):
+            world = World(WorldConfig(seed=seed, num_domains=domains))
 
-    start = time.perf_counter()
-    world = World(WorldConfig(seed=seed, num_domains=domains))
-    timings["world_s"] = time.perf_counter() - start
+        with tracer.span("dataset", category="stage"):
+            builder = DatasetBuilder(world, obs=obs)
+            dataset = builder.build(workers=workers)
 
-    start = time.perf_counter()
-    builder = DatasetBuilder(world)
-    dataset = builder.build(workers=workers)
-    timings["dataset_s"] = time.perf_counter() - start
-    dataset_steps = dict(builder.step_timings)
+        with tracer.span("capture", category="stage"):
+            trace = world.capture_trace()
 
-    start = time.perf_counter()
-    trace = world.capture_trace()
-    timings["capture_s"] = time.perf_counter() - start
+        wan = WanAnalysis(
+            world, WanConfig(rounds=wan_rounds, workers=workers),
+            obs=obs,
+        )
+        with tracer.span("wan", category="stage"):
+            wan._measure()
 
-    start = time.perf_counter()
-    wan = WanAnalysis(
-        world, WanConfig(rounds=wan_rounds, workers=workers)
-    )
-    wan._measure()
-    timings["wan_s"] = time.perf_counter() - start
+        with tracer.span("traceroute", category="stage"):
+            isp = wan.isp_diversity()
+    finally:
+        set_rng_observer(previous_observer)
 
-    start = time.perf_counter()
-    isp = wan.isp_diversity()
-    timings["traceroute_s"] = time.perf_counter() - start
-
+    timings = {
+        f"{name}_s": seconds
+        for name, seconds in tracer.seconds_by_name("stage").items()
+    }
     timings["total_s"] = sum(timings.values())
 
     digests = {}
@@ -143,11 +168,10 @@ def run_once(seed: int, domains: int, wan_rounds: int, workers: int) -> dict:
     digests.update(_isp_digest(isp))
     return {
         "timings": timings,
-        "dataset_steps": dataset_steps,
-        "campaigns": {
-            **builder.campaign_timings, **wan.campaign_timings
-        },
+        "dataset_steps": tracer.seconds_by_name("dataset-step"),
+        "campaigns": tracer.seconds_by_name("campaign"),
         "digests": digests,
+        "obs": obs,
     }
 
 
@@ -253,10 +277,28 @@ def main() -> int:
         help="fail unless the baseline file's digests match this run's "
              "(the sequential-vs-sharded CI gate)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the first run's span tree as Chrome trace_event "
+             "JSON",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the first run's metrics as Prometheus text "
+             "exposition",
+    )
+    parser.add_argument(
+        "--events-out", default=None, metavar="FILE",
+        help="write the first run's probe-level NDJSON event log",
+    )
     args = parser.parse_args()
 
+    collect_events = bool(args.events_out)
     runs = [
-        run_once(args.seed, args.domains, args.wan_rounds, args.workers)
+        run_once(
+            args.seed, args.domains, args.wan_rounds, args.workers,
+            collect_events=collect_events,
+        )
         for _ in range(args.repeat)
     ]
     digests = runs[0]["digests"]
@@ -279,6 +321,46 @@ def main() -> int:
         for key in runs[0]["campaigns"]
     }
 
+    committed = None
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as fh:
+                committed = json.load(fh)
+        except (OSError, ValueError):
+            committed = None
+    if committed is not None:
+        for stage, seconds in best.items():
+            base = committed.get("timings_s", {}).get(stage)
+            if (
+                base
+                and seconds > base * (1 + REGRESSION_THRESHOLD)
+            ):
+                print(
+                    f"warning: stage {stage} regressed "
+                    f"{100 * (seconds / base - 1):.0f}% vs committed "
+                    f"{args.out} ({seconds:.3f}s vs {base:.3f}s)",
+                    file=sys.stderr,
+                )
+
+    # The bench's performance history: one entry per code fingerprint,
+    # carried forward from the committed file so re-profiling the same
+    # revision refreshes its entry instead of appending a duplicate.
+    trajectory = (
+        list(committed.get("trajectory", []))
+        if committed is not None else []
+    )
+    entry = {
+        "fingerprint": code_fingerprint()[:12],
+        "timings_s": best,
+    }
+    if (
+        trajectory
+        and trajectory[-1].get("fingerprint") == entry["fingerprint"]
+    ):
+        trajectory[-1] = entry
+    else:
+        trajectory.append(entry)
+
     report = {
         "bench": {
             "seed": args.seed,
@@ -296,6 +378,7 @@ def main() -> int:
         "dataset_steps_s": dataset_steps,
         "campaigns_s": campaigns,
         "digests": digests,
+        "trajectory": trajectory,
     }
 
     if args.verify_workers:
@@ -304,13 +387,22 @@ def main() -> int:
             if count == args.workers:
                 continue
             other = run_once(
-                args.seed, args.domains, args.wan_rounds, count
+                args.seed, args.domains, args.wan_rounds, count,
+                collect_events=collect_events,
             )
             if other["digests"] != digests:
                 raise SystemExit(
                     f"digest mismatch at workers={count}: "
                     f"{other['digests']} vs {digests}"
                 )
+            if collect_events:
+                # The event log must be byte-identical too — sharded
+                # runs log in the same deterministic grid order.
+                if (other["obs"].events.to_ndjson()
+                        != runs[0]["obs"].events.to_ndjson()):
+                    raise SystemExit(
+                        f"event-log mismatch at workers={count}"
+                    )
         report["workers_verified"] = counts
 
     if not args.no_cache_check:
@@ -330,11 +422,29 @@ def main() -> int:
                 "baseline digests differ from this run's: "
                 f"{baseline.get('digests')} vs {digests}"
             )
+    out_parent = os.path.dirname(args.out)
+    if out_parent:
+        os.makedirs(out_parent, exist_ok=True)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}")
+
+    first = runs[0]["obs"]
+    if args.trace_out:
+        first.tracer.write_chrome(args.trace_out)
+        print(f"wrote trace {args.trace_out}")
+    if args.metrics_out:
+        metrics_parent = os.path.dirname(args.metrics_out)
+        if metrics_parent:
+            os.makedirs(metrics_parent, exist_ok=True)
+        with open(args.metrics_out, "w") as fh:
+            fh.write(first.metrics.render_prometheus())
+        print(f"wrote metrics {args.metrics_out}")
+    if args.events_out:
+        first.events.write(args.events_out)
+        print(f"wrote events {args.events_out}")
     return 0
 
 

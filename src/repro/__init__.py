@@ -13,6 +13,13 @@ paper-table/figure experiments in :mod:`repro.experiments` (also via
 the ``repro-experiments`` CLI).
 """
 
+import logging as _logging
+
+# Library-safe logging: the package logger stays silent unless an
+# application (e.g. the CLI's --verbose/--quiet flags via
+# repro.obs.configure_logging) attaches a real handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
 from repro.world import World, WorldConfig
 

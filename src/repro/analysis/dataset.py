@@ -17,7 +17,7 @@ The pipeline:
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -28,8 +28,11 @@ from repro.dns.records import RRType
 from repro.faults.scenarios import OutageScenario
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
+from repro.obs import NOOP, Observability
 from repro.sim import fork_pool_available
 from repro.world import World
+
+log = logging.getLogger("repro.analysis.dataset")
 
 
 @dataclass
@@ -108,6 +111,7 @@ class DatasetBuilder:
         world: World,
         range_coverage: float = 1.0,
         scenario: Optional[OutageScenario] = None,
+        obs: Observability = NOOP,
     ):
         if not 0.0 < range_coverage <= 1.0:
             raise ValueError(
@@ -120,6 +124,12 @@ class DatasetBuilder:
         #: :mod:`repro.campaign.probes`), so today this only tags the
         #: engine runs; it is threaded for uniformity with the WAN side.
         self.scenario = scenario
+        #: Observability plane: ``dataset-step`` spans around the four
+        #: pipeline phases, campaign spans via the engine, and — when
+        #: the sink is live — probe-level events that the sharded build
+        #: merges back phase-major (see :mod:`repro.analysis.shards`),
+        #: byte-identically to a sequential build.
+        self.obs = obs
         self.ranges = world.published_ranges()
         labelled = (
             [(net, "ec2") for net in world.ec2.published_ranges()]
@@ -129,18 +139,14 @@ class DatasetBuilder:
             keep = max(1, int(len(labelled) * range_coverage))
             labelled = labelled[:keep]
         self._cloud_membership = PrefixSet(labelled)
-        #: Wall-clock seconds per pipeline step, filled by :meth:`build`.
-        self.step_timings: Dict[str, float] = {}
-        #: Engine wall time per campaign name (accumulated across the
-        #: cloud-using and CloudFront lookup passes).
-        self.campaign_timings: Dict[str, float] = {}
         #: Shard-build hook: a ``ShardRecorder`` tagging digs whose
         #: rotation state crosses shard boundaries (None when sequential).
         self._recorder = None
 
     def _engine(self) -> CampaignEngine:
         return CampaignEngine(
-            self.world.streams.seed, scenario=self.scenario
+            self.world.streams.seed, scenario=self.scenario,
+            obs=self.obs,
         )
 
     def _is_cloud_address(self, address: IPv4Address) -> bool:
@@ -244,10 +250,6 @@ class DatasetBuilder:
             self.world, targets, recorder=self._recorder
         )
         result = self._engine().run(campaign)
-        self.campaign_timings[campaign.name] = (
-            self.campaign_timings.get(campaign.name, 0.0)
-            + result.elapsed_s
-        )
         vantage_count = result.num_vantages
         records: List[SubdomainRecord] = []
         for position, (domain, fqdn) in enumerate(targets):
@@ -365,23 +367,25 @@ class DatasetBuilder:
             from repro.analysis.shards import build_sharded
 
             return build_sharded(self, workers)
-        timings = self.step_timings = {}
-        start = time.perf_counter()
-        discovered, total = self.discover_subdomains()
-        timings["enumerate_s"] = time.perf_counter() - start
-        start = time.perf_counter()
-        cloud_using, cloudfront_using, other_cdn = self.filter_cloud_using(
-            discovered
+        tracer = self.obs.tracer
+        with tracer.span("enumerate", category="dataset-step"):
+            discovered, total = self.discover_subdomains()
+        with tracer.span("filter", category="dataset-step"):
+            cloud_using, cloudfront_using, other_cdn = (
+                self.filter_cloud_using(discovered)
+            )
+        log.info(
+            "dataset: %d discovered subdomains, %d cloud-using",
+            total, len(cloud_using),
         )
-        timings["filter_s"] = time.perf_counter() - start
-        start = time.perf_counter()
-        records = self.distributed_lookups(cloud_using)
-        cloudfront_records = self.distributed_lookups(cloudfront_using)
-        timings["distributed_lookups_s"] = time.perf_counter() - start
-        start = time.perf_counter()
-        ns_name_lists = self.ns_dig_survey(records)
-        ns_addresses = self.resolve_ns_hostnames(ns_name_lists)
-        timings["ns_survey_s"] = time.perf_counter() - start
+        with tracer.span("distributed_lookups", category="dataset-step"):
+            records = self.distributed_lookups(cloud_using)
+            cloudfront_records = self.distributed_lookups(
+                cloudfront_using
+            )
+        with tracer.span("ns_survey", category="dataset-step"):
+            ns_name_lists = self.ns_dig_survey(records)
+            ns_addresses = self.resolve_ns_hostnames(ns_name_lists)
         return AlexaSubdomainsDataset(
             records=records,
             discovered=discovered,

@@ -178,6 +178,15 @@ class ShardResult:
     #: vantage name → (query-count delta, cache entries this shard wrote).
     resolver_payload: Dict[str, tuple] = field(default_factory=dict)
     step_timings: Dict[str, float] = field(default_factory=dict)
+    #: Probe-level events the shard's engine campaigns emitted, kept
+    #: per phase so the parent can merge them phase-major (the order a
+    #: sequential build logs them in).  Empty when the sink is off.
+    lookup_events: list = field(default_factory=list)
+    cloudfront_events: list = field(default_factory=list)
+    #: Metrics counter increments this shard's campaigns made
+    #: (``MetricsRegistry.take_counter_deltas`` tuples) — a forked
+    #: child's registry dies with it, so counts ride back here.
+    metric_deltas: list = field(default_factory=list)
 
 
 def partition_ranks(count: int, shards: int) -> List[Tuple[int, int]]:
@@ -203,6 +212,7 @@ def _build_shard(
     recorder = ShardRecorder(shared)
     builder._recorder = recorder
     timings: Dict[str, float] = {}
+    metrics_checkpoint = builder.obs.metrics.counter_checkpoint()
 
     start = time.perf_counter()
     recorder.set_phase("enumerate")
@@ -218,11 +228,16 @@ def _build_shard(
     )
     timings["filter_s"] = time.perf_counter() - start
 
+    sink = builder.obs.events
     start = time.perf_counter()
     recorder.set_phase("lookup")
+    mark = sink.mark()
     records = builder.distributed_lookups(cloud_using)
+    lookup_events = sink.take_since(mark) if sink.enabled else []
     recorder.set_phase("cloudfront_lookup")
+    mark = sink.mark()
     cloudfront_records = builder.distributed_lookups(cloudfront_using)
+    cloudfront_events = sink.take_since(mark) if sink.enabled else []
     timings["distributed_lookups_s"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -261,6 +276,11 @@ def _build_shard(
         counter_deltas=counter_deltas,
         resolver_payload=resolver_payload,
         step_timings=timings,
+        lookup_events=lookup_events,
+        cloudfront_events=cloudfront_events,
+        metric_deltas=builder.obs.metrics.take_counter_deltas(
+            metrics_checkpoint
+        ),
     )
 
 
@@ -291,14 +311,44 @@ def build_sharded(builder, workers: int):
     # One shard per fork via the engine's single fan-out path; the
     # closure (builder, world, bounds, baselines) reaches workers by
     # copy-on-write, never by pickling.
-    results = fork_map(
-        lambda shard_index: _build_shard(
-            builder, bounds, shared, resolver_baselines,
-            counter_baseline, shard_index,
-        ),
-        len(bounds),
-        len(bounds),
-    )
+    with builder.obs.tracer.span(
+        "dataset:fanout", category="shard", shards=len(bounds),
+    ):
+        results = fork_map(
+            lambda shard_index: _build_shard(
+                builder, bounds, shared, resolver_baselines,
+                counter_baseline, shard_index,
+            ),
+            len(bounds),
+            len(bounds),
+        )
+
+    # Workers buffered their engine events locally (the parent sink
+    # never sees a forked child's emissions); replaying them phase-major
+    # in shard order reproduces the sequential log byte-for-byte,
+    # because each shard's campaign covers a contiguous rank slice in
+    # the same relative order.
+    sink = builder.obs.events
+    if sink.enabled:
+        for result in results:
+            sink.emit_many(result.lookup_events)
+        for result in results:
+            sink.emit_many(result.cloudfront_events)
+
+    metrics = builder.obs.metrics
+    if metrics.enabled:
+        # Re-apply each shard's counter increments in shard order: the
+        # totals come out identical to a sequential build's.
+        for result in results:
+            metrics.apply_counter_deltas(result.metric_deltas)
+        metrics.counter(
+            "dataset_shards_merged_total", volatile=True
+        ).inc(len(results))
+        merge_histogram = metrics.histogram(
+            "shard_merge_records", volatile=True, campaign="dataset"
+        )
+        for result in results:
+            merge_histogram.observe(len(result.records))
 
     merge_start = time.perf_counter()
 
@@ -416,18 +466,36 @@ def build_sharded(builder, workers: int):
     ns_addresses = builder.resolve_ns_hostnames(ns_name_lists)
     resolve_s = time.perf_counter() - resolve_start
 
-    timings: Dict[str, float] = {}
-    for step in ("enumerate_s", "filter_s", "distributed_lookups_s"):
-        timings[step] = max(
-            result.step_timings.get(step, 0.0) for result in results
+    # Per-step spans for the parent tracer: forked workers' own spans
+    # die with them, so the parent records the critical-path (max over
+    # shards) duration each step contributed, plus the parent-only
+    # setup/merge work.
+    tracer = builder.obs.tracer
+    if tracer.enabled:
+        for step in ("enumerate", "filter", "distributed_lookups"):
+            tracer.record(
+                step, category="dataset-step",
+                seconds=max(
+                    result.step_timings.get(f"{step}_s", 0.0)
+                    for result in results
+                ),
+                shards=len(results),
+            )
+        tracer.record(
+            "ns_survey", category="dataset-step",
+            seconds=(
+                max(
+                    result.step_timings.get("ns_survey_s", 0.0)
+                    for result in results
+                )
+                + resolve_s
+            ),
+            shards=len(results),
         )
-    timings["ns_survey_s"] = (
-        max(result.step_timings.get("ns_survey_s", 0.0) for result in results)
-        + resolve_s
-    )
-    timings["shard_setup_s"] = setup_s
-    timings["merge_s"] = merge_s
-    builder.step_timings = timings
+        tracer.record(
+            "shard_setup", category="dataset-step", seconds=setup_s
+        )
+        tracer.record("merge", category="dataset-step", seconds=merge_s)
 
     return AlexaSubdomainsDataset(
         records=records,

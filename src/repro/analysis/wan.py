@@ -24,6 +24,7 @@ from repro.campaign.probes import TracerouteCampaign, WanMeasurementCampaign
 from repro.cloud.base import Instance, InstanceRole, InstanceType
 from repro.faults.scenarios import OutageScenario
 from repro.internet.vantage import VantagePoint
+from repro.obs import NOOP, Observability
 from repro.probing.traceroute import TracerouteTool
 from repro.sim import advance_gauss
 from repro.world import World
@@ -76,6 +77,7 @@ class WanAnalysis:
         regions: Optional[Sequence[str]] = None,
         scenario: Optional[OutageScenario] = None,
         policy: Optional[ProbePolicy] = None,
+        obs: Observability = NOOP,
     ):
         if callable(world):
             self._world: Optional[World] = None
@@ -86,6 +88,9 @@ class WanAnalysis:
         self.config = config or WanConfig()
         self.scenario = scenario
         self.policy = policy
+        #: Observability plane, threaded into every engine campaign
+        #: this analysis runs (campaign spans, probe counters, events).
+        self.obs = obs
         self._clients = list(clients) if clients is not None else None
         self._regions = list(regions) if regions is not None else None
         self._instances: Optional[Dict[str, List[Instance]]] = None
@@ -94,9 +99,6 @@ class WanAnalysis:
         #: Called once with (latency, throughput) right after a campaign
         #: fills the matrices; the artifact cache stores them from here.
         self.on_measured: Optional[Callable] = None
-        #: Engine wall time per campaign name, filled as campaigns run
-        #: (the bench script exports these).
-        self.campaign_timings: Dict[str, float] = {}
 
     @property
     def world(self) -> World:
@@ -172,6 +174,7 @@ class WanAnalysis:
             self.world.streams.seed,
             scenario=self.scenario,
             policy=self.policy,
+            obs=self.obs,
         )
 
     def _campaign(self) -> WanMeasurementCampaign:
@@ -204,7 +207,6 @@ class WanAnalysis:
             return
         campaign = self._campaign()
         result = self._engine().run(campaign, workers=self.config.workers)
-        self.campaign_timings[campaign.name] = result.elapsed_s
         latency: Dict[Tuple[str, str], List[float]] = defaultdict(list)
         throughput: Dict[Tuple[str, str], List[float]] = defaultdict(list)
         records = result.records
@@ -397,7 +399,6 @@ class WanAnalysis:
                 name=f"wan-zone:{region_name}#{zone}",
             )
             result = engine.run(campaign, workers=self.config.workers)
-            self.campaign_timings[campaign.name] = result.elapsed_s
             rtts: List[float] = []
             rates: List[float] = []
             for record in result.records:
@@ -458,7 +459,6 @@ class WanAnalysis:
                 name=f"traceroute:{region_name}",
             )
             sweep = engine.run(campaign, workers=self.config.workers)
-            self.campaign_timings[campaign.name] = sweep.elapsed_s
             zone_ases: Dict[int, set] = defaultdict(set)
             route_counter: Counter = Counter()
             for record in sweep.records:

@@ -11,13 +11,18 @@ and reports a miss so the caller rebuilds.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import NOOP, Observability
+
 _HEADER_PREFIX = b"repro-artifact sha256="
+
+log = logging.getLogger("repro.artifacts")
 
 
 @dataclass
@@ -43,12 +48,23 @@ class ArtifactStats:
 class ArtifactStore:
     """A content-addressed cache of pickled pipeline artifacts."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, obs: Observability = NOOP) -> None:
         self.root = Path(root)
         self.stats = ArtifactStats()
+        #: Observability plane: ``artifact`` spans around get/put plus
+        #: volatile hit/miss/store counters (cache state is
+        #: environmental, so the counters never join the deterministic
+        #: metrics snapshot).
+        self.obs = obs
 
     def path_for(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.pkl"
+
+    def _count(self, outcome: str) -> None:
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(
+                f"artifact_cache_{outcome}_total", volatile=True
+            ).inc()
 
     def load(self, kind: str, key: str) -> Optional[object]:
         """The cached artifact, or None (counted as a miss).
@@ -56,11 +72,19 @@ class ArtifactStore:
         Verification failures delete the offending file so the
         subsequent :meth:`store` starts clean.
         """
+        with self.obs.tracer.span(
+            f"artifact:{kind}", category="artifact", op="load"
+        ):
+            return self._load(kind, key)
+
+    def _load(self, kind: str, key: str) -> Optional[object]:
         path = self.path_for(kind, key)
         try:
             raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            self._count("misses")
+            log.debug("artifact miss: %s/%s", kind, key[:12])
             return None
         header, _, payload = raw.partition(b"\n")
         artifact: Optional[object] = None
@@ -74,26 +98,40 @@ class ArtifactStore:
         if artifact is None:
             self.stats.invalid += 1
             self.stats.misses += 1
+            self._count("invalid")
+            self._count("misses")
+            log.warning(
+                "artifact rejected (corrupt): %s/%s", kind, key[:12]
+            )
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        self._count("hits")
+        log.info("artifact hit: %s/%s", kind, key[:12])
         return artifact
 
     def store(self, kind: str, key: str, artifact: object) -> Path:
         """Write one artifact atomically (write-then-rename)."""
-        path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
-        header = (
-            _HEADER_PREFIX
-            + hashlib.sha256(payload).hexdigest().encode("ascii")
-            + b"\n"
-        )
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(header + payload)
-        os.replace(tmp, path)
-        self.stats.stores += 1
+        with self.obs.tracer.span(
+            f"artifact:{kind}", category="artifact", op="store"
+        ):
+            path = self.path_for(kind, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(
+                artifact, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            header = (
+                _HEADER_PREFIX
+                + hashlib.sha256(payload).hexdigest().encode("ascii")
+                + b"\n"
+            )
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(header + payload)
+            os.replace(tmp, path)
+            self.stats.stores += 1
+            self._count("stores")
+            log.info("artifact stored: %s/%s", kind, key[:12])
         return path

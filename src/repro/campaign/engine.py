@@ -43,6 +43,7 @@ dataset shard merge).
 from __future__ import annotations
 
 import gc
+import logging
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -50,7 +51,10 @@ from typing import List, Optional, Sequence, Tuple
 from repro.campaign.fanout import fork_map, partition
 from repro.campaign.model import CampaignResult, ProbePolicy, ProbeRecord
 from repro.faults.scenarios import OutageScenario
+from repro.obs import NOOP, Observability
 from repro.sim import advance_gauss, derive_rng, fork_pool_available
+
+log = logging.getLogger("repro.campaign")
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,11 +128,17 @@ class CampaignEngine:
         scenario: Optional[OutageScenario] = None,
         policy: Optional[ProbePolicy] = None,
         workers: int = 0,
+        obs: Observability = NOOP,
     ):
         self.seed = seed
         self.scenario = scenario
         self.policy = policy or ProbePolicy()
         self.workers = workers
+        #: Observability plane (tracer spans per grid/shard, probe
+        #: counters, optional probe-level event sink).  The shared
+        #: :data:`~repro.obs.NOOP` default makes instrumentation free
+        #: for un-instrumented callers.
+        self.obs = obs
 
     # -- scheduling ----------------------------------------------------
 
@@ -140,25 +150,40 @@ class CampaignEngine:
         vantages = list(campaign.vantage_axis())
         targets = list(campaign.target_axis())
         effective = self.workers if workers is None else workers
-        if not vantages or not targets or campaign.rounds <= 0:
-            records: List[ProbeRecord] = []
-        else:
-            # The records accumulated here survive to the result, so
-            # generational GC passes over them mid-campaign are pure
-            # overhead (they roughly doubled grid time at bench scale).
-            # Probe objects are acyclic — refcounting reclaims the
-            # transients — so collection is safely deferred to the end
-            # of the run.
-            was_enabled = gc.isenabled()
-            if was_enabled:
-                gc.disable()
-            try:
-                records = self._run_grid(
-                    campaign, vantages, targets, effective
-                )
-            finally:
+        with self.obs.tracer.span(
+            campaign.name,
+            category="campaign",
+            rounds=campaign.rounds,
+            vantages=len(vantages),
+            targets=len(targets),
+            workers=effective,
+        ):
+            if not vantages or not targets or campaign.rounds <= 0:
+                records: List[ProbeRecord] = []
+            else:
+                # The records accumulated here survive to the result, so
+                # generational GC passes over them mid-campaign are pure
+                # overhead (they roughly doubled grid time at bench
+                # scale).  Probe objects are acyclic — refcounting
+                # reclaims the transients — so collection is safely
+                # deferred to the end of the run.
+                was_enabled = gc.isenabled()
                 if was_enabled:
-                    gc.enable()
+                    gc.disable()
+                try:
+                    records = self._run_grid(
+                        campaign, vantages, targets, effective
+                    )
+                finally:
+                    if was_enabled:
+                        gc.enable()
+        elapsed = time.perf_counter() - start
+        if self.obs.metrics.enabled:
+            self._observe_records(campaign, records, elapsed)
+        log.debug(
+            "campaign %s: %d records in %.3fs (workers=%d)",
+            campaign.name, len(records), elapsed, effective,
+        )
         return CampaignResult(
             name=campaign.name,
             records=records,
@@ -166,11 +191,54 @@ class CampaignEngine:
             num_vantages=len(vantages),
             num_targets=len(targets),
             workers=effective,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=elapsed,
             scenario_name=(
                 self.scenario.name if self.scenario is not None else None
             ),
         )
+
+    def _observe_records(
+        self,
+        campaign: GridCampaign,
+        records: List[ProbeRecord],
+        elapsed: float,
+    ) -> None:
+        """Fold one finished grid into the metrics registry.
+
+        Runs parent-side over the merged record stream, so the counts
+        are identical for sequential and sharded executions.  Probe
+        counts per kind, retries, losses and blocked probes are pure
+        functions of (seed, config); the records/sec gauge is
+        wall-clock-derived and therefore volatile.
+        """
+        metrics = self.obs.metrics
+        counts: dict = {}
+        retries = 0
+        losses = 0
+        blocked = 0
+        for record in records:
+            kind = record.task.kind.value
+            counts[kind] = counts.get(kind, 0) + 1
+            if record.attempts > 1:
+                retries += record.attempts - 1
+            if record.lost:
+                losses += 1
+            if record.blocked:
+                blocked += 1
+        for kind in sorted(counts):
+            metrics.counter("probes_total", kind=kind).inc(counts[kind])
+        if retries:
+            metrics.counter("probe_retries_total").inc(retries)
+        if losses:
+            metrics.counter("probe_losses_total").inc(losses)
+        if blocked:
+            metrics.counter("probes_blocked_total").inc(blocked)
+        if elapsed > 0:
+            metrics.gauge(
+                "campaign_records_per_s",
+                campaign=campaign.name,
+                volatile=True,
+            ).set(len(records) / elapsed)
 
     def _run_grid(
         self,
@@ -213,21 +281,32 @@ class CampaignEngine:
         rounds = campaign.rounds
         bounds = partition(rounds, workers)
         advances = tuple(campaign.stream_advances(self.scenario))
+        sink = self.obs.events
 
-        def chunk(index: int) -> List[ProbeRecord]:
+        def chunk(index: int):
             lo, hi = bounds[index]
             for stream, per_round in advances:
                 advance_gauss(stream, lo * per_round)
-            return self._run_cells(campaign, vantages, targets, lo, hi)
+            mark = sink.mark()
+            produced = self._run_cells(campaign, vantages, targets, lo, hi)
+            return produced, (
+                sink.take_since(mark) if sink.enabled else None
+            )
 
-        parts = fork_map(chunk, len(bounds), len(bounds))
+        with self.obs.tracer.span(
+            f"{campaign.name}:fanout",
+            category="shard",
+            axis="round",
+            shards=len(bounds),
+        ):
+            parts = fork_map(chunk, len(bounds), len(bounds))
         for stream, per_round in advances:
             advance_gauss(stream, rounds * per_round)
         per_round_records = (
             len(vantages) * len(targets) * campaign.probes_per_cell
         )
         records: List[ProbeRecord] = []
-        for (lo, hi), part in zip(bounds, parts):
+        for (lo, hi), (part, events) in zip(bounds, parts):
             if len(part) != (hi - lo) * per_round_records:
                 raise RuntimeError(
                     f"campaign {campaign.name!r} shard drift: rounds "
@@ -235,6 +314,9 @@ class CampaignEngine:
                     f"expected {(hi - lo) * per_round_records}"
                 )
             records.extend(part)
+            if events:
+                sink.emit_many(events)
+            self._observe_merge(campaign, len(part))
         return records
 
     def _run_grid_sharded(
@@ -258,22 +340,34 @@ class CampaignEngine:
         major = vantages if campaign.vantage_major else targets
         minor_len = len(targets if campaign.vantage_major else vantages)
         bounds = partition(len(major), workers)
+        sink = self.obs.events
 
-        def chunk(index: int) -> List[ProbeRecord]:
+        def chunk(index: int):
             lo, hi = bounds[index]
+            mark = sink.mark()
             if campaign.vantage_major:
-                return self._run_cells(
+                produced = self._run_cells(
                     campaign, vantages[lo:hi], targets, 0, 1,
                     vantage_offset=lo,
                 )
-            return self._run_cells(
-                campaign, vantages, targets[lo:hi], 0, 1,
-                target_offset=lo,
+            else:
+                produced = self._run_cells(
+                    campaign, vantages, targets[lo:hi], 0, 1,
+                    target_offset=lo,
+                )
+            return produced, (
+                sink.take_since(mark) if sink.enabled else None
             )
 
-        parts = fork_map(chunk, len(bounds), len(bounds))
+        with self.obs.tracer.span(
+            f"{campaign.name}:fanout",
+            category="shard",
+            axis="grid",
+            shards=len(bounds),
+        ):
+            parts = fork_map(chunk, len(bounds), len(bounds))
         records: List[ProbeRecord] = []
-        for (lo, hi), part in zip(bounds, parts):
+        for (lo, hi), (part, events) in zip(bounds, parts):
             expected = (hi - lo) * minor_len * campaign.probes_per_cell
             if len(part) != expected:
                 raise RuntimeError(
@@ -282,7 +376,23 @@ class CampaignEngine:
                     f"expected {expected}"
                 )
             records.extend(part)
+            if events:
+                sink.emit_many(events)
+            self._observe_merge(campaign, len(part))
         return records
+
+    def _observe_merge(self, campaign: GridCampaign, size: int) -> None:
+        """Shard-merge accounting (volatile: shard shapes depend on the
+        worker count, which never changes outputs)."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "campaign_shards_merged_total", volatile=True
+        ).inc()
+        metrics.histogram(
+            "shard_merge_records", volatile=True, campaign=campaign.name
+        ).observe(size)
 
     # -- cell execution ------------------------------------------------
 
@@ -302,6 +412,9 @@ class CampaignEngine:
         seed = self.seed
         probes_per_cell = campaign.probes_per_cell
         apply_policy = not policy.is_default
+        sink = self.obs.events
+        emit = sink.emit if sink.enabled else None
+        campaign_name = campaign.name
         for round_index in range(round_lo, round_hi):
             time_s = campaign.time_of_round(round_index)
             if campaign.vantage_major:
@@ -337,6 +450,23 @@ class CampaignEngine:
                 if apply_policy:
                     for record in produced:
                         self._apply_policy(campaign, record)
+                if emit is not None:
+                    # Deterministic fields only — no wall clock, no
+                    # pids — so a sharded run's merged log is
+                    # byte-identical to the sequential one.
+                    for record in produced:
+                        task = record.task
+                        emit({
+                            "campaign": campaign_name,
+                            "kind": task.kind.value,
+                            "vantage": task.vantage,
+                            "target": task.target,
+                            "round": task.round_index,
+                            "ok": record.ok,
+                            "attempts": record.attempts,
+                            "lost": record.lost,
+                            "blocked": record.blocked,
+                        })
                 records.extend(produced)
         return records
 

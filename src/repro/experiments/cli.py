@@ -13,11 +13,19 @@ fidelity report in text and JSON, the rendered summaries, and the
 §2.1 TSV release) — see :mod:`repro.experiments.manifest`.
 ``--fidelity-gate`` turns any ``divergent`` verdict into a non-zero
 exit, the regression gate CI runs at seed scale.
+
+Observability (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
+``--trace-out`` exports the span tree as Chrome ``trace_event`` JSON,
+``--metrics-out`` the Prometheus text exposition, ``--events-out`` the
+probe-level NDJSON event log; ``-v``/``-q`` steer the package logger.
+None of them change a single output byte — instrumented runs produce
+the same digests, manifests, and artifacts as bare ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -29,6 +37,7 @@ from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
 )
+from repro.obs import Observability, configure_logging
 from repro.world import WorldConfig
 
 #: Exit status when ``--fidelity-gate`` trips.
@@ -104,6 +113,34 @@ def build_parser() -> argparse.ArgumentParser:
              f"divergent from the paper (no effect on --scenario "
              f"runs, which are exempt)",
     )
+    obs = parser.add_argument_group(
+        "observability",
+        "structured tracing, metrics, and probe-level event logs; "
+        "none of these flags change any output byte",
+    )
+    obs.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the hierarchical span tree as Chrome trace_event "
+             "JSON (load via chrome://tracing or Perfetto)",
+    )
+    obs.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the metrics registry as Prometheus text exposition",
+    )
+    obs.add_argument(
+        "--events-out", metavar="FILE", default=None,
+        help="write the probe-level NDJSON event log (one JSON object "
+             "per probe, in deterministic grid order regardless of "
+             "--workers)",
+    )
+    obs.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v: INFO, -vv: DEBUG)",
+    )
+    obs.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors to stderr",
+    )
     return parser
 
 
@@ -118,7 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.artifacts import ArtifactStore
     from repro.experiments.manifest import RunManifest
     from repro.faults import resolve_scenario
+    from repro.sim import set_rng_observer
 
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     scenario = None
     if args.scenario:
         try:
@@ -127,9 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(f"outage drill: {scenario.name}\n")
+    obs = Observability.collecting(events=bool(args.events_out))
     store = (
         None if args.no_artifact_cache
-        else ArtifactStore(args.artifact_dir)
+        else ArtifactStore(args.artifact_dir, obs=obs)
     )
     context = ExperimentContext(
         WorldConfig(seed=args.seed, num_domains=args.domains),
@@ -137,6 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         artifact_store=store,
         scenario=scenario,
+        obs=obs,
     )
     if args.experiments:
         experiments = [get_experiment(e) for e in args.experiments]
@@ -144,15 +185,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiments = all_experiments()
     runs = []
     summaries = []
-    for exp in experiments:
-        start = time.time()
-        result = exp.run(context)
-        elapsed = time.time() - start
-        runs.append((exp, result, elapsed))
-        summary = result.summary()
-        summaries.append(summary)
-        print(summary)
-        print(f"({elapsed:.1f}s)\n")
+    previous_observer = obs.install_rng_counter()
+    try:
+        for exp in experiments:
+            start = time.time()
+            result = exp.run(context)
+            elapsed = time.time() - start
+            runs.append((exp, result, elapsed))
+            summary = result.summary()
+            summaries.append(summary)
+            print(summary)
+            print(f"({elapsed:.1f}s)\n")
+    finally:
+        set_rng_observer(previous_observer)
     report = FidelityReport(
         [result.fidelity for _, result, _ in runs
          if result.fidelity is not None],
@@ -178,6 +223,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             context=context,
         )
         print(f"run {manifest.run_id}: wrote {paths['manifest']}")
+    if args.trace_out:
+        obs.tracer.write_chrome(args.trace_out)
+        print(f"wrote trace {args.trace_out}")
+    if args.metrics_out:
+        metrics_parent = os.path.dirname(args.metrics_out)
+        if metrics_parent:
+            os.makedirs(metrics_parent, exist_ok=True)
+        with open(args.metrics_out, "w") as fh:
+            fh.write(obs.metrics.render_prometheus())
+        print(f"wrote metrics {args.metrics_out}")
+    if args.events_out:
+        obs.events.write(args.events_out)
+        print(f"wrote events {args.events_out}")
     if args.fidelity_gate and report.divergent_keys:
         for experiment_id, key in report.divergent_keys:
             print(

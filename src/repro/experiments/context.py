@@ -33,9 +33,8 @@ the world and pays for none of this.
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
 from repro.analysis.clouduse import CloudUseAnalysis
@@ -49,6 +48,7 @@ from repro.capture.flow import Trace
 from repro.cloud.ec2 import ec2_region_names
 from repro.faults.scenarios import OutageScenario
 from repro.internet.vantage import planetlab_sites
+from repro.obs import Observability
 from repro.world import World, WorldConfig
 
 
@@ -62,6 +62,7 @@ class ExperimentContext:
         workers: int = 0,
         artifact_store: Optional[ArtifactStore] = None,
         scenario: Optional[OutageScenario] = None,
+        obs: Optional[Observability] = None,
     ):
         self.world_config = world_config or WorldConfig()
         self.wan_config = wan_config or WanConfig()
@@ -73,11 +74,14 @@ class ExperimentContext:
         #: runs (and into the dataset/WAN artifact keys — a drilled run
         #: must never be served a healthy run's products).
         self.scenario = scenario
+        #: Observability plane threaded into every build, campaign, and
+        #: artifact-store call this context owns.  Defaults to a
+        #: collecting tracer+metrics (events off) so :meth:`telemetry`
+        #: keeps its historical stage/campaign timing report.
+        self.obs = obs if obs is not None else Observability.collecting()
+        if artifact_store is not None and not artifact_store.obs.enabled:
+            artifact_store.obs = self.obs
         self._world: Optional[World] = None
-        #: Wall time per expensive build this context actually ran
-        #: (cache hits skip the stage and leave no entry); the run
-        #: manifest exports these next to the campaign telemetry.
-        self.stage_timings: Dict[str, float] = {}
         self._dataset_builder: Optional[DatasetBuilder] = None
         #: Side-effect replays queued by cache hits, run (in serve
         #: order) the moment the world materializes — see the module
@@ -120,9 +124,8 @@ class ExperimentContext:
     @property
     def world(self) -> World:
         if self._world is None:
-            start = time.perf_counter()
-            self._world = World(self.world_config)
-            self.stage_timings["world_s"] = time.perf_counter() - start
+            with self.obs.tracer.span("world", category="stage"):
+                self._world = World(self.world_config)
             pending, self._replays = self._replays, []
             for replay in pending:
                 replay()
@@ -153,10 +156,11 @@ class ExperimentContext:
         build's DNS side effects are part of the state the capture
         generator consumes.
         """
-        start = time.perf_counter()
-        builder = DatasetBuilder(self.world, scenario=self.scenario)
-        dataset = builder.build(workers=self.workers)
-        self.stage_timings["dataset_s"] = time.perf_counter() - start
+        with self.obs.tracer.span("dataset", category="stage"):
+            builder = DatasetBuilder(
+                self.world, scenario=self.scenario, obs=self.obs
+            )
+            dataset = builder.build(workers=self.workers)
         self._dataset_builder = builder
         self._dataset_built_in_world = True
         return dataset
@@ -200,10 +204,8 @@ class ExperimentContext:
         return self._trace
 
     def _capture(self, world: World) -> Trace:
-        start = time.perf_counter()
-        trace = world.capture_trace()
-        self.stage_timings["capture_s"] = time.perf_counter() - start
-        return trace
+        with self.obs.tracer.span("capture", category="stage"):
+            return world.capture_trace()
 
     @property
     def wan(self) -> WanAnalysis:
@@ -216,6 +218,7 @@ class ExperimentContext:
                 ),
                 regions=ec2_region_names(),
                 scenario=self.scenario,
+                obs=self.obs,
             )
             if self.artifacts is not None:
                 key = self._wan_key()
@@ -271,28 +274,29 @@ class ExperimentContext:
 
     def telemetry(self) -> dict:
         """Per-stage wall times and campaign telemetry for this
-        context's builds — the ``profile_pipeline`` instrumentation,
-        lifted into the run manifest.  Only stages that actually ran
-        appear; a fully warm artifact-cache run reports none."""
-        campaigns: Dict[str, float] = {}
-        dataset_steps: Dict[str, float] = {}
-        if self._dataset_builder is not None:
-            dataset_steps.update(self._dataset_builder.step_timings)
-            campaigns.update(self._dataset_builder.campaign_timings)
-        if self._wan is not None:
-            campaigns.update(self._wan.campaign_timings)
+        context's builds, aggregated from the tracer's span tree.  Only
+        stages that actually ran appear; a fully warm artifact-cache
+        run reports none, and a :data:`~repro.obs.NOOP` plane reports
+        empty sections."""
+        tracer = self.obs.tracer
         telemetry = {
             "stages_s": {
-                key: round(value, 3)
-                for key, value in self.stage_timings.items()
+                f"{name}_s": round(seconds, 3)
+                for name, seconds in sorted(
+                    tracer.seconds_by_name("stage").items()
+                )
             },
             "dataset_steps_s": {
-                key: round(value, 3)
-                for key, value in dataset_steps.items()
+                name: round(seconds, 3)
+                for name, seconds in sorted(
+                    tracer.seconds_by_name("dataset-step").items()
+                )
             },
             "campaigns_s": {
-                key: round(value, 3)
-                for key, value in campaigns.items()
+                name: round(seconds, 3)
+                for name, seconds in sorted(
+                    tracer.seconds_by_name("campaign").items()
+                )
             },
         }
         if self.artifacts is not None:

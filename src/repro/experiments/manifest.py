@@ -5,21 +5,24 @@ a deterministic run id (content-addressed on the configuration, the
 code fingerprint, the scenario, and the experiment subset — *not* on
 wall-clock time, so the same run always lands in the same directory),
 the full configuration, per-experiment measured/paper/delta/verdict
-records, the fidelity rollup, and the per-stage/campaign telemetry.
+records, the fidelity rollup, and the deterministic metrics snapshot.
 
 ``write`` lays out the run directory::
 
     <out-dir>/<run-id>/
-        manifest.json     # everything below, machine-readable
+        manifest.json     # everything deterministic, machine-readable
+        timings.json      # wall-clock sidecar: stage/campaign/step
+                          # times, per-experiment elapsed, volatile
+                          # metrics (cache hits, rates, RNG draws)
         summaries.txt     # the rendered tables/figures + comparisons
         fidelity.txt      # the human-facing fidelity report
         fidelity.json     # the same rollup, for the CI gate
         release/          # the §2.1 TSV export (subdomains,
                           # nameservers, published ranges)
 
-Everything except the telemetry timings is deterministic given
-(seed, config): re-running the same configuration on the same code
-rewrites byte-identical verdicts.
+``manifest.json`` is byte-identical run over run for a given
+(seed, config, code): every wall-clock or environment-dependent
+quantity lives in the ``timings.json`` sidecar, never in the manifest.
 """
 
 from __future__ import annotations
@@ -60,7 +63,14 @@ class RunManifest:
     scenario: Optional[str]
     experiments: List[Dict[str, object]]
     fidelity: FidelityReport
-    telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Deterministic metrics snapshot (probe/retry/loss counters);
+    #: pure function of (seed, config, code), safe for manifest.json.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Wall-clock sidecar: stage/step/campaign timings, per-experiment
+    #: elapsed, volatile metrics.  Written as ``timings.json``; never
+    #: part of :meth:`as_dict` — the manifest must stay byte-identical
+    #: run over run.
+    timings: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_run(
@@ -75,8 +85,10 @@ class RunManifest:
             else None
         )
         experiments = []
+        experiments_s: Dict[str, float] = {}
         for spec, result, elapsed in runs:
             fidelity = result.fidelity
+            experiments_s[spec.experiment_id] = round(elapsed, 3)
             experiments.append({
                 "id": spec.experiment_id,
                 "title": spec.headline,
@@ -84,7 +96,6 @@ class RunManifest:
                 "status": (
                     fidelity.status if fidelity is not None else None
                 ),
-                "elapsed_s": round(elapsed, 3),
                 "keys": (
                     [v.as_dict() for v in fidelity.verdicts]
                     if fidelity is not None else []
@@ -98,6 +109,13 @@ class RunManifest:
         )
         world = context.world_config
         wan = context.wan_config
+        obs = getattr(context, "obs", None)
+        metrics: Dict[str, object] = {}
+        timings: Dict[str, object] = dict(context.telemetry())
+        timings["experiments_s"] = experiments_s
+        if obs is not None and obs.metrics.enabled:
+            metrics = obs.metrics.deterministic_snapshot()
+            timings["volatile_metrics"] = obs.metrics.volatile_snapshot()
         return cls(
             run_id=run_identifier(
                 context, tuple(spec.experiment_id for spec, _, _ in runs)
@@ -116,10 +134,12 @@ class RunManifest:
             scenario=scenario,
             experiments=experiments,
             fidelity=report,
-            telemetry=context.telemetry(),
+            metrics=metrics,
+            timings=timings,
         )
 
     def as_dict(self) -> dict:
+        """The deterministic manifest payload (no wall-clock keys)."""
         return {
             "run_id": self.run_id,
             "config": self.config,
@@ -127,7 +147,7 @@ class RunManifest:
             "scenario": self.scenario,
             "experiments": self.experiments,
             "fidelity": self.fidelity.as_dict(),
-            "telemetry": self.telemetry,
+            "metrics": self.metrics,
         }
 
     def write(
@@ -150,6 +170,11 @@ class RunManifest:
         paths["manifest"] = run_dir / "manifest.json"
         with paths["manifest"].open("w") as fh:
             json.dump(self.as_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+        paths["timings"] = run_dir / "timings.json"
+        with paths["timings"].open("w") as fh:
+            json.dump(self.timings, fh, indent=2, sort_keys=False)
             fh.write("\n")
 
         if results is not None:

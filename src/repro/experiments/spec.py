@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.obs import NOOP
 
 #: Verdicts a scored key can receive, in increasing order of badness.
 SCORED_VERDICTS = ("match", "drift", "divergent")
@@ -275,7 +276,12 @@ class ExperimentSpec:
         """
         from repro.experiments.fidelity import score_experiment
 
-        measurement = self.measure(context)
+        obs = getattr(context, "obs", NOOP)
+        with obs.tracer.span(
+            f"experiment:{self.experiment_id}", category="experiment",
+            section=self.paper_section,
+        ):
+            measurement = self.measure(context)
         unknown = set(measurement.measured) - set(self.keys)
         if unknown:
             raise SpecError(

@@ -1,0 +1,142 @@
+"""repro.obs — the deterministic observability plane.
+
+Three instruments, one aggregate:
+
+* :class:`~repro.obs.trace.Tracer` — hierarchical timed spans
+  (dataset build phases, engine grids/shards, artifact-store get/put,
+  experiment spec runs), exportable as a human-readable tree or Chrome
+  ``trace_event`` JSON;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms with Prometheus text exposition and JSON snapshots split
+  into deterministic vs volatile halves;
+* :class:`~repro.obs.events.EventSink` — opt-in NDJSON probe-level
+  event logs, merged in grid order under sharding.
+
+:class:`Observability` bundles the three; the module-level :data:`NOOP`
+is the library default (every instrument a shared null object), so
+un-instrumented code paths pay only a truthiness check.  Instrumented
+values never reach artifact keys, output digests, or RNG streams —
+observability is strictly read-only with respect to the simulation.
+
+The package also owns library-safe logging: :func:`configure_logging`
+wires the package-level ``repro`` logger (which carries only a
+``NullHandler`` by default, per library convention) to stderr at a
+verbosity the CLI's ``--verbose``/``--quiet`` flags select.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.obs.events import NULL_SINK, EventSink, NullEventSink
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NOOP",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventSink",
+    "NullEventSink",
+    "configure_logging",
+]
+
+
+@dataclass
+class Observability:
+    """One run's tracer + metrics registry + event sink."""
+
+    tracer: Union[Tracer, NullTracer] = field(
+        default_factory=lambda: NULL_TRACER
+    )
+    metrics: Union[MetricsRegistry, NullMetrics] = field(
+        default_factory=lambda: NULL_METRICS
+    )
+    events: Union[EventSink, NullEventSink] = field(
+        default_factory=lambda: NULL_SINK
+    )
+
+    @classmethod
+    def collecting(cls, events: bool = False) -> "Observability":
+        """A live tracer + metrics registry (+ event sink on request)."""
+        return cls(
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            events=EventSink() if events else NULL_SINK,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.events.enabled
+        )
+
+    def install_rng_counter(self):
+        """Count :func:`repro.sim.derive_rng` derivations into this
+        registry (a volatile metric: forked workers' counts never
+        propagate back).  Returns the previously installed observer so
+        callers can restore it in a ``finally``."""
+        from repro.sim import set_rng_observer
+
+        if not self.metrics.enabled:
+            return set_rng_observer(None)
+        counter = self.metrics.counter(
+            "rng_derivations_total", volatile=True
+        )
+        return set_rng_observer(counter.inc)
+
+
+#: The shared zero-cost default: all three instruments are null objects.
+NOOP = Observability()
+
+
+def configure_logging(
+    verbose: int = 0, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Point the package-level ``repro`` logger at a stream handler.
+
+    ``verbose=0`` keeps WARNING (the library default once a handler is
+    attached), ``verbose=1`` enables INFO, ``verbose>=2`` DEBUG, and
+    ``quiet`` drops to ERROR.  Re-invocation replaces the previously
+    configured handler instead of stacking duplicates; the import-time
+    ``NullHandler`` is left alone so the logger stays library-safe when
+    this is never called.
+    """
+    logger = logging.getLogger("repro")
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(name)s [%(levelname)s] %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,105 @@
+"""Structured probe-level event logging.
+
+An :class:`EventSink` buffers one dict per probe the campaign engine
+executed — campaign, kind, vantage, target, round, outcome — and
+serialises the buffer as NDJSON (one compact, key-sorted JSON object
+per line).  Events carry **only deterministic fields**: no wall-clock,
+no process ids, nothing a worker count could perturb.  Sharded engine
+runs buffer per chunk and merge at the join in grid order (see
+``CampaignEngine``), so the NDJSON of a ``--workers N`` run is
+byte-identical to the sequential one.
+
+The default sink everywhere is the shared :data:`NULL_SINK`; emission
+costs one truthiness check per cell when disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+
+def encode_event(event: Dict[str, object]) -> str:
+    """One event as a canonical NDJSON line (no trailing newline)."""
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+class NullEventSink:
+    """The zero-cost default: drops every event."""
+
+    enabled = False
+    events: tuple = ()
+
+    def emit(self, event: Dict[str, object]) -> None:
+        return None
+
+    def emit_many(self, events: Iterable[Dict[str, object]]) -> None:
+        return None
+
+    def mark(self) -> int:
+        return 0
+
+    def take_since(self, mark: int) -> List[Dict[str, object]]:
+        return []
+
+    def to_ndjson(self) -> str:
+        return ""
+
+
+class EventSink:
+    """An in-memory, order-preserving buffer of probe events."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def emit_many(self, events: Iterable[Dict[str, object]]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- fan-out support ----------------------------------------------
+
+    def mark(self) -> int:
+        """A cursor for :meth:`take_since` (used around forked work)."""
+        return len(self.events)
+
+    def take_since(self, mark: int) -> List[Dict[str, object]]:
+        """Remove and return every event emitted after ``mark``.
+
+        Forked chunk workers call this to ship their chunk's events
+        back to the parent; when the chunk ran in-process instead, the
+        removal keeps the parent's later ``emit_many`` from
+        double-logging.
+        """
+        taken = self.events[mark:]
+        del self.events[mark:]
+        return taken
+
+    # -- export --------------------------------------------------------
+
+    def to_ndjson(self) -> str:
+        if not self.events:
+            return ""
+        return "\n".join(
+            encode_event(event) for event in self.events
+        ) + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_ndjson())
+        return path
+
+
+#: Shared no-op sink — the library-wide default.
+NULL_SINK = NullEventSink()

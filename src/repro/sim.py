@@ -37,6 +37,26 @@ def derive_seed(seed: int, *labels: object) -> int:
     return _seed_from_path(repr((seed,) + labels))
 
 
+#: Optional observability hook: called (no args) once per
+#: :func:`derive_rng` derivation when installed.  The default ``None``
+#: keeps the hot path at a single global load and identity check.
+_RNG_OBSERVER = None
+
+
+def set_rng_observer(observer):
+    """Install (or clear, with ``None``) the RNG-derivation observer.
+
+    Returns the previously installed observer so instrumented callers
+    can restore it in a ``finally`` block.  The observer must never
+    touch randomness itself — it exists so the metrics registry can
+    count derivations, nothing more.
+    """
+    global _RNG_OBSERVER
+    previous = _RNG_OBSERVER
+    _RNG_OBSERVER = observer
+    return previous
+
+
 def derive_rng(seed: int, *labels: object) -> random.Random:
     """A :class:`random.Random` seeded from ``seed`` and a label path.
 
@@ -48,6 +68,8 @@ def derive_rng(seed: int, *labels: object) -> random.Random:
     >>> derive_rng(1, "dns").random() == derive_rng(1, "capture").random()
     False
     """
+    if _RNG_OBSERVER is not None:
+        _RNG_OBSERVER()
     return random.Random(derive_seed(seed, *labels))
 
 

@@ -83,7 +83,16 @@ class TestRunManifest:
                 record
             )
         assert payload["fidelity"]["experiments"]
-        assert "stages_s" in payload["telemetry"]
+        # Wall-clock never reaches the manifest payload: timings live
+        # in the timings.json sidecar, the manifest keeps only the
+        # deterministic metrics snapshot.
+        assert "telemetry" not in payload
+        assert "elapsed_s" not in entry
+        assert "counters" in payload["metrics"]
+        assert "stages_s" in manifest.timings
+        assert manifest.timings["experiments_s"] == {
+            "table03": 0.1, "table15": 0.1
+        }
 
     def test_json_serialisable(self, manifest_run):
         _, _, manifest = manifest_run
@@ -98,9 +107,12 @@ class TestRunManifest:
         )
         run_dir = tmp_path / manifest.run_id
         assert paths["run_dir"] == run_dir
-        for name in ("manifest.json", "summaries.txt",
+        for name in ("manifest.json", "timings.json", "summaries.txt",
                      "fidelity.txt", "fidelity.json"):
             assert (run_dir / name).exists()
+        timings = json.loads((run_dir / "timings.json").read_text())
+        assert "stages_s" in timings
+        assert "experiments_s" in timings
         for name in ("subdomains.tsv", "nameservers.tsv",
                      "published_ranges.tsv"):
             assert (run_dir / "release" / name).exists()
@@ -111,22 +123,25 @@ class TestRunManifest:
             (run_dir / "fidelity.txt").read_text()
         )
 
-    def test_deterministic_apart_from_timings(self, manifest_run):
+    def test_manifest_byte_identical_run_over_run(self, manifest_run):
+        # The whole point of the timings.json split: two runs of the
+        # same (seed, config, code) serialise byte-identical manifests,
+        # wall-clock differences and all.
         context_a, _, manifest_a = manifest_run
 
         context_b = _context()
         specs = [get_experiment("table03"), get_experiment("table15")]
-        runs_b = [(s, s.run(context_b), 0.1) for s in specs]
+        runs_b = [(s, s.run(context_b), 0.7) for s in specs]
         manifest_b = RunManifest.from_run(context_b, runs_b)
 
-        def stable(manifest):
-            payload = manifest.as_dict()
-            payload.pop("telemetry")
-            for entry in payload["experiments"]:
-                entry.pop("elapsed_s")
-            return payload
+        def serialised(manifest):
+            return json.dumps(manifest.as_dict(), indent=2)
 
-        assert stable(manifest_a) == stable(manifest_b)
+        assert serialised(manifest_a) == serialised(manifest_b)
+        # The differing elapsed values landed in the sidecar instead.
+        assert manifest_a.timings["experiments_s"] != (
+            manifest_b.timings["experiments_s"]
+        )
 
     def test_scenario_recorded_and_exempt(self):
         from repro.faults import resolve_scenario

@@ -1,0 +1,66 @@
+"""Tests for the NDJSON event sink."""
+
+import json
+
+from repro.obs.events import NULL_SINK, EventSink, encode_event
+
+
+class TestEncodeEvent:
+    def test_canonical_form(self):
+        line = encode_event({"b": 1, "a": True, "c": "x"})
+        assert line == '{"a":true,"b":1,"c":"x"}'
+
+    def test_non_json_values_stringified(self):
+        class Opaque:
+            def __str__(self):
+                return "opaque"
+
+        assert json.loads(encode_event({"v": Opaque()}))["v"] == "opaque"
+
+
+class TestEventSink:
+    def test_emit_preserves_order(self):
+        sink = EventSink()
+        sink.emit({"n": 1})
+        sink.emit_many([{"n": 2}, {"n": 3}])
+        assert [e["n"] for e in sink.events] == [1, 2, 3]
+        assert len(sink) == 3
+
+    def test_to_ndjson(self):
+        sink = EventSink()
+        sink.emit({"n": 1})
+        sink.emit({"n": 2})
+        assert sink.to_ndjson() == '{"n":1}\n{"n":2}\n'
+        assert EventSink().to_ndjson() == ""
+
+    def test_take_since_removes_and_returns(self):
+        # The fan-out contract: events emitted after the mark are
+        # shipped back to the merge point and must not stay behind,
+        # or the in-process fallback would double-log them.
+        sink = EventSink()
+        sink.emit({"n": 1})
+        mark = sink.mark()
+        sink.emit({"n": 2})
+        sink.emit({"n": 3})
+        taken = sink.take_since(mark)
+        assert [e["n"] for e in taken] == [2, 3]
+        assert [e["n"] for e in sink.events] == [1]
+        sink.emit_many(taken)
+        assert [e["n"] for e in sink.events] == [1, 2, 3]
+
+    def test_write(self, tmp_path):
+        sink = EventSink()
+        sink.emit({"n": 1})
+        path = sink.write(tmp_path / "events.ndjson")
+        assert path.read_text() == '{"n":1}\n'
+
+
+class TestNullEventSink:
+    def test_inert(self):
+        NULL_SINK.emit({"n": 1})
+        NULL_SINK.emit_many([{"n": 2}])
+        assert NULL_SINK.events == ()
+        assert NULL_SINK.mark() == 0
+        assert NULL_SINK.take_since(0) == []
+        assert NULL_SINK.to_ndjson() == ""
+        assert not NULL_SINK.enabled

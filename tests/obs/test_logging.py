@@ -1,0 +1,58 @@
+"""Tests for the library-safe ``repro`` logger configuration."""
+
+import io
+import logging
+
+import pytest
+
+import repro  # noqa: F401  (import-time NullHandler installation)
+from repro.obs import configure_logging
+
+
+@pytest.fixture
+def clean_logger():
+    logger = logging.getLogger("repro")
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    yield logger
+    logger.handlers = saved_handlers
+    logger.setLevel(saved_level)
+
+
+class TestConfigureLogging:
+    def test_import_installs_null_handler_only(self, clean_logger):
+        # Library convention: importing repro must not print anything
+        # or warn about missing handlers.
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in clean_logger.handlers
+        )
+
+    def test_verbosity_levels(self, clean_logger):
+        assert configure_logging().level == logging.WARNING
+        assert configure_logging(verbose=1).level == logging.INFO
+        assert configure_logging(verbose=2).level == logging.DEBUG
+        assert configure_logging(verbose=5).level == logging.DEBUG
+        assert (
+            configure_logging(quiet=True).level == logging.ERROR
+        )
+
+    def test_messages_reach_the_stream(self, clean_logger):
+        stream = io.StringIO()
+        configure_logging(verbose=1, stream=stream)
+        logging.getLogger("repro.campaign").info("ran %d cells", 4)
+        assert "repro.campaign [INFO] ran 4 cells" in stream.getvalue()
+
+    def test_reinvocation_replaces_handler(self, clean_logger):
+        configure_logging(stream=io.StringIO())
+        configure_logging(stream=io.StringIO())
+        stream_handlers = [
+            h for h in clean_logger.handlers
+            if not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1
+        # The NullHandler stays: the logger remains library-safe.
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in clean_logger.handlers
+        )

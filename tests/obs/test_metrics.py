@@ -1,0 +1,166 @@
+"""Tests for the metrics registry and its exports."""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_memoized_on_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("probes_total", kind="dns-lookup")
+        b = registry.counter("probes_total", kind="dns-lookup")
+        other = registry.counter("probes_total", kind="http-get")
+        assert a is b and a is not other
+        a.inc()
+        a.inc(2)
+        assert b.value == 3
+        assert other.value == 0
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("records_per_s")
+        gauge.set(123.4)
+        assert registry.gauge("records_per_s").value == 123.4
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(buckets=(10.0, 100.0))
+        for value in (1, 10, 11, 1000):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 4
+        assert payload["sum"] == 1022
+        # bisect_left: an observation equal to a bound lands in that
+        # bound's bucket (le semantics).
+        assert payload["buckets"] == {"10.0": 2, "100.0": 1, "+Inf": 1}
+
+
+class TestSnapshots:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("probes_total", kind="dns-lookup").inc(5)
+        registry.counter(
+            "artifact_cache_hits_total", volatile=True
+        ).inc(2)
+        registry.gauge(
+            "campaign_records_per_s", volatile=True,
+            campaign="wan-measure",
+        ).set(99.5)
+        registry.histogram(
+            "shard_merge_records", volatile=True, campaign="dataset"
+        ).observe(250)
+        return registry
+
+    def test_deterministic_snapshot_excludes_volatile(self):
+        snapshot = self._registry().deterministic_snapshot()
+        assert snapshot == {
+            "counters": {'probes_total{kind="dns-lookup"}': 5}
+        }
+
+    def test_volatile_snapshot_is_the_complement(self):
+        registry = self._registry()
+        volatile = registry.volatile_snapshot()
+        assert set(volatile) == {"counters", "gauges", "histograms"}
+        assert volatile["counters"] == {
+            "artifact_cache_hits_total": 2
+        }
+        assert volatile["gauges"] == {
+            'campaign_records_per_s{campaign="wan-measure"}': 99.5
+        }
+        full = registry.snapshot()
+        assert 'probes_total{kind="dns-lookup"}' in full["counters"]
+        assert "artifact_cache_hits_total" in full["counters"]
+
+    def test_snapshot_key_order_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for kind in order:
+                registry.counter("probes_total", kind=kind).inc()
+            return registry.snapshot()
+
+        assert build(["a", "b", "c"]) == build(["c", "b", "a"])
+
+
+class TestCounterDeltas:
+    def test_take_and_apply_round_trip(self):
+        # The shard transport: a worker takes its increments (reverting
+        # them locally, so the in-process fallback can't double-count)
+        # and the parent re-applies them.
+        registry = MetricsRegistry()
+        registry.counter("probes_total", kind="dns-lookup").inc(10)
+        checkpoint = registry.counter_checkpoint()
+        registry.counter("probes_total", kind="dns-lookup").inc(4)
+        registry.counter("probe_retries_total", volatile=True).inc(2)
+        deltas = registry.take_counter_deltas(checkpoint)
+        assert registry.counter("probes_total", kind="dns-lookup").value == 10
+        assert registry.counter("probe_retries_total").value == 0
+
+        registry.apply_counter_deltas(deltas)
+        assert registry.counter("probes_total", kind="dns-lookup").value == 14
+        assert registry.counter("probe_retries_total").value == 2
+        # Volatility rides along with the delta.
+        assert "probe_retries_total" in (
+            registry.volatile_snapshot()["counters"]
+        )
+
+    def test_apply_into_fresh_registry(self):
+        source = MetricsRegistry()
+        checkpoint = source.counter_checkpoint()
+        source.counter("probes_total", kind="tcp-ping").inc(3)
+        deltas = source.take_counter_deltas(checkpoint)
+
+        target = MetricsRegistry()
+        target.apply_counter_deltas(deltas)
+        assert target.counter("probes_total", kind="tcp-ping").value == 3
+
+
+class TestPrometheusRendering:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("probes_total", kind="dns-lookup").inc(7)
+        registry.counter("probes_total", kind="http-get").inc(3)
+        registry.gauge("records_per_s").set(10.5)
+        text = registry.render_prometheus()
+        assert "# TYPE probes_total counter" in text
+        assert 'probes_total{kind="dns-lookup"} 7' in text
+        assert 'probes_total{kind="http-get"} 3' in text
+        assert "# TYPE records_per_s gauge" in text
+        assert "records_per_s 10.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("sizes", buckets=(10.0, 100.0))
+        for value in (5, 50, 500):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert "# TYPE sizes histogram" in text
+        assert 'sizes_bucket{le="10"} 1' in text
+        assert 'sizes_bucket{le="100"} 2' in text
+        assert 'sizes_bucket{le="+Inf"} 3' in text
+        assert "sizes_sum 555" in text
+        assert "sizes_count 3" in text
+
+    def test_rendering_is_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for kind in order:
+                registry.counter("probes_total", kind=kind).inc()
+            registry.gauge("alpha").set(1)
+            return registry.render_prometheus()
+
+        assert build(["b", "a"]) == build(["a", "b"])
+
+
+class TestNullMetrics:
+    def test_every_operation_is_inert(self):
+        instrument = NULL_METRICS.counter("x", volatile=True, a="b")
+        instrument.inc(100)
+        instrument.set(5.0)
+        instrument.observe(3.0)
+        assert instrument.value == 0
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.deterministic_snapshot() == {}
+        assert NULL_METRICS.render_prometheus() == ""

@@ -1,0 +1,123 @@
+"""Tests for the hierarchical tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import NOOP
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_nesting_follows_dynamic_scope(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="stage"):
+            with tracer.span("inner", category="dataset-step"):
+                pass
+            with tracer.span("sibling", category="dataset-step"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [s.name for s in outer.children] == ["inner", "sibling"]
+        assert all(
+            s.duration_s is not None for s in tracer.walk()
+        )
+
+    def test_span_times_are_monotone(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.roots
+        assert a.start_s <= b.start_s
+        assert a.duration_s >= 0.0 and b.duration_s >= 0.0
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(RuntimeError):
+            outer.__exit__(None, None, None)
+
+    def test_meta_captured(self):
+        tracer = Tracer()
+        with tracer.span("campaign", category="campaign", rounds=24):
+            pass
+        assert tracer.roots[0].meta == {"rounds": 24}
+
+    def test_record_attaches_synthetic_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.record(
+                "enumerate", category="dataset-step", seconds=1.5,
+                shards=4,
+            )
+        child = tracer.roots[0].children[0]
+        assert child.duration_s == 1.5
+        assert child.meta["synthetic"] is True
+        assert child.meta["shards"] == 4
+
+    def test_seconds_by_name_totals_per_category(self):
+        tracer = Tracer()
+        tracer.record("enumerate", category="dataset-step", seconds=1.0)
+        tracer.record("enumerate", category="dataset-step", seconds=0.5)
+        tracer.record("filter", category="dataset-step", seconds=0.25)
+        tracer.record("world", category="stage", seconds=9.0)
+        assert tracer.seconds_by_name("dataset-step") == {
+            "enumerate": 1.5, "filter": 0.25
+        }
+        assert tracer.seconds_by_name("stage") == {"world": 9.0}
+        assert tracer.seconds_by_name("campaign") == {}
+
+    def test_render_tree(self):
+        tracer = Tracer()
+        with tracer.span("dataset", category="stage"):
+            tracer.record(
+                "enumerate", category="dataset-step", seconds=0.002
+            )
+        text = tracer.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("[stage] dataset")
+        assert lines[1].startswith("  [dataset-step] enumerate")
+        # The synthetic marker is housekeeping, not display.
+        assert "synthetic" not in text
+
+    def test_chrome_trace_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", category="stage", depth=1):
+            pass
+        payload = tracer.chrome_trace()
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "outer"
+        assert event["cat"] == "stage"
+        assert event["args"] == {"depth": 1}
+        assert isinstance(event["ts"], int)
+        out = tracer.write_chrome(tmp_path / "trace.json")
+        assert json.loads(out.read_text()) == payload
+
+    def test_open_spans_excluded_from_exports(self):
+        tracer = Tracer()
+        tracer.span("never-closed")
+        assert tracer.chrome_trace()["traceEvents"] == []
+        assert tracer.seconds_by_name("") == {}
+
+
+class TestNullTracer:
+    def test_shared_scope_is_reusable_and_inert(self):
+        tracer = NullTracer()
+        scope_a = tracer.span("a", category="stage", extra=1)
+        scope_b = tracer.span("b")
+        assert scope_a is scope_b
+        with scope_a:
+            with scope_b:
+                pass
+        assert tracer.roots == ()
+        assert tracer.render_tree() == ""
+        assert tracer.chrome_trace() == {"traceEvents": []}
+        assert tracer.seconds_by_name("stage") == {}
+
+    def test_noop_aggregate_uses_null_tracer(self):
+        assert NOOP.tracer is NULL_TRACER
+        assert not NOOP.enabled
