@@ -10,16 +10,27 @@ runs (or two revisions, or two worker counts) can be compared for
 bit-identical results as well as speed.  Usage:
 
     PYTHONPATH=src python scripts/profile_pipeline.py \
+        [--scale seed|mid|paper] \
         [--seed S] [--domains N] [--wan-rounds R] [--workers W] \
         [--verify-workers "0,2,4"] [--repeat K] \
+        [--no-columnar | --compare-scalar] \
         [--cache-dir DIR | --no-cache-check] [--out BENCH_pipeline.json]
 
+``--scale`` picks a domain-count tier — ``seed`` (2.5k, the committed
+bench), ``mid`` (100k), ``paper`` (1M, the paper's top-1M crawl) — and
+a matching default ``--out`` file, so each tier keeps its own
+trajectory; explicit ``--domains``/``--out`` override the tier.
 ``--workers`` drives both parallel campaigns (dataset shards and WAN
 rounds).  ``--verify-workers`` re-runs the whole pipeline per worker
-count and fails unless every digest agrees.  Unless ``--no-cache-check``
-is given, the script also runs the pipeline twice through the artifact
-cache — a cold run that populates it and a warm run that must be served
-entirely from it — and fails unless both match the uncached digests.
+count and fails unless every digest agrees.  ``--no-columnar`` runs
+the whole pipeline with the columnar data plane disabled (the scalar
+reference paths); ``--compare-scalar`` additionally runs that scalar
+pipeline after the main one, fails unless every digest is identical,
+and records per-stage scalar-vs-columnar speedups.  Unless
+``--no-cache-check`` is given, the script also runs the pipeline twice
+through the artifact cache — a cold run that populates it and a warm
+run that must be served entirely from it — and fails unless both match
+the uncached digests.
 
 With ``--repeat K`` each stage's reported time is the best of K full
 pipeline runs (the digests must agree across runs, and do — caching is
@@ -43,6 +54,7 @@ import hashlib
 import json
 import os
 import platform
+import resource
 import shutil
 import sys
 import tempfile
@@ -53,6 +65,7 @@ from repro.analysis.wan import WanAnalysis, WanConfig
 from repro.artifacts import ArtifactStore
 from repro.artifacts.keys import code_fingerprint
 from repro.experiments.context import ExperimentContext
+from repro.flags import set_columnar_enabled
 from repro.obs import Observability
 from repro.sim import set_rng_observer
 from repro.world import World, WorldConfig
@@ -60,6 +73,28 @@ from repro.world import World, WorldConfig
 #: A stage must slow down by more than this (vs the committed bench)
 #: before the script warns about it.
 REGRESSION_THRESHOLD = 0.20
+
+#: Domain-count tiers: the committed seed bench, a mid tier for CI
+#: speedup gates, and the paper's full top-1M crawl.  Each tier keeps
+#: its own bench file (and therefore its own trajectory history).
+SCALES = {
+    "seed": {"domains": 2_500, "out": "BENCH_pipeline.json"},
+    "mid": {"domains": 100_000, "out": "BENCH_pipeline_mid.json"},
+    "paper": {"domains": 1_000_000, "out": "BENCH_pipeline_paper.json"},
+}
+
+
+def _peak_rss_kib() -> int:
+    """The process's lifetime peak RSS, in KiB.
+
+    ``ru_maxrss`` is a monotonic high-water mark (KiB on Linux, bytes
+    on macOS), so sampling it after each stage attributes the first
+    peak to the stage that caused it.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return peak
 
 
 def _digest(obj) -> str:
@@ -100,11 +135,10 @@ def _wan_digests(wan: WanAnalysis) -> dict:
 
 
 def _trace_digest(trace) -> dict:
-    return {
-        "trace": _digest(
-            (len(trace.flows), sum(f.total_bytes for f in trace.flows))
-        )
-    }
+    # len()/total_bytes() are columnar-reduction methods on a
+    # ColumnarTrace and plain loops on a scalar Trace; the values (and
+    # so the digest) are identical, without materializing row objects.
+    return {"trace": _digest((len(trace), trace.total_bytes()))}
 
 
 def _isp_digest(isp: dict) -> dict:
@@ -125,23 +159,31 @@ def _isp_digest(isp: dict) -> dict:
 
 def run_once(
     seed: int, domains: int, wan_rounds: int, workers: int,
-    collect_events: bool = False,
+    collect_events: bool = False, columnar: bool = True,
 ) -> dict:
     """One full pipeline run: tracer-derived stage timings plus output
-    digests (and the run's :class:`~repro.obs.Observability` plane)."""
+    digests (and the run's :class:`~repro.obs.Observability` plane).
+
+    ``columnar=False`` forces the scalar reference paths for the whole
+    run — outputs must be bit-identical either way."""
     obs = Observability.collecting(events=collect_events)
     tracer = obs.tracer
     previous_observer = obs.install_rng_counter()
+    previous_columnar = set_columnar_enabled(columnar)
+    rss = {}
     try:
         with tracer.span("world", category="stage"):
             world = World(WorldConfig(seed=seed, num_domains=domains))
+        rss["world"] = _peak_rss_kib()
 
         with tracer.span("dataset", category="stage"):
             builder = DatasetBuilder(world, obs=obs)
             dataset = builder.build(workers=workers)
+        rss["dataset"] = _peak_rss_kib()
 
         with tracer.span("capture", category="stage"):
             trace = world.capture_trace()
+        rss["capture"] = _peak_rss_kib()
 
         wan = WanAnalysis(
             world, WanConfig(rounds=wan_rounds, workers=workers),
@@ -149,10 +191,13 @@ def run_once(
         )
         with tracer.span("wan", category="stage"):
             wan._measure()
+        rss["wan"] = _peak_rss_kib()
 
         with tracer.span("traceroute", category="stage"):
             isp = wan.isp_diversity()
+        rss["traceroute"] = _peak_rss_kib()
     finally:
+        set_columnar_enabled(previous_columnar)
         set_rng_observer(previous_observer)
 
     timings = {
@@ -171,6 +216,7 @@ def run_once(
         "dataset_steps": tracer.seconds_by_name("dataset-step"),
         "campaigns": tracer.seconds_by_name("campaign"),
         "digests": digests,
+        "rss_peak_kib": rss,
         "obs": obs,
     }
 
@@ -240,8 +286,16 @@ def cache_check(args, expected_digests: dict) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="seed",
+        help="domain-count tier: seed=2.5k (committed bench), mid=100k, "
+             "paper=1M; picks a matching default --out",
+    )
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--domains", type=int, default=2500)
+    parser.add_argument(
+        "--domains", type=int, default=None,
+        help="override the tier's domain count",
+    )
     parser.add_argument("--wan-rounds", type=int, default=24)
     parser.add_argument(
         "--workers", type=int, default=0,
@@ -266,7 +320,20 @@ def main() -> int:
         "--no-cache-check", action="store_true",
         help="skip the cold-vs-warm artifact-cache runs",
     )
-    parser.add_argument("--out", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="disable the columnar data plane (scalar reference paths)",
+    )
+    parser.add_argument(
+        "--compare-scalar", action="store_true",
+        help="also run the scalar pipeline, fail unless its digests "
+             "match, and record per-stage speedups",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="bench JSON file (default: the tier's file, e.g. "
+             "BENCH_pipeline.json for --scale seed)",
+    )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
         help="earlier BENCH_pipeline.json to compute a speedup against "
@@ -292,12 +359,19 @@ def main() -> int:
         help="write the first run's probe-level NDJSON event log",
     )
     args = parser.parse_args()
+    if args.domains is None:
+        args.domains = SCALES[args.scale]["domains"]
+    if args.out is None:
+        args.out = SCALES[args.scale]["out"]
+    if args.no_columnar and args.compare_scalar:
+        parser.error("--compare-scalar is meaningless with --no-columnar")
 
+    columnar = not args.no_columnar
     collect_events = bool(args.events_out)
     runs = [
         run_once(
             args.seed, args.domains, args.wan_rounds, args.workers,
-            collect_events=collect_events,
+            collect_events=collect_events, columnar=columnar,
         )
         for _ in range(args.repeat)
     ]
@@ -351,7 +425,9 @@ def main() -> int:
     )
     entry = {
         "fingerprint": code_fingerprint()[:12],
+        "scale": args.scale,
         "timings_s": best,
+        "rss_peak_kib": runs[0]["rss_peak_kib"],
     }
     if (
         trajectory
@@ -363,11 +439,13 @@ def main() -> int:
 
     report = {
         "bench": {
+            "scale": args.scale,
             "seed": args.seed,
             "domains": args.domains,
             "wan_rounds": args.wan_rounds,
             "workers": args.workers,
             "repeat": args.repeat,
+            "columnar": columnar,
         },
         "host": {
             "python": platform.python_version(),
@@ -377,9 +455,34 @@ def main() -> int:
         "timings_s": best,
         "dataset_steps_s": dataset_steps,
         "campaigns_s": campaigns,
+        "rss_peak_kib": runs[0]["rss_peak_kib"],
         "digests": digests,
         "trajectory": trajectory,
     }
+
+    if args.compare_scalar:
+        scalar = run_once(
+            args.seed, args.domains, args.wan_rounds, args.workers,
+            collect_events=collect_events, columnar=False,
+        )
+        if scalar["digests"] != digests:
+            raise SystemExit(
+                "scalar pipeline digests differ from columnar: "
+                f"{scalar['digests']} vs {digests}"
+            )
+        scalar_times = {
+            key: round(value, 3)
+            for key, value in scalar["timings"].items()
+        }
+        report["scalar_comparison"] = {
+            "timings_s": scalar_times,
+            "outputs_identical": True,
+            "speedup": {
+                key: round(scalar["timings"][key] / best[key], 2)
+                for key in best
+                if best[key] > 0
+            },
+        }
 
     if args.verify_workers:
         counts = [int(part) for part in args.verify_workers.split(",")]
@@ -388,7 +491,7 @@ def main() -> int:
                 continue
             other = run_once(
                 args.seed, args.domains, args.wan_rounds, count,
-                collect_events=collect_events,
+                collect_events=collect_events, columnar=columnar,
             )
             if other["digests"] != digests:
                 raise SystemExit(

@@ -1,6 +1,32 @@
 """Setup shim so editable installs work offline (no wheel package
-available for PEP 660 builds); configuration lives in pyproject.toml."""
+available for PEP 660 builds); configuration lives in pyproject.toml.
 
-from setuptools import setup
+Runtime dependencies are declared once, in ``[project] dependencies``.
+Setuptools >= 61 reads them from pyproject.toml itself (and warns if
+``install_requires`` is also passed); older setuptools ignores the
+``[project]`` table entirely, so for those we re-read the list here and
+pass it through — keeping ``pip install .`` on legacy toolchains in
+sync with the pyproject declaration instead of silently dropping numpy.
+"""
 
-setup()
+import os
+
+import setuptools
+
+
+def _pyproject_dependencies():
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: mirror the declared list.
+        return ["numpy"]
+    path = os.path.join(os.path.dirname(__file__), "pyproject.toml")
+    with open(path, "rb") as fh:
+        return tomllib.load(fh)["project"]["dependencies"]
+
+
+_kwargs = {}
+_major = int(setuptools.__version__.split(".")[0])
+if _major < 61:
+    _kwargs["install_requires"] = _pyproject_dependencies()
+
+setuptools.setup(**_kwargs)

@@ -18,6 +18,7 @@ The pipeline:
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -26,6 +27,7 @@ from repro.campaign.probes import DnsLookupCampaign
 from repro.dns.enumeration import SubdomainEnumerator
 from repro.dns.records import RRType
 from repro.faults.scenarios import OutageScenario
+from repro.flags import columnar_runtime_enabled
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
 from repro.obs import NOOP, Observability
@@ -206,6 +208,9 @@ class DatasetBuilder:
         other_cdn maps domains to subdomains whose CNAME chain names a
         CDN outside the clouds.
         """
+        fast = self._classify_columnar(discovered)
+        if fast is not None:
+            return fast
         vantage = self.world.dns_vantages()[0]
         resolver = self.world.resolver_for(vantage)
         recorder = self._recorder
@@ -232,6 +237,84 @@ class DatasetBuilder:
                     other_cdn.setdefault(domain, []).append(fqdn)
         return cloud_using, cloudfront_using, other_cdn
 
+    def _classify_columnar(self, discovered: Dict[str, List[str]]):
+        """Vectorized :meth:`filter_cloud_using` body, or None.
+
+        Runs the exact same digs in the exact same order (digs write
+        caches and advance rotation counters, so they cannot move),
+        then classifies every answered address in one batched
+        ``searchsorted`` per range table instead of two bisects per
+        address.  Unavailable (None) when the columnar plane is off or
+        NumPy is absent.
+        """
+        if not columnar_runtime_enabled():
+            return None
+        try:
+            import numpy as np
+
+            from repro.columnar.dataset import (
+                prefix_membership,
+                segment_any,
+            )
+        except ImportError:
+            return None
+        vantage = self.world.dns_vantages()[0]
+        resolver = self.world.resolver_for(vantage)
+        recorder = self._recorder
+        index = self.world.dns.static_index
+        n_static = 0
+        rows: List[Tuple[str, str, List[str]]] = []
+        values: List[int] = []
+        bounds_lo: List[int] = []
+        bounds_hi: List[int] = []
+        for domain, subdomains in discovered.items():
+            for fqdn in subdomains:
+                # Static fqdns read the shared index memo instead of a
+                # full dig: the values are identical (whether the
+                # scalar dig would have hit the resolver cache or
+                # re-resolved), nothing rotates, the recorder is
+                # provably a no-op, and the skipped cache write is
+                # value-neutral (see the enumeration screening path).
+                memo = (
+                    index.peek(fqdn, RRType.A, resolver)
+                    if index is not None else None
+                )
+                if memo is not None:
+                    n_static += 1
+                    response = memo
+                else:
+                    response = resolver.dig(fqdn)
+                    if recorder is not None:
+                        recorder.note_cached_dig(
+                            vantage.name, fqdn, response
+                        )
+                bounds_lo.append(len(values))
+                values.extend(a.value for a in response.addresses)
+                bounds_hi.append(len(values))
+                rows.append((domain, fqdn, response.chain))
+        resolver.query_count += n_static
+        value_arr = np.asarray(values, dtype=np.int64)
+        lo = np.asarray(bounds_lo, dtype=np.int64)
+        hi = np.asarray(bounds_hi, dtype=np.int64)
+        in_cloud = segment_any(
+            prefix_membership(self._cloud_membership, value_arr), lo, hi
+        )
+        in_cloudfront = segment_any(
+            prefix_membership(self.ranges["cloudfront"], value_arr),
+            lo, hi,
+        )
+        cloud_using: List[Tuple[str, str]] = []
+        cloudfront_using: List[Tuple[str, str]] = []
+        other_cdn: Dict[str, List[str]] = {}
+        for i, (domain, fqdn, chain) in enumerate(rows):
+            if in_cloud[i]:
+                cloud_using.append((domain, fqdn))
+            elif in_cloudfront[i]:
+                cloudfront_using.append((domain, fqdn))
+            elif any("cdn" in cname for cname in chain):
+                other_cdn.setdefault(domain, []).append(fqdn)
+        return cloud_using, cloudfront_using, other_cdn
+
     # -- step 3: distributed lookups --------------------------------------------
 
     def distributed_lookups(
@@ -246,6 +329,9 @@ class DatasetBuilder:
         :class:`SubdomainRecord` accumulators.
         """
         targets = list(cloud_using)
+        fast = self._lookups_columnar(targets)
+        if fast is not None:
+            return fast
         campaign = DnsLookupCampaign(
             self.world, targets, recorder=self._recorder
         )
@@ -271,6 +357,91 @@ class DatasetBuilder:
                 record.addresses.update(response.addresses)
                 record.cnames.update(response.chain)
             records.append(record)
+        return records
+
+    def _lookups_columnar(
+        self, targets: List[Tuple[str, str]]
+    ) -> Optional[List[SubdomainRecord]]:
+        """Static-name bypass for :meth:`distributed_lookups`, or None.
+
+        A provably static fqdn (see :mod:`repro.dns.staticindex`)
+        answers identically from every vantage at every time, so its
+        V fresh digs collapse to one shared resolution: the record is
+        built directly from the memo, per-resolver query counters are
+        advanced in one batched add, and — inside shard workers — the
+        recorder provably never flags it (a static chain cannot
+        terminate on a shared dynamic name).  Dynamic-reaching fqdns
+        keep the exact per-vantage dig sequence, so rotation counters
+        and caches evolve as in the engine run.  The engine's
+        campaign span and probe metrics are emulated; a live probe
+        event sink needs the real per-probe engine loop, so the
+        bypass declines (returns None) and the caller falls through.
+        """
+        if not columnar_runtime_enabled() or self.obs.events.enabled:
+            return None
+        index = self.world.dns.static_index
+        if index is None:
+            return None
+        start = time.perf_counter()
+        vantages = self.world.dns_vantages()
+        resolvers = [self.world.resolver_for(v) for v in vantages]
+        recorder = self._recorder
+        rank_of = self.world.alexa.rank_of
+        records: List[SubdomainRecord] = []
+        n_static = 0
+        with self.obs.tracer.span(
+            "dns-lookup",
+            category="campaign",
+            rounds=1,
+            vantages=len(vantages),
+            targets=len(targets),
+            workers=0,
+        ):
+            for position, (domain, fqdn) in enumerate(targets):
+                record = SubdomainRecord(
+                    fqdn=fqdn, domain=domain, rank=rank_of(domain)
+                )
+                records.append(record)
+                if not resolvers:
+                    continue
+                memo = index.peek(fqdn, RRType.A, resolvers[0])
+                if memo is not None:
+                    n_static += 1
+                    record.lookups = len(resolvers)
+                    record.addresses.update(memo.addresses)
+                    record.cnames.update(memo.chain)
+                    continue
+                for vantage, resolver in zip(vantages, resolvers):
+                    response = resolver.dig(fqdn, fresh=True)
+                    withheld = (
+                        recorder is not None
+                        and recorder.note_lookup(
+                            position, vantage.name, fqdn, response
+                        )
+                    )
+                    record.lookups += 1
+                    if withheld:
+                        record.cnames.update(response.chain)
+                        continue
+                    record.addresses.update(response.addresses)
+                    record.cnames.update(response.chain)
+        if n_static:
+            for resolver in resolvers:
+                resolver.query_count += n_static
+        elapsed = time.perf_counter() - start
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            n_records = len(vantages) * len(targets)
+            if n_records:
+                metrics.counter(
+                    "probes_total", kind="dns-lookup"
+                ).inc(n_records)
+            if elapsed > 0:
+                metrics.gauge(
+                    "campaign_records_per_s",
+                    campaign="dns-lookup",
+                    volatile=True,
+                ).set(n_records / elapsed)
         return records
 
     # -- step 4: the NS survey ------------------------------------------------------

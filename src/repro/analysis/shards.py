@@ -49,7 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.campaign.fanout import fork_map, partition
+from repro.campaign.fanout import fork_map, partition, partition_weighted
 from repro.dns.records import DnsResponse, RRType
 from repro.net.ipv4 import IPv4Address
 
@@ -198,6 +198,26 @@ def partition_ranks(count: int, shards: int) -> List[Tuple[int, int]]:
     return partition(count, shards)
 
 
+def partition_sites(sites, infra, shards: int) -> List[Tuple[int, int]]:
+    """Work-balanced contiguous rank slices for a site list.
+
+    Equal-count slices skew badly at paper scale: an AXFR-able domain's
+    shard enumerates, filters, and digs every name in its zone, while a
+    wordlist-only domain costs a near-constant screening pass — so a
+    handful of large zones can serialize the whole fan-out behind one
+    worker.  Each site is weighted by its own zone's name count (one
+    registry probe, no digs, no side effects), and the cut points come
+    from :func:`repro.campaign.fanout.partition_weighted`.  Boundaries
+    only affect scheduling — any contiguous partition merges
+    bit-identically — so this is pure wall-clock balance.
+    """
+    weights = []
+    for site in sites:
+        zone = infra.get_zone(site.domain)
+        weights.append(1 + (len(zone.names()) if zone is not None else 0))
+    return partition_weighted(weights, shards)
+
+
 def _build_shard(
     builder,
     bounds: List[Tuple[int, int]],
@@ -295,7 +315,7 @@ def build_sharded(builder, workers: int):
 
     world = builder.world
     sites = world.alexa.sites
-    bounds = partition_ranks(len(sites), workers)
+    bounds = partition_sites(sites, world.dns, workers)
 
     setup_start = time.perf_counter()
     shared = world.dns.shared_dynamic_names(

@@ -194,6 +194,32 @@ class WanAnalysis:
             pings_per_round=self.config.pings_per_round,
         )
 
+    def _columnar_measure(self) -> bool:
+        """Run the batched matrix fill when it is engine-equivalent.
+
+        The columnar path reproduces the plain campaign bit for bit
+        (matrices, stream positions, span and deterministic metrics) —
+        see :mod:`repro.columnar.wan` — but it does not model outage
+        scenarios, non-default probe policies, or per-record event
+        emission, so any of those falls back to the engine.  Worker
+        fan-out is ignored on purpose: the engine's sharding is
+        bit-identical to sequential, and the batched fill outruns it.
+        """
+        if self.scenario is not None or self.obs.events.enabled:
+            return False
+        if self.policy is not None and not self.policy.is_default:
+            return False
+        from repro.flags import columnar_runtime_enabled
+
+        if not columnar_runtime_enabled():
+            return False
+        try:
+            from repro.columnar.wan import measure_columnar
+        except ImportError:
+            return False
+        measure_columnar(self)
+        return True
+
     def _measure(self) -> None:
         """Fill the latency and throughput matrices.
 
@@ -204,6 +230,10 @@ class WanAnalysis:
         matrices are bit-identical to a sequential campaign.
         """
         if self._latency is not None:
+            return
+        if self._columnar_measure():
+            if self.on_measured is not None:
+                self.on_measured(self._latency, self._throughput)
             return
         campaign = self._campaign()
         result = self._engine().run(campaign, workers=self.config.workers)

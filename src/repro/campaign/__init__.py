@@ -12,7 +12,7 @@ bit-identical to sequential execution for any worker count.
 """
 
 from repro.campaign.engine import CampaignEngine, CellContext, GridCampaign
-from repro.campaign.fanout import fork_map, partition
+from repro.campaign.fanout import fork_map, partition, partition_weighted
 from repro.campaign.model import (
     CampaignResult,
     ProbeKind,
@@ -40,4 +40,5 @@ __all__ = [
     "WanMeasurementCampaign",
     "fork_map",
     "partition",
+    "partition_weighted",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capture.flow import FlowRecord, Trace
 from repro.dns.resolver import StubResolver
+from repro.flags import columnar_runtime_enabled
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
 from repro.sampling import WeightedChooser
@@ -218,6 +219,15 @@ class CaptureGenerator:
     # -- generation -----------------------------------------------------------
 
     def generate(self, domains: Sequence[TrafficDomain]) -> Trace:
+        if columnar_runtime_enabled():
+            try:
+                from repro.columnar.capture import generate_columnar
+            except ImportError:
+                pass  # NumPy absent: the scalar path below is complete
+            else:
+                # Bit-identical draws and ordering; see
+                # repro.columnar.capture.
+                return generate_columnar(self, domains)
         trace = Trace()
         for provider in ("ec2", "azure"):
             cloud_bytes = self.config.total_bytes * CLOUD_BYTE_SPLIT[provider]

@@ -1,0 +1,49 @@
+"""Vectorized classification for the §2.1 dataset filter.
+
+The filter step digs every discovered subdomain (stateful, order-
+preserving — digs write caches and advance rotation counters) and then
+classifies each answer's addresses against the EC2/Azure and
+CloudFront :class:`~repro.net.prefixset.PrefixSet` tables.  The digs
+cannot be batched; the classification can.  :func:`prefix_membership`
+is ``PrefixSet.__contains__`` over a whole address array — the same
+``bisect_right(starts) - 1`` index arithmetic via ``np.searchsorted``,
+so every boolean is bit-identical to the scalar bisect — and
+:func:`segment_any` folds the flat per-address booleans back into
+per-response ``any(...)`` results with one cumulative sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.prefixset import PrefixSet
+
+
+def prefix_membership(prefixes: PrefixSet, values: np.ndarray) -> (
+    np.ndarray
+):
+    """Boolean membership of each address value in ``prefixes``.
+
+    ``values`` is an int64 array of IPv4 address integers.  Matches
+    ``value in prefixes`` element-wise: ``searchsorted(side="right")``
+    is exactly ``bisect_right``, and the interval check compares
+    against the merged ``_ends`` table the scalar path uses.
+    """
+    starts = prefixes._starts
+    if not starts:
+        return np.zeros(len(values), dtype=bool)
+    start_arr = np.asarray(starts, dtype=np.int64)
+    end_arr = np.asarray(prefixes._ends, dtype=np.int64)
+    idx = np.searchsorted(start_arr, values, side="right") - 1
+    inside = idx >= 0
+    safe = np.where(inside, idx, 0)
+    return inside & (values <= end_arr[safe])
+
+
+def segment_any(
+    mask: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Per-segment ``any(mask[lo[i]:hi[i]])`` (empty segments → False)."""
+    csum = np.zeros(len(mask) + 1, dtype=np.int64)
+    np.cumsum(mask, out=csum[1:])
+    return (csum[hi] - csum[lo]) > 0

@@ -17,6 +17,7 @@ from repro.dns.infrastructure import DnsInfrastructure
 from repro.dns.records import RRType, normalize_name
 from repro.dns.resolver import StubResolver
 from repro.dns.zone import TransferRefused
+from repro.flags import columnar_runtime_enabled
 
 #: Labels from dnsmap's built-in wordlist plus knock's, trimmed to the
 #: entries that matter for web-service front ends.  The workload
@@ -108,6 +109,47 @@ class SubdomainEnumerator:
         resolver = self.resolver
         infra = self.infra
         domain_zone = infra.zone_for(domain)
+        wordlist = self.wordlist
+        if columnar_runtime_enabled() and len(set(wordlist)) == len(
+            wordlist
+        ):
+            # Screen the whole domain at once: the labels that would
+            # pass the per-candidate zone check are a set intersection
+            # with the wordlist, so misses never even compose their
+            # candidate string.  A wordlist with duplicates would dig
+            # a hit more than once (rotating its answers), so only a
+            # duplicate-free list takes this path.
+            present = self._present_labels(domain, domain_zone)
+            hits = [word for word in wordlist if word in present]
+            index = infra.static_index
+            skipped = 0
+            for word in hits:
+                candidate = f"{word}.{domain}"
+                if index is not None and index.is_static(
+                    candidate, RRType.A
+                ):
+                    # A screening hit *is* ``exists`` (answers can only
+                    # come from a zone carrying the name), and a static
+                    # dig has no other observable effect: nothing
+                    # rotates, the shard recorder is provably a no-op
+                    # (a static chain cannot end on a shared dynamic
+                    # name), and the TTL'd cache write is value-neutral
+                    # — any later non-fresh dig re-resolves to the
+                    # identical answer through the index memo at
+                    # cache-hit cost.  So only the query counter
+                    # advances.
+                    skipped += 1
+                    result.subdomains.append(candidate)
+                    continue
+                response = resolver.dig(candidate, RRType.A)
+                if self.dig_observer is not None:
+                    self.dig_observer(resolver, candidate, response)
+                if response.exists:
+                    result.subdomains.append(candidate)
+            resolver.query_count += len(wordlist) - len(hits) + skipped
+            result.queries_issued = len(wordlist)
+            result.subdomains.sort()
+            return result
         for word in self.wordlist:
             # Wordlist labels and the normalized domain compose to an
             # already-normalized candidate one label below ``domain``.
@@ -125,6 +167,31 @@ class SubdomainEnumerator:
                 result.subdomains.append(candidate)
         result.subdomains.sort()
         return result
+
+    def _present_labels(self, domain, domain_zone) -> set:
+        """Labels whose ``label.domain`` passes the screening check.
+
+        Exactly the per-candidate condition: a zone registered at the
+        candidate decides membership by itself (it shadows the parent
+        zone in ``child_zone_for``); otherwise the candidate must be a
+        name in ``domain_zone``.  One label below means the extracted
+        label never contains a dot.
+        """
+        suffix = "." + domain
+        cut = len(suffix)
+        present: set = set()
+        shadowed: set = set()
+        for label, zone in self.infra.child_zones_below(domain).items():
+            shadowed.add(label)
+            if label + suffix in zone:
+                present.add(label)
+        if domain_zone is not None:
+            for name in domain_zone.names():
+                if name.endswith(suffix):
+                    label = name[:-cut]
+                    if "." not in label and label not in shadowed:
+                        present.add(label)
+        return present
 
     def enumerate(self, domain: str) -> EnumerationResult:
         """AXFR if the zone permits it, wordlist brute force otherwise."""

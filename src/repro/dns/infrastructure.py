@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dns.records import RRType, ResourceRecord, normalize_name, parent_of
 from repro.dns.zone import Zone
+from repro.flags import columnar_runtime_enabled
 from repro.net.ipv4 import IPv4Address
 
 
@@ -41,6 +42,21 @@ class DnsInfrastructure:
         self._zones: Dict[str, Zone] = {}
         self._nameservers: Dict[str, NameServer] = {}
         self._zone_cache: Dict[str, Optional[Zone]] = {}
+        #: Bumped on any zone registration or record mutation; derived
+        #: indexes compare against it to invalidate lazily.
+        self.topology_version = 0
+        self._children_index: Dict[str, Dict[str, Zone]] = {}
+        self._children_version = -1
+        self.static_index = None
+        if columnar_runtime_enabled():
+            # Pure-Python accelerator (no NumPy requirement); see
+            # repro.dns.staticindex for the staticness proof.
+            from repro.dns.staticindex import StaticResolutionIndex
+
+            self.static_index = StaticResolutionIndex(self)
+
+    def _bump_topology(self) -> None:
+        self.topology_version += 1
 
     # -- registration -------------------------------------------------
 
@@ -48,6 +64,8 @@ class DnsInfrastructure:
         if zone.origin in self._zones:
             raise ValueError(f"zone {zone.origin} already registered")
         self._zones[zone.origin] = zone
+        zone._on_change = self._bump_topology
+        self._bump_topology()
         # A new zone can be more specific than a cached suffix match
         # (or turn a cached miss into a hit), so drop the memo wholesale.
         self._zone_cache.clear()
@@ -98,6 +116,26 @@ class DnsInfrastructure:
         """
         zone = self._zones.get(name)
         return zone if zone is not None else parent_zone
+
+    def child_zones_below(self, parent: str) -> Dict[str, Zone]:
+        """``label -> zone`` for zones registered one label below
+        ``parent`` (which must be normalized).
+
+        Lazily indexed over all zone origins and rebuilt whenever the
+        topology version moves; wordlist enumeration uses it to screen
+        a whole domain's candidates by set intersection instead of one
+        registry probe per wordlist entry.
+        """
+        if self._children_version != self.topology_version:
+            index: Dict[str, Dict[str, Zone]] = {}
+            for origin, zone in self._zones.items():
+                above = parent_of(origin)
+                if above is not None:
+                    label = origin[: -(len(above) + 1)]
+                    index.setdefault(above, {})[label] = zone
+            self._children_index = index
+            self._children_version = self.topology_version
+        return self._children_index.get(parent, {})
 
     def zones(self) -> List[Zone]:
         return list(self._zones.values())

@@ -103,6 +103,20 @@ class StubResolver:
         return response
 
     def _resolve(self, qname: str, rtype: RRType) -> DnsResponse:
+        # Provably-static names share one resolution across all
+        # vantages via the infrastructure's index (when attached); the
+        # index declines dynamic-reaching names, which fall through to
+        # the real walk below in exact sequential order.
+        index = self.infra.static_index
+        if index is not None:
+            # qname is already normalized here, so peek directly; the
+            # copy hands the caller a privately owned response.
+            memo = index.peek(qname, rtype, self)
+            if memo is not None:
+                return _copy_response(memo)
+        return self._resolve_uncached(qname, rtype)
+
+    def _resolve_uncached(self, qname: str, rtype: RRType) -> DnsResponse:
         response = DnsResponse(qname=qname, qtype=rtype)
         infra = self.infra
         # One suffix walk for the whole query: the qname's zone also
@@ -162,13 +176,15 @@ class StubResolver:
 
 
 def _copy_response(response: DnsResponse) -> DnsResponse:
+    # Positional: called once or twice per dig, so the keyword-argument
+    # overhead of the dataclass constructor is measurable at scale.
     return DnsResponse(
-        qname=response.qname,
-        qtype=response.qtype,
-        exists=response.exists,
-        chain=list(response.chain),
-        addresses=list(response.addresses),
-        ns_names=list(response.ns_names),
-        from_cache=response.from_cache,
-        ttl=response.ttl,
+        response.qname,
+        response.qtype,
+        response.exists,
+        list(response.chain),
+        list(response.addresses),
+        list(response.ns_names),
+        response.from_cache,
+        response.ttl,
     )

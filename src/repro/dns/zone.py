@@ -51,6 +51,15 @@ class Zone:
         self._dynamic: Dict[str, DynamicName] = {}
         self._query_counts: Dict[str, int] = {}
         self._names_cache: Optional[List[str]] = None
+        #: Fired on any record mutation; installed by
+        #: ``DnsInfrastructure.add_zone`` so derived indexes (the static
+        #: resolution index) can invalidate themselves.
+        self._on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        self._names_cache = None
+        if self._on_change is not None:
+            self._on_change()
 
     def _check_in_zone(self, name: str) -> str:
         name = normalize_name(name)
@@ -64,7 +73,7 @@ class Zone:
         self._static.setdefault(name, {}).setdefault(
             record.rtype, []
         ).append(record)
-        self._names_cache = None
+        self._changed()
 
     def add_all(self, records: Iterable[ResourceRecord]) -> None:
         for record in records:
@@ -73,7 +82,7 @@ class Zone:
     def add_dynamic(self, dynamic: DynamicName) -> None:
         name = self._check_in_zone(dynamic.name)
         self._dynamic[name] = dynamic
-        self._names_cache = None
+        self._changed()
 
     def remove(self, name: str, rtype: Optional[RRType] = None) -> None:
         """Remove records at ``name`` (all types, or just ``rtype``).
@@ -82,7 +91,7 @@ class Zone:
         idempotent, like dynamic DNS deletes.
         """
         name = normalize_name(name)
-        self._names_cache = None
+        self._changed()
         if rtype is None:
             self._static.pop(name, None)
             self._dynamic.pop(name, None)

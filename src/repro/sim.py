@@ -87,6 +87,11 @@ def fork_pool_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+#: Below this draw count the scalar loop beats the vectorized
+#: fast-forward's fixed costs (state transplant both ways).
+_GAUSS_BULK_THRESHOLD = 512
+
+
 def advance_gauss(rng: random.Random, count: int) -> None:
     """Advance ``rng`` past ``count`` gaussian draws.
 
@@ -98,6 +103,16 @@ def advance_gauss(rng: random.Random, count: int) -> None:
     primitive the parallel WAN campaign uses to keep worker substreams
     bit-identical to single-process runs.
     """
+    if count >= _GAUSS_BULK_THRESHOLD:
+        try:
+            from repro.columnar.rng import advance_gauss_bulk
+            from repro.flags import columnar_runtime_enabled
+        except ImportError:
+            pass  # NumPy absent: the scalar loop below is complete
+        else:
+            if columnar_runtime_enabled():
+                advance_gauss_bulk(rng, count)
+                return
     gauss = rng.gauss
     for _ in range(count):
         gauss(0.0, 1.0)

@@ -20,6 +20,7 @@ from repro.campaign import (
     WanMeasurementCampaign,
     fork_map,
     partition,
+    partition_weighted,
 )
 from repro.faults.scenarios import isp_outage, region_outage, zone_outage
 from repro.probing.traceroute import TracerouteTool
@@ -57,6 +58,51 @@ class TestFanout:
                 bounds = partition(count, shards)
                 flat = [i for lo, hi in bounds for i in range(lo, hi)]
                 assert flat == list(range(count))
+
+    def test_partition_weighted_covers_contiguously(self):
+        import random
+
+        rng = random.Random(7)
+        for count in (1, 5, 17, 100):
+            for shards in (1, 2, 4, 30):
+                weights = [rng.randint(1, 1000) for _ in range(count)]
+                bounds = partition_weighted(weights, shards)
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(count))
+                assert all(hi > lo for lo, hi in bounds)
+                assert len(bounds) == min(shards, count)
+
+    def test_partition_weighted_balances_skewed_weights(self):
+        # One huge item followed by many tiny ones: equal-count slicing
+        # puts half the items (and ~all the weight) in shard 0; the
+        # weighted cut isolates the heavy item.
+        weights = [10_000] + [1] * 99
+        bounds = partition_weighted(weights, 4)
+        assert bounds[0] == (0, 1)
+        total = sum(weights)
+        heaviest = max(
+            sum(weights[lo:hi]) for lo, hi in bounds[1:]
+        )
+        assert heaviest < total / 4
+
+    def test_partition_weighted_uniform_is_count_balanced(self):
+        # Uniform weights must give the same balance as partition():
+        # identical slice count and slice sizes within one of each
+        # other (the quantile cuts may place the +1 remainders on
+        # different shards than partition()'s extras-first rule).
+        for count in (1, 5, 17, 100):
+            for shards in (1, 2, 4, 30):
+                bounds = partition_weighted([1] * count, shards)
+                sizes = sorted(hi - lo for lo, hi in bounds)
+                expected = sorted(
+                    hi - lo for lo, hi in partition(count, shards)
+                )
+                assert sizes == expected
+
+    def test_partition_weighted_degenerate_weights(self):
+        assert partition_weighted([], 4) == []
+        assert partition_weighted([0, 0, 0], 2) == partition(3, 2)
+        assert partition_weighted([5], 3) == [(0, 1)]
 
     def test_fork_map_preserves_order(self):
         assert fork_map(lambda i: i * i, 7, 3) == [

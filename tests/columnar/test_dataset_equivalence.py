@@ -1,0 +1,176 @@
+"""Scalar-vs-columnar equivalence for the §2.1 dataset pipeline.
+
+Property tests over a seed sweep: the dataset built with the columnar
+fast paths (enumeration screening, vectorized filter classification,
+static-name lookup bypass) must be bit-identical to the scalar build —
+records, discovered maps, NS addresses, resolver query counters,
+and dynamic rotation state.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.dataset import DatasetBuilder  # noqa: E402
+from repro.dns.records import RRType  # noqa: E402
+from repro.flags import set_columnar_enabled  # noqa: E402
+from repro.world import World, WorldConfig  # noqa: E402
+
+SEEDS = [7, 23, 1999]
+
+
+def _build(seed, columnar, workers=0):
+    previous = set_columnar_enabled(columnar)
+    try:
+        world = World(WorldConfig(
+            seed=seed,
+            num_domains=70,
+            num_dns_vantages=4,
+            num_probe_vantages=3,
+        ))
+        dataset = DatasetBuilder(world).build(workers=workers)
+        return world, dataset
+    finally:
+        set_columnar_enabled(previous)
+
+
+def _record_tuple(record):
+    return (
+        record.fqdn,
+        record.domain,
+        record.rank,
+        sorted(a.value for a in record.addresses),
+        sorted(record.cnames),
+        sorted(record.ns_names),
+        record.lookups,
+    )
+
+
+def _assert_datasets_equal(scalar, columnar):
+    assert [_record_tuple(r) for r in scalar.records] == [
+        _record_tuple(r) for r in columnar.records
+    ]
+    assert [_record_tuple(r) for r in scalar.cloudfront_records] == [
+        _record_tuple(r) for r in columnar.cloudfront_records
+    ]
+    assert scalar.discovered == columnar.discovered
+    assert scalar.other_cdn_subdomains == columnar.other_cdn_subdomains
+    assert scalar.ns_addresses == columnar.ns_addresses
+    assert (
+        scalar.total_discovered_subdomains
+        == columnar.total_discovered_subdomains
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dataset_bit_identical(seed):
+    world_s, scalar = _build(seed, False)
+    world_c, columnar = _build(seed, True)
+    _assert_datasets_equal(scalar, columnar)
+    # Server-side state evolved identically: rotation counters and
+    # per-vantage resolver query counts.
+    assert (
+        world_s.dns.dynamic_query_counts()
+        == world_c.dns.dynamic_query_counts()
+    )
+    for vantage in world_s.dns_vantages():
+        assert (
+            world_s.resolver_for(vantage).query_count
+            == world_c.resolver_for(vantage).query_count
+        ), vantage.name
+
+
+def test_dataset_columnar_matches_sharded_scalar():
+    _, scalar = _build(7, False, workers=2)
+    _, columnar = _build(7, True)
+    _assert_datasets_equal(scalar, columnar)
+
+
+def test_dataset_columnar_sharded_matches_sequential():
+    _, sequential = _build(7, True)
+    _, sharded = _build(7, True, workers=2)
+    _assert_datasets_equal(sequential, sharded)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_enumeration_screening_identical(seed):
+    from repro.dns.enumeration import SubdomainEnumerator
+
+    results = {}
+    for columnar in (False, True):
+        previous = set_columnar_enabled(columnar)
+        try:
+            world = World(WorldConfig(
+                seed=seed,
+                num_domains=40,
+                num_dns_vantages=2,
+                num_probe_vantages=2,
+            ))
+            vantage = world.dns_vantages()[0]
+            enumerator = SubdomainEnumerator(
+                world.dns, world.resolver_for(vantage)
+            )
+            per_domain = [
+                enumerator.enumerate(site.domain)
+                for site in world.alexa.sites
+            ]
+            results[columnar] = (
+                [
+                    (r.domain, r.subdomains, r.via_axfr, r.queries_issued)
+                    for r in per_domain
+                ],
+                enumerator.resolver.query_count,
+            )
+        finally:
+            set_columnar_enabled(previous)
+    assert results[False] == results[True]
+
+
+def test_enumeration_duplicate_wordlist_falls_back():
+    from repro.dns.enumeration import (
+        SubdomainEnumerator,
+        default_wordlist,
+    )
+
+    previous = set_columnar_enabled(True)
+    try:
+        world = World(WorldConfig(
+            seed=7,
+            num_domains=10,
+            num_dns_vantages=2,
+            num_probe_vantages=2,
+        ))
+        vantage = world.dns_vantages()[0]
+        words = default_wordlist()
+        words.append(words[0])  # duplicate: screening must not engage
+        enumerator = SubdomainEnumerator(
+            world.dns, world.resolver_for(vantage), wordlist=words
+        )
+        domain = world.alexa.sites[0].domain
+        result = enumerator.brute_force(domain)
+        assert result.queries_issued == len(words)
+    finally:
+        set_columnar_enabled(previous)
+
+
+def test_static_index_declines_dynamic_names():
+    previous = set_columnar_enabled(True)
+    try:
+        world = World(WorldConfig(
+            seed=7,
+            num_domains=40,
+            num_dns_vantages=2,
+            num_probe_vantages=2,
+        ))
+        index = world.dns.static_index
+        assert index is not None
+        dynamic = [
+            name
+            for zone in world.dns.zones()
+            for name in zone.dynamic_names()
+        ]
+        assert dynamic, "world should deploy rotating names"
+        for name in dynamic:
+            assert not index.is_static(name, RRType.A)
+    finally:
+        set_columnar_enabled(previous)
