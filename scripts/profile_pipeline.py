@@ -12,6 +12,8 @@ bit-identical results as well as speed.  Usage:
     PYTHONPATH=src python scripts/profile_pipeline.py \
         [--scale seed|mid|paper] \
         [--seed S] [--domains N] [--wan-rounds R] [--workers W] \
+        [--clients C] [--chunk-size N] [--no-streaming] \
+        [--max-rss-mib M] \
         [--verify-workers "0,2,4"] [--repeat K] \
         [--no-columnar | --compare-scalar] \
         [--cache-dir DIR | --no-cache-check] [--out BENCH_pipeline.json]
@@ -19,9 +21,17 @@ bit-identical results as well as speed.  Usage:
 ``--scale`` picks a domain-count tier — ``seed`` (2.5k, the committed
 bench), ``mid`` (100k), ``paper`` (1M, the paper's top-1M crawl) — and
 a matching default ``--out`` file, so each tier keeps its own
-trajectory; explicit ``--domains``/``--out`` override the tier.
+trajectory; explicit ``--domains``/``--out`` override the tier.  Each
+tier also scales the campus capture (client population, flow and byte
+budgets; the seed tier keeps the committed defaults so its digests
+hold); ``--clients`` overrides the tier's client count.
 ``--workers`` drives both parallel campaigns (dataset shards and WAN
-rounds).  ``--verify-workers`` re-runs the whole pipeline per worker
+rounds).  The streaming data plane (deferred world + chunked dataset
+build + one-pass capture analysis; see docs/PERFORMANCE.md) is on by
+default and produces bit-identical digests; ``--no-streaming`` forces
+the batch paths, ``--chunk-size`` bounds the ranks materialized per
+streaming chunk, and ``--max-rss-mib`` fails the run when the
+process's true peak RSS exceeds the budget (the CI memory gate).  ``--verify-workers`` re-runs the whole pipeline per worker
 count and fails unless every digest agrees.  ``--no-columnar`` runs
 the whole pipeline with the columnar data plane disabled (the scalar
 reference paths); ``--compare-scalar`` additionally runs that scalar
@@ -64,10 +74,15 @@ from repro.analysis.dataset import DatasetBuilder
 from repro.analysis.wan import WanAnalysis, WanConfig
 from repro.artifacts import ArtifactStore
 from repro.artifacts.keys import code_fingerprint
+from repro.capture.generator import CaptureConfig
 from repro.experiments.context import ExperimentContext
-from repro.flags import set_columnar_enabled
+from repro.flags import (
+    set_chunk_size,
+    set_columnar_enabled,
+    set_streaming_enabled,
+)
 from repro.obs import Observability
-from repro.sim import set_rng_observer
+from repro.sim import fork_pool_available, set_rng_observer
 from repro.world import World, WorldConfig
 
 #: A stage must slow down by more than this (vs the committed bench)
@@ -76,25 +91,63 @@ REGRESSION_THRESHOLD = 0.20
 
 #: Domain-count tiers: the committed seed bench, a mid tier for CI
 #: speedup gates, and the paper's full top-1M crawl.  Each tier keeps
-#: its own bench file (and therefore its own trajectory history).
+#: its own bench file (and therefore its own trajectory history), and
+#: scales the campus capture with the crawl — the seed tier must keep
+#: the CaptureConfig defaults (1500 clients, 28k flows) so the
+#: committed seed digests stay bit-identical.
 SCALES = {
-    "seed": {"domains": 2_500, "out": "BENCH_pipeline.json"},
-    "mid": {"domains": 100_000, "out": "BENCH_pipeline_mid.json"},
-    "paper": {"domains": 1_000_000, "out": "BENCH_pipeline_paper.json"},
+    "seed": {
+        "domains": 2_500, "out": "BENCH_pipeline.json", "capture": {},
+    },
+    "mid": {
+        "domains": 100_000, "out": "BENCH_pipeline_mid.json",
+        "capture": {
+            "num_clients": 150_000,
+            "total_flows": 120_000,
+            "total_bytes": 6_000_000_000,
+        },
+    },
+    "paper": {
+        "domains": 1_000_000, "out": "BENCH_pipeline_paper.json",
+        "capture": {
+            # The paper's capture: 1.4 TB of border traffic from a
+            # campus population of millions of clients.
+            "num_clients": 2_000_000,
+            "total_flows": 250_000,
+            "total_bytes": 1_400_000_000_000,
+        },
+    },
 }
 
 
-def _peak_rss_kib() -> int:
-    """The process's lifetime peak RSS, in KiB.
+def _rss_sample() -> tuple:
+    """``(VmRSS, VmHWM)`` in KiB from ``/proc/self/status``.
 
-    ``ru_maxrss`` is a monotonic high-water mark (KiB on Linux, bytes
-    on macOS), so sampling it after each stage attributes the first
-    peak to the stage that caused it.
+    ``VmRSS`` is the *current* resident set, so per-stage before/after
+    deltas attribute memory to the stage that allocated (or released)
+    it; ``VmHWM`` is the process-lifetime high-water mark — the number
+    a memory budget gates on.  ``ru_maxrss`` alone cannot do the former
+    job: it is monotone, so sampling it after each stage makes every
+    stage after the peak echo the same number.  Where ``/proc`` is
+    unavailable (macOS), both fields fall back to ``ru_maxrss`` and
+    the deltas degrade to high-water increments.
     """
+    try:
+        with open("/proc/self/status") as fh:
+            rss = hwm = None
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1])
+                elif line.startswith("VmHWM:"):
+                    hwm = int(line.split()[1])
+        if rss is not None and hwm is not None:
+            return rss, hwm
+    except OSError:
+        pass
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":
         peak //= 1024
-    return peak
+    return peak, peak
 
 
 def _digest(obj) -> str:
@@ -160,43 +213,62 @@ def _isp_digest(isp: dict) -> dict:
 def run_once(
     seed: int, domains: int, wan_rounds: int, workers: int,
     collect_events: bool = False, columnar: bool = True,
+    streaming: bool = True, capture: CaptureConfig = None,
 ) -> dict:
     """One full pipeline run: tracer-derived stage timings plus output
     digests (and the run's :class:`~repro.obs.Observability` plane).
 
-    ``columnar=False`` forces the scalar reference paths for the whole
-    run — outputs must be bit-identical either way."""
+    ``columnar=False`` forces the scalar reference paths and
+    ``streaming=False`` the batch data plane for the whole run —
+    outputs must be bit-identical any way around.  A live event sink
+    forces batch regardless (forked chunk/shard workers cannot stream
+    probe events), which is what keeps the observability-smoke CI job
+    on the byte-identical batch paths."""
     obs = Observability.collecting(events=collect_events)
     tracer = obs.tracer
     previous_observer = obs.install_rng_counter()
     previous_columnar = set_columnar_enabled(columnar)
+    previous_streaming = set_streaming_enabled(streaming)
+    use_stream = (
+        streaming and fork_pool_available() and not collect_events
+    )
+    config = WorldConfig(
+        seed=seed, num_domains=domains,
+        capture=capture if capture is not None else CaptureConfig(),
+    )
     rss = {}
-    try:
-        with tracer.span("world", category="stage"):
-            world = World(WorldConfig(seed=seed, num_domains=domains))
-        rss["world"] = _peak_rss_kib()
 
-        with tracer.span("dataset", category="stage"):
+    def stage(name):
+        return _StageRss(tracer, name, rss)
+
+    try:
+        with stage("world"):
+            world = World(config, defer_tenants=use_stream)
+
+        with stage("dataset"):
             builder = DatasetBuilder(world, obs=obs)
             dataset = builder.build(workers=workers)
-        rss["dataset"] = _peak_rss_kib()
 
-        with tracer.span("capture", category="stage"):
-            trace = world.capture_trace()
-        rss["capture"] = _peak_rss_kib()
+        with stage("capture"):
+            # The streaming summary and the batch trace answer the same
+            # digest probes (len / total_bytes) with identical values;
+            # only the peak memory differs.
+            if use_stream:
+                trace = world.capture_summary(workers=workers, obs=obs)
+            else:
+                trace = world.capture_trace()
 
         wan = WanAnalysis(
             world, WanConfig(rounds=wan_rounds, workers=workers),
             obs=obs,
         )
-        with tracer.span("wan", category="stage"):
+        with stage("wan"):
             wan._measure()
-        rss["wan"] = _peak_rss_kib()
 
-        with tracer.span("traceroute", category="stage"):
+        with stage("traceroute"):
             isp = wan.isp_diversity()
-        rss["traceroute"] = _peak_rss_kib()
     finally:
+        set_streaming_enabled(previous_streaming)
         set_columnar_enabled(previous_columnar)
         set_rng_observer(previous_observer)
 
@@ -211,14 +283,46 @@ def run_once(
     digests.update(_wan_digests(wan))
     digests.update(_trace_digest(trace))
     digests.update(_isp_digest(isp))
+    _, high_water = _rss_sample()
     return {
         "timings": timings,
         "dataset_steps": tracer.seconds_by_name("dataset-step"),
         "campaigns": tracer.seconds_by_name("campaign"),
         "digests": digests,
-        "rss_peak_kib": rss,
+        "rss_kib": {"stages": rss, "high_water_kib": high_water},
+        "streaming": use_stream,
         "obs": obs,
     }
+
+
+class _StageRss:
+    """Context manager pairing a stage tracer span with RSS sampling.
+
+    Records ``{"end_kib", "delta_kib"}`` per stage — the resident set
+    after the stage and how much the stage grew (or, negative, shrank)
+    it.  The process high-water mark is reported once per run, not per
+    stage: ``VmHWM`` is monotone, so per-stage copies would just echo
+    the peak (the bug this layout replaces).
+    """
+
+    def __init__(self, tracer, name: str, into: dict):
+        self._tracer = tracer
+        self._name = name
+        self._into = into
+
+    def __enter__(self):
+        self._before, _ = _rss_sample()
+        self._span = self._tracer.span(self._name, category="stage")
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        result = self._span.__exit__(*exc)
+        end, _ = _rss_sample()
+        self._into[self._name] = {
+            "end_kib": end, "delta_kib": end - self._before,
+        }
+        return result
 
 
 def run_cached(
@@ -303,6 +407,26 @@ def main() -> int:
              "(0 = sequential; results identical)",
     )
     parser.add_argument(
+        "--clients", type=int, default=None,
+        help="override the tier's capture client population",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="domain ranks materialized per streaming chunk "
+             "(default: REPRO_CHUNK_SIZE or the built-in default; "
+             "output bytes are chunk-size-invariant)",
+    )
+    parser.add_argument(
+        "--no-streaming", action="store_true",
+        help="force the batch data plane (materialized world, "
+             "all-at-once dataset build, full capture trace)",
+    )
+    parser.add_argument(
+        "--max-rss-mib", type=int, default=None,
+        help="fail if the process's peak RSS (VmHWM, covering every "
+             "run in this invocation) exceeds this budget",
+    )
+    parser.add_argument(
         "--verify-workers", default=None, metavar="W1,W2,...",
         help="re-run the pipeline at each worker count and fail unless "
              "all digests agree",
@@ -367,11 +491,19 @@ def main() -> int:
         parser.error("--compare-scalar is meaningless with --no-columnar")
 
     columnar = not args.no_columnar
+    streaming = not args.no_streaming
     collect_events = bool(args.events_out)
+    capture_kwargs = dict(SCALES[args.scale].get("capture", {}))
+    if args.clients is not None:
+        capture_kwargs["num_clients"] = args.clients
+    capture = CaptureConfig(**capture_kwargs)
+    if args.chunk_size is not None:
+        set_chunk_size(args.chunk_size)
     runs = [
         run_once(
             args.seed, args.domains, args.wan_rounds, args.workers,
             collect_events=collect_events, columnar=columnar,
+            streaming=streaming, capture=capture,
         )
         for _ in range(args.repeat)
     ]
@@ -427,7 +559,7 @@ def main() -> int:
         "fingerprint": code_fingerprint()[:12],
         "scale": args.scale,
         "timings_s": best,
-        "rss_peak_kib": runs[0]["rss_peak_kib"],
+        "rss_high_water_kib": runs[0]["rss_kib"]["high_water_kib"],
     }
     if (
         trajectory
@@ -446,6 +578,9 @@ def main() -> int:
             "workers": args.workers,
             "repeat": args.repeat,
             "columnar": columnar,
+            "streaming": runs[0]["streaming"],
+            "capture_clients": capture.num_clients,
+            "capture_flows": capture.total_flows,
         },
         "host": {
             "python": platform.python_version(),
@@ -455,7 +590,7 @@ def main() -> int:
         "timings_s": best,
         "dataset_steps_s": dataset_steps,
         "campaigns_s": campaigns,
-        "rss_peak_kib": runs[0]["rss_peak_kib"],
+        "rss_kib": runs[0]["rss_kib"],
         "digests": digests,
         "trajectory": trajectory,
     }
@@ -464,6 +599,7 @@ def main() -> int:
         scalar = run_once(
             args.seed, args.domains, args.wan_rounds, args.workers,
             collect_events=collect_events, columnar=False,
+            streaming=streaming, capture=capture,
         )
         if scalar["digests"] != digests:
             raise SystemExit(
@@ -492,6 +628,7 @@ def main() -> int:
             other = run_once(
                 args.seed, args.domains, args.wan_rounds, count,
                 collect_events=collect_events, columnar=columnar,
+                streaming=streaming, capture=capture,
             )
             if other["digests"] != digests:
                 raise SystemExit(
@@ -548,6 +685,23 @@ def main() -> int:
     if args.events_out:
         first.events.write(args.events_out)
         print(f"wrote events {args.events_out}")
+
+    if args.max_rss_mib is not None:
+        # Gate on the process-lifetime high-water mark sampled *now*,
+        # so every run this invocation made (repeats, scalar
+        # comparison, worker verification) counts against the budget.
+        # The bench JSON is already on disk for CI artifact upload.
+        _, high_water_kib = _rss_sample()
+        budget_kib = args.max_rss_mib * 1024
+        if high_water_kib > budget_kib:
+            raise SystemExit(
+                f"peak RSS {high_water_kib / 1024:.0f} MiB exceeds the "
+                f"--max-rss-mib budget of {args.max_rss_mib} MiB"
+            )
+        print(
+            f"peak RSS {high_water_kib / 1024:.0f} MiB within the "
+            f"{args.max_rss_mib} MiB budget"
+        )
     return 0
 
 

@@ -37,7 +37,7 @@ from repro.world import World
 log = logging.getLogger("repro.analysis.dataset")
 
 
-@dataclass
+@dataclass(slots=True)
 class SubdomainRecord:
     """Everything the distributed lookups learned about one subdomain."""
 
@@ -473,7 +473,8 @@ class DatasetBuilder:
         return ordered
 
     def resolve_ns_hostnames(
-        self, ns_name_lists: Iterable[List[str]]
+        self, ns_name_lists: Iterable[List[str]],
+        into: Optional[Dict[str, Optional[IPv4Address]]] = None,
     ) -> Dict[str, Optional[IPv4Address]]:
         """NS-survey step 4b: resolve each distinct NS hostname once.
 
@@ -481,11 +482,16 @@ class DatasetBuilder:
         the first time it appears with the paper's flush-and-fresh
         discipline.  Sharded builds run this on the parent only: the
         dedup set is global, so splitting it would re-pay (and
-        re-side-effect) duplicate hostname resolutions per shard.
+        re-side-effect) duplicate hostname resolutions per shard.  The
+        chunked build passes ``into`` to resolve incrementally — one
+        chunk's lists at a time against the accumulated dedup set,
+        which visits hostnames in the same global first-seen order.
         """
         vantages = self.world.dns_vantages()
         survey_vantages = vantages[: min(10, len(vantages))]
-        ns_addresses: Dict[str, Optional[IPv4Address]] = {}
+        ns_addresses: Dict[str, Optional[IPv4Address]] = (
+            into if into is not None else {}
+        )
         for ns_names in ns_name_lists:
             for hostname in ns_names:
                 if hostname in ns_addresses:
@@ -533,7 +539,24 @@ class DatasetBuilder:
         forked worker processes and merged back in rank order; the
         result — records, discovered map, NS addresses, query counters,
         resolver caches — is bit-identical to ``workers=0``.
+
+        A world built with ``defer_tenants=True`` takes the
+        constant-memory chunked path instead (deploy → measure →
+        release, one rank window at a time); when that path is
+        ineligible — streaming switched off, no fork support, partial
+        range coverage, an outage scenario, or a live event sink — the
+        world catches up to a batch-equivalent state and the normal
+        paths run.
         """
+        if getattr(self.world, "pending_tenants", False):
+            from repro.analysis.streambuild import (
+                build_chunked,
+                chunked_build_eligible,
+            )
+
+            if chunked_build_eligible(self):
+                return build_chunked(self, workers)
+            self.world.catch_up_tenants()
         if self.can_shard(workers):
             from repro.analysis.shards import build_sharded
 

@@ -60,7 +60,7 @@ PHASES = ("enumerate", "filter", "lookup", "cloudfront_lookup", "ns_dig")
 _PHASE_RANK = {phase: rank for rank, phase in enumerate(PHASES)}
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardLogEntry:
     """One worker dig whose answer came from a shared dynamic name.
 
@@ -225,8 +225,15 @@ def _build_shard(
     resolver_baselines: Dict[str, tuple],
     counter_baseline: Dict[Tuple[str, str], int],
     shard_index: int,
+    export_caches: bool = True,
 ) -> ShardResult:
-    """Worker body: run the pipeline over one contiguous rank slice."""
+    """Worker body: run the pipeline over one contiguous rank slice.
+
+    ``export_caches=False`` (the chunked streaming build) skips the
+    resolver cache export: the parent drops worker caches by design, so
+    shipping them back through the pool would only cost pickling and
+    transient memory.  Query-count deltas still ride back.
+    """
     lo, hi = bounds[shard_index]
     world = builder.world
     recorder = ShardRecorder(shared)
@@ -279,7 +286,10 @@ def _build_shard(
         baseline_count, baseline_keys = resolver_baselines.get(
             vantage.name, (0, frozenset())
         )
-        new_entries = resolver.export_cache_entries(baseline_keys)
+        new_entries = (
+            resolver.export_cache_entries(baseline_keys)
+            if export_caches else ()
+        )
         query_delta = resolver.query_count - baseline_count
         if new_entries or query_delta:
             resolver_payload[vantage.name] = (query_delta, new_entries)
@@ -302,6 +312,58 @@ def _build_shard(
             metrics_checkpoint
         ),
     )
+
+
+def replay_shared_rotations(
+    world,
+    tagged: List[tuple],
+    counter_baseline: Dict[Tuple[str, str], int],
+    patch_cache,
+    patch_record,
+) -> Dict[Tuple[str, str], int]:
+    """Replay logged shared-rotation digs in sequential global order.
+
+    ``tagged`` is the already-sorted ``(phase rank, shard/chunk index,
+    seq, result, entry)`` list; sorting it phase-major puts every
+    logged dig at the position sequential execution would have run it,
+    so each shared name's query indices are assigned exactly as a
+    one-process build assigns them.  ``patch_cache(result, entry,
+    addresses)`` and ``patch_record(result, entry, addresses)`` apply
+    the replayed answers (either may be None to only consume indices —
+    the chunked build drops worker caches, so its ``"cache"`` entries
+    reduce to counter advances).  Returns per-``(origin, name)`` replay
+    counts for the caller's delta reconciliation.
+    """
+    dynamic_zone = {
+        name: (origin, zone)
+        for origin, zone in ((z.origin, z) for z in world.dns.zones())
+        for name in zone.dynamic_names()
+    }
+    vantage_by_name = {v.name: v for v in world.dns_vantages()}
+    next_index: Dict[str, int] = {}
+    replay_counts: Dict[Tuple[str, str], int] = {}
+    for _, _, _, result, entry in tagged:
+        origin, zone = dynamic_zone[entry.name]
+        index = next_index.get(entry.name)
+        if index is None:
+            index = counter_baseline.get((origin, entry.name), 0)
+        next_index[entry.name] = index + 1
+        replay_counts[(origin, entry.name)] = (
+            replay_counts.get((origin, entry.name), 0) + 1
+        )
+        if entry.kind == "counter":
+            continue
+        answers = zone.dynamic_answer(
+            entry.name, RRType.A, vantage_by_name[entry.vantage_name],
+            index,
+        )
+        addresses = [r.value for r in answers if r.rtype is RRType.A]
+        if entry.kind == "cache":
+            if patch_cache is not None:
+                patch_cache(result, entry, addresses)
+        elif patch_record is not None:
+            patch_record(result, entry, addresses)
+    return replay_counts
 
 
 def build_sharded(builder, workers: int):
@@ -392,12 +454,6 @@ def build_sharded(builder, workers: int):
         total += result.total
 
     # -- replay shared rotations in sequential global order ------------
-    dynamic_zone = {
-        name: (origin, zone)
-        for origin, zone in ((z.origin, z) for z in world.dns.zones())
-        for name in zone.dynamic_names()
-    }
-    vantage_by_name = {v.name: v for v in world.dns_vantages()}
     replay = sorted(
         (
             (_PHASE_RANK[entry.phase], result.shard_index, entry.seq,
@@ -407,44 +463,33 @@ def build_sharded(builder, workers: int):
         ),
         key=lambda item: item[:3],
     )
-    next_index: Dict[str, int] = {}
-    replay_counts: Dict[Tuple[str, str], int] = {}
-    for _, _, _, result, entry in replay:
-        origin, zone = dynamic_zone[entry.name]
-        index = next_index.get(entry.name)
-        if index is None:
-            index = counter_baseline.get((origin, entry.name), 0)
-        next_index[entry.name] = index + 1
-        replay_counts[(origin, entry.name)] = (
-            replay_counts.get((origin, entry.name), 0) + 1
+
+    def patch_cache(result, entry, addresses):
+        payload = result.resolver_payload[entry.vantage_name][1]
+        cached = payload.get((entry.qname, RRType.A))
+        if cached is None:
+            raise RuntimeError(
+                f"shard {result.shard_index} logged a cache patch for "
+                f"{entry.qname} but exported no matching entry"
+            )
+        cached.response.addresses = list(addresses)
+
+    def patch_record(result, entry, addresses):
+        offsets = (
+            record_offsets
+            if entry.phase == "lookup"
+            else cloudfront_offsets
         )
-        if entry.kind == "counter":
-            continue
-        answers = zone.dynamic_answer(
-            entry.name, RRType.A, vantage_by_name[entry.vantage_name], index
+        target = (
+            records if entry.phase == "lookup" else cloudfront_records
         )
-        addresses = [r.value for r in answers if r.rtype is RRType.A]
-        if entry.kind == "cache":
-            payload = result.resolver_payload[entry.vantage_name][1]
-            cached = payload.get((entry.qname, RRType.A))
-            if cached is None:
-                raise RuntimeError(
-                    f"shard {result.shard_index} logged a cache patch for "
-                    f"{entry.qname} but exported no matching entry"
-                )
-            cached.response.addresses = list(addresses)
-        else:  # "record"
-            offsets = (
-                record_offsets
-                if entry.phase == "lookup"
-                else cloudfront_offsets
-            )
-            target = (
-                records if entry.phase == "lookup" else cloudfront_records
-            )
-            target[offsets[result.shard_index] + entry.position].addresses.update(
-                addresses
-            )
+        target[offsets[result.shard_index] + entry.position].addresses.update(
+            addresses
+        )
+
+    replay_counts = replay_shared_rotations(
+        world, replay, counter_baseline, patch_cache, patch_record
+    )
 
     # -- reconcile rotation counters -----------------------------------
     total_deltas: Dict[Tuple[str, str], int] = {}
@@ -470,6 +515,7 @@ def build_sharded(builder, workers: int):
     # Cache keys are (fqdn, rtype) and fqdns are domain-unique, so the
     # per-shard exports are disjoint and their union is exactly the
     # sequential cache state at this point in the pipeline.
+    vantage_by_name = {v.name: v for v in world.dns_vantages()}
     for vantage in world.dns_vantages():
         world.resolver_for(vantage)
     for result in results:

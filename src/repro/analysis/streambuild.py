@@ -1,0 +1,280 @@
+"""Chunked, constant-memory §2.1 dataset builds (build → reduce → release).
+
+A batch build deploys every ranked tenant before measuring any of
+them, so peak RSS grows linearly with the domain count — resource
+records alone dominate at paper scale.  This module pipelines the
+build instead: deploy a *group* of fixed-size rank chunks, fork one
+worker per chunk to run the full enumerate → filter → lookups → NS-dig
+pipeline over its slice, merge the chunk outputs, and release every
+tenant the capture will never revisit before deploying the next group.
+Peak memory is bounded by one group's tenants plus the dataset itself,
+whatever the domain count.
+
+Correctness rests on the same rotation discipline as
+:mod:`repro.analysis.shards`, with three twists:
+
+* the parent must stay dig-pristine for the whole build, so even
+  single-worker groups fork (``force_fork``) — chunk digs never
+  advance the parent's rotation counters or write its caches, which is
+  what lets one ``counter_baseline`` serve every group and the replay
+  run once at the end;
+* chunk-crossing dynamic names are flagged *conservatively* per group
+  (:meth:`DnsInfrastructure.cross_chunk_dynamic_names`): unlike the
+  all-at-once shard fan-out, future chunks have not deployed yet, so
+  shared-ness cannot be computed from the final alias graph.  Flagged
+  digs are logged and replayed against the finalized world — sound
+  because every dynamic name lives in a global provider zone that
+  tenant releases never touch;
+* the final reconcile adds a cross-chunk check: a dynamic name whose
+  counter advanced in two or more chunks without replay descriptors is
+  a hard error, so a name the conservative analysis missed fails loud,
+  never drifts silently.
+
+Name-server resolution (the survey's global, first-seen-deduped half)
+runs on the parent per chunk, *before* the chunk's zones are released
+— NS targets are static A records, so these digs rotate nothing, and
+the persistent dedup set preserves the sequential visit order exactly.
+
+What the streaming dataset gives up, by design (documented in
+docs/PERFORMANCE.md): vantage-resolver caches are not retained (cache
+keys are domain-unique fqdns no later stage re-digs), and the
+``discovered`` map keeps only domains that appear in the dataset's
+records (every analysis consumer joins it through ``by_domain``); the
+total discovered count stays exact.  Records, NS addresses, dynamic
+query counters, and resolver query counts are bit-identical to a batch
+build's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.analysis.shards import (
+    _PHASE_RANK,
+    _build_shard,
+    replay_shared_rotations,
+)
+from repro.campaign.fanout import fork_map
+from repro.flags import streaming_chunk_size, streaming_runtime_enabled
+from repro.sim import fork_pool_available
+
+
+def chunked_build_eligible(builder) -> bool:
+    """Whether the constant-memory chunked build may run.
+
+    Mirrors :meth:`DatasetBuilder.can_shard`'s preconditions (fork
+    isolation, full range coverage so classification is
+    rotation-independent) plus the streaming switch, no outage
+    scenario (drills assume the batch engine loop), and no live event
+    sink (forked chunk workers cannot stream probe events).  Callers
+    fall back to :meth:`World.catch_up_tenants` + the batch build when
+    this declines.
+    """
+    return (
+        streaming_runtime_enabled()
+        and fork_pool_available()
+        and builder.range_coverage >= 1.0
+        and builder.scenario is None
+        and not builder.obs.events.enabled
+    )
+
+
+def build_chunked(builder, workers: int = 0):
+    """Build the §2.1 dataset over a deferred world in rank chunks.
+
+    Callers go through :meth:`DatasetBuilder.build`, which gates on
+    :func:`chunked_build_eligible` and a world with pending tenants.
+    """
+    from repro.analysis.dataset import AlexaSubdomainsDataset
+
+    world = builder.world
+    if not world.pending_tenants:
+        raise RuntimeError("build_chunked needs a deferred world")
+    sites = world.alexa.sites
+    chunk = streaming_chunk_size()
+    group_size = max(1, workers)
+    bounds = [
+        (lo, min(lo + chunk, len(sites)))
+        for lo in range(0, len(sites), chunk)
+    ]
+    counter_baseline = world.dns.dynamic_query_counts()
+
+    records: list = []
+    cloudfront_records: list = []
+    record_offsets: List[int] = []
+    cloudfront_offsets: List[int] = []
+    discovered: Dict[str, List[str]] = {}
+    other_cdn: Dict[str, List[str]] = {}
+    ns_addresses: Dict[str, object] = {}
+    total = 0
+    kept_results: list = []
+    step_totals: Dict[str, float] = {}
+    released_zones = 0
+    metrics = builder.obs.metrics
+    tracer = builder.obs.tracer
+    vantage_by_name = {v.name: v for v in world.dns_vantages()}
+    resolve_s = 0.0
+
+    with tracer.span(
+        "dataset:chunked", category="shard",
+        chunks=len(bounds), group=group_size,
+    ):
+        for group_lo in range(0, len(bounds), group_size):
+            group = bounds[group_lo:group_lo + group_size]
+            window = world.ensure_deployed_through(group[-1][1])
+            shared = world.dns.cross_chunk_dynamic_names(
+                deployed.plan.domain for deployed in window
+            )
+            resolver_baselines = {
+                name: (resolver.query_count, frozenset())
+                for name, resolver in world._resolvers.items()
+            }
+            results = fork_map(
+                lambda index: _build_shard(
+                    builder, bounds, shared, resolver_baselines,
+                    counter_baseline, group_lo + index,
+                    export_caches=False,
+                ),
+                len(group), group_size, force_fork=True,
+            )
+            for result in results:
+                record_offsets.append(len(records))
+                cloudfront_offsets.append(len(cloudfront_records))
+                records.extend(result.records)
+                cloudfront_records.extend(result.cloudfront_records)
+                other_cdn.update(result.other_cdn)
+                total += result.total
+                wanted = {record.domain for record in result.records}
+                wanted.update(
+                    record.domain for record in result.cloudfront_records
+                )
+                wanted.update(result.other_cdn)
+                for domain in wanted:
+                    if domain in result.discovered:
+                        discovered[domain] = result.discovered[domain]
+                resolve_start = time.perf_counter()
+                builder.resolve_ns_hostnames(
+                    result.ns_name_lists, into=ns_addresses
+                )
+                resolve_s += time.perf_counter() - resolve_start
+                if metrics.enabled:
+                    metrics.apply_counter_deltas(result.metric_deltas)
+                for vantage_name, (query_delta, _entries) in (
+                    result.resolver_payload.items()
+                ):
+                    resolver = world.resolver_for(
+                        vantage_by_name[vantage_name]
+                    )
+                    resolver.query_count += query_delta
+                # Keep only what the replay and reconcile need; the
+                # heavy outputs were merged above.
+                result.records = ()
+                result.cloudfront_records = ()
+                result.discovered = {}
+                result.other_cdn = {}
+                result.ns_name_lists = []
+                result.resolver_payload = {}
+                kept_results.append(result)
+            for step in (
+                "enumerate", "filter", "distributed_lookups", "ns_survey",
+            ):
+                step_totals[step] = step_totals.get(step, 0.0) + max(
+                    result.step_timings.get(f"{step}_s", 0.0)
+                    for result in results
+                )
+            released_zones += world.release_window()
+
+        # The parent must still be dig-pristine: any parent-side
+        # rotation would shift the replay's index assignment away from
+        # the sequential one.
+        if world.dns.dynamic_query_counts() != counter_baseline:
+            raise RuntimeError(
+                "chunked build: parent advanced dynamic counters "
+                "mid-build (NS resolution hit a rotating name?)"
+            )
+        world.finalize_tenants()
+
+        # -- replay shared rotations in sequential global order --------
+        tagged = sorted(
+            (
+                (_PHASE_RANK[entry.phase], result.shard_index, entry.seq,
+                 result, entry)
+                for result in kept_results
+                for entry in result.entries
+            ),
+            key=lambda item: item[:3],
+        )
+
+        def patch_record(result, entry, addresses):
+            offsets = (
+                record_offsets
+                if entry.phase == "lookup"
+                else cloudfront_offsets
+            )
+            target = (
+                records if entry.phase == "lookup" else cloudfront_records
+            )
+            target[
+                offsets[result.shard_index] + entry.position
+            ].addresses.update(addresses)
+
+        replay_counts = replay_shared_rotations(
+            world, tagged, counter_baseline, None, patch_record
+        )
+
+        # -- reconcile rotation counters -------------------------------
+        total_deltas: Dict[Tuple[str, str], int] = {}
+        chunks_touching: Dict[Tuple[str, str], int] = {}
+        for result in kept_results:
+            for key, delta in result.counter_deltas.items():
+                total_deltas[key] = total_deltas.get(key, 0) + delta
+                chunks_touching[key] = chunks_touching.get(key, 0) + 1
+        for key, count in replay_counts.items():
+            if total_deltas.get(key, 0) != count:
+                raise RuntimeError(
+                    f"chunk replay drift for {key[1]}: replayed {count} "
+                    f"queries, workers reported "
+                    f"{total_deltas.get(key, 0)}"
+                )
+        for key, touched in chunks_touching.items():
+            if touched >= 2 and key not in replay_counts:
+                raise RuntimeError(
+                    f"dynamic name {key[1]} rotated in {touched} chunks "
+                    f"with no replay descriptors — cross-chunk analysis "
+                    f"missed it"
+                )
+        world.dns.apply_dynamic_query_deltas(total_deltas)
+
+    if metrics.enabled:
+        metrics.counter(
+            "dataset_chunks_merged_total", volatile=True
+        ).inc(len(kept_results))
+        metrics.gauge(
+            "dataset_zones_released", volatile=True
+        ).set(released_zones)
+    if tracer.enabled:
+        for step, label in (
+            ("enumerate", "enumerate"),
+            ("filter", "filter"),
+            ("distributed_lookups", "distributed_lookups"),
+        ):
+            tracer.record(
+                label, category="dataset-step",
+                seconds=step_totals.get(step, 0.0),
+                chunks=len(kept_results),
+            )
+        tracer.record(
+            "ns_survey", category="dataset-step",
+            seconds=step_totals.get("ns_survey", 0.0) + resolve_s,
+            chunks=len(kept_results),
+        )
+
+    return AlexaSubdomainsDataset(
+        records=records,
+        discovered=discovered,
+        ns_addresses=ns_addresses,
+        total_discovered_subdomains=total,
+        cloudfront_records=cloudfront_records,
+        other_cdn_subdomains=other_cdn,
+    )

@@ -99,7 +99,8 @@ def partition_weighted(
 
 
 def fork_map(
-    fn: Callable[[int], object], count: int, workers: int
+    fn: Callable[[int], object], count: int, workers: int,
+    force_fork: bool = False,
 ) -> List[object]:
     """Run ``fn(0) .. fn(count - 1)`` over forked workers, in order.
 
@@ -108,12 +109,20 @@ def fork_map(
     mutations never propagate back — results must carry everything the
     parent needs to reconcile.  With ``workers <= 1``, ``count <= 1``,
     or no fork support, the calls run in-process instead.
+
+    ``force_fork=True`` forks even for a single worker or task — for
+    callers that rely on fork *isolation* rather than parallelism (the
+    streaming chunked build must keep the parent world unmutated by a
+    chunk's digs).  It cannot conjure fork support: when the platform
+    has none the calls still run in-process, so such callers must gate
+    on :func:`repro.sim.fork_pool_available` themselves.
     """
     if count <= 0:
         return []
     workers = min(workers, count)
-    if workers <= 1 or not fork_pool_available():
+    if not fork_pool_available() or (workers <= 1 and not force_fork):
         return [fn(index) for index in range(count)]
+    workers = max(1, workers)
     global _ACTIVE_FN
     _ACTIVE_FN = fn
     try:

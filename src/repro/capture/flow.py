@@ -24,7 +24,7 @@ def registrable_domain(hostname: str) -> str:
     return ".".join(labels[-2:]) if len(labels) >= 2 else hostname
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowRecord:
     """One flow as Bro would log it.
 

@@ -20,14 +20,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.capture.flow import FlowRecord, Trace
 from repro.dns.resolver import StubResolver
 from repro.flags import columnar_runtime_enabled
 from repro.net.ipv4 import IPv4Address
 from repro.net.prefixset import PrefixSet
-from repro.sampling import WeightedChooser
+from repro.sampling import IndexedWeightedChooser, WeightedChooser
 from repro.sim import StreamRegistry
 
 #: HTTP content types: (name, byte share within HTTP, mean object bytes,
@@ -81,7 +81,7 @@ _HEADER_BYTES = 600
 _MIN_FLOW_BYTES = 80
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficDomain:
     """One domain contributing HTTP(S) traffic to the capture."""
 
@@ -136,9 +136,13 @@ class CaptureGenerator:
                 for _, share, mean, _ in CONTENT_TYPES
             ],
         )
-        self._client_chooser = WeightedChooser(
-            [f"campus-{i:05d}" for i in range(self.config.num_clients)],
-            [1.0 / (i + 1) ** 0.6 for i in range(self.config.num_clients)],
+        # The campus population is implicit: the chooser holds only the
+        # packed cumulative weights (8 bytes/client — a paper-tier
+        # capture observes millions of clients) and the name is
+        # formatted from the drawn index on demand.  Draw-identical to
+        # the old WeightedChooser over pre-built name strings.
+        self._client_chooser = IndexedWeightedChooser(
+            1.0 / (i + 1) ** 0.6 for i in range(self.config.num_clients)
         )
         self._hour_chooser = WeightedChooser(
             range(24),
@@ -167,7 +171,7 @@ class CaptureGenerator:
         return day * 86400.0 + hour * 3600.0 + self.rng.random() * 3600.0
 
     def _client(self) -> str:
-        return self._client_chooser.choose(self.rng)
+        return f"campus-{self._client_chooser.choose(self.rng):05d}"
 
     def _duration_for(self, size: int, persistent_ok: bool = False) -> float:
         """Transfer time, plus (for eligible flows) a long-lived hold.
@@ -228,19 +232,33 @@ class CaptureGenerator:
                 # Bit-identical draws and ordering; see
                 # repro.columnar.capture.
                 return generate_columnar(self, domains)
-        trace = Trace()
+        trace = Trace(self.iter_flows(domains))
+        trace.sort_by_time()
+        return trace
+
+    def iter_flows(
+        self, domains: Sequence[TrafficDomain]
+    ) -> Iterator[FlowRecord]:
+        """Yield every capture flow in scalar generation order.
+
+        This is the streaming entry point: the flows come out in *draw*
+        order (per provider, HTTP(S) before background), not time
+        order, and nothing is retained between yields — a one-pass
+        consumer sees the whole capture in O(1) flow memory.  The
+        batch :meth:`generate` is exactly ``Trace(iter_flows(...))``
+        plus the stable time sort, so both paths consume the
+        ``capture`` RNG stream identically.
+        """
         for provider in ("ec2", "azure"):
             cloud_bytes = self.config.total_bytes * CLOUD_BYTE_SPLIT[provider]
             cloud_flows = self.config.total_flows * CLOUD_FLOW_SPLIT[provider]
             members = [d for d in domains if d.provider == provider]
-            self._generate_httpx(
-                trace, members, provider, cloud_bytes, cloud_flows
+            yield from self._iter_httpx(
+                members, provider, cloud_bytes, cloud_flows
             )
-            self._generate_background(
-                trace, provider, cloud_bytes, cloud_flows
+            yield from self._iter_background(
+                provider, cloud_bytes, cloud_flows
             )
-        trace.sort_by_time()
-        return trace
 
     def _domain_budgets(
         self,
@@ -287,14 +305,13 @@ class CaptureGenerator:
                 )
         return budgets
 
-    def _generate_httpx(
+    def _iter_httpx(
         self,
-        trace: Trace,
         domains: List[TrafficDomain],
         provider: str,
         cloud_bytes: float,
         cloud_flows: float,
-    ) -> None:
+    ) -> Iterator[FlowRecord]:
         mix_f = FLOW_MIX[provider]
         mix_b = BYTE_MIX[provider]
         targets_by_domain = {
@@ -316,20 +333,20 @@ class CaptureGenerator:
                     1, round(proto_flows * budget / budget_total)
                 )
                 if proto == "http":
-                    self._emit_http(trace, td, targets, budget, n_flows)
+                    yield from self._iter_http(td, targets, budget, n_flows)
                 else:
-                    self._emit_https(trace, td, targets, budget, n_flows)
+                    yield from self._iter_https(td, targets, budget, n_flows)
 
-    def _emit_http(
-        self, trace, td, targets, budget: float, n_flows: int
-    ) -> None:
+    def _iter_http(
+        self, td, targets, budget: float, n_flows: int
+    ) -> Iterator[FlowRecord]:
         draws = self._http_shape(n_flows)
         drawn_total = sum(size for _, size in draws) or 1
         scale = max(0.0, budget - n_flows * _HEADER_BYTES) / drawn_total
         for content_type, raw_size in draws:
             size = max(1, int(raw_size * scale))
             size = min(size, self._ct_max[content_type])
-            trace.add(FlowRecord(
+            yield FlowRecord(
                 ts=self._timestamp(),
                 duration=self._duration_for(size),
                 src=self._client(),
@@ -340,17 +357,17 @@ class CaptureGenerator:
                 http_host=self.rng.choice(td.hostnames),
                 content_type=content_type,
                 content_length=size,
-            ))
+            )
 
-    def _emit_https(
-        self, trace, td, targets, budget: float, n_flows: int
-    ) -> None:
+    def _iter_https(
+        self, td, targets, budget: float, n_flows: int
+    ) -> Iterator[FlowRecord]:
         sizes = self._https_shape(n_flows, td.storage_profile)
         drawn_total = sum(sizes) or 1
         scale = max(0.0, budget - n_flows * _HEADER_BYTES) / drawn_total
         for raw_size in sizes:
             size = max(1, int(raw_size * scale)) + _HEADER_BYTES
-            trace.add(FlowRecord(
+            yield FlowRecord(
                 ts=self._timestamp(),
                 duration=self._duration_for(size, persistent_ok=True),
                 src=self._client(),
@@ -359,11 +376,11 @@ class CaptureGenerator:
                 dport=443,
                 total_bytes=size,
                 tls_common_name=td.domain,
-            ))
+            )
 
-    def _generate_background(
-        self, trace, provider: str, cloud_bytes: float, cloud_flows: float
-    ) -> None:
+    def _iter_background(
+        self, provider: str, cloud_bytes: float, cloud_flows: float
+    ) -> Iterator[FlowRecord]:
         """DNS, ICMP, and other TCP/UDP flows per the cloud's mix."""
         targets = self._fallback_ips.get(provider)
         if not targets:
@@ -395,7 +412,7 @@ class CaptureGenerator:
                 else:
                     dport = 0
                 size = max(_MIN_FLOW_BYTES, int(raw_size * scale))
-                trace.add(FlowRecord(
+                yield FlowRecord(
                     ts=self._timestamp(),
                     duration=self._duration_for(size),
                     src=self._client(),
@@ -403,4 +420,4 @@ class CaptureGenerator:
                     proto=proto,
                     dport=dport,
                     total_bytes=size,
-                ))
+                )

@@ -9,7 +9,7 @@ can be generated once and analyzed offline.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Union
 
 from repro.capture.flow import FlowRecord, Trace
 from repro.net.ipv4 import IPv4Address
@@ -31,12 +31,22 @@ def _parse_optional(text: str):
     return None if text == "-" else text
 
 
-def write_trace(trace: Trace, path: Union[str, Path]) -> int:
-    """Write a trace as a flow log; returns the number of flows."""
+def write_flows(
+    flows: Iterable[FlowRecord], path: Union[str, Path]
+) -> int:
+    """Stream flows to a flow log; returns the number written.
+
+    Accepts any iterable — in particular the one-pass generator from
+    ``CaptureGenerator.iter_flows`` — and holds one flow at a time, so
+    a paper-scale capture can be spooled to disk in O(1) memory (the
+    lines land in generation order; sort offline if time order
+    matters, as Bro's own logs require).
+    """
     path = Path(path)
+    count = 0
     with path.open("w") as fh:
         fh.write(_HEADER + "\n")
-        for flow in trace:
+        for flow in flows:
             fh.write("\t".join(_render_field(v) for v in (
                 f"{flow.ts:.3f}",
                 f"{flow.duration:.4f}",
@@ -50,7 +60,13 @@ def write_trace(trace: Trace, path: Union[str, Path]) -> int:
                 flow.content_length,
                 flow.tls_common_name,
             )) + "\n")
-    return len(trace)
+            count += 1
+    return count
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Write a trace as a flow log; returns the number of flows."""
+    return write_flows(trace, path)
 
 
 def read_trace(path: Union[str, Path]) -> Trace:

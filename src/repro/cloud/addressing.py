@@ -132,6 +132,20 @@ class ZoneInternalAllocator:
             z: [] for z in range(self.num_zones)
         }
         blocks = list(self.internal_root.subnets(16))
+        # Paper-tier headroom: keep striping past the root's last /16 by
+        # continuing into the adjacent space.  Extending the *tail* of
+        # each zone's block list preserves every address smaller tiers
+        # ever issued (allocation only opens higher block indices once
+        # earlier blocks fill), so seed/mid outputs are unchanged.
+        extension = IPv4Network(
+            self.internal_root.last + 1,
+            self.internal_root.prefix_len,
+        )
+        for _ in range(3):
+            blocks.extend(extension.subnets(16))
+            extension = IPv4Network(
+                extension.last + 1, extension.prefix_len
+            )
         zone = 0
         for start in range(0, len(blocks), _ZONE_BAND_RUN):
             run = blocks[start:start + _ZONE_BAND_RUN]

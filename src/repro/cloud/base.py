@@ -103,7 +103,7 @@ class Account:
         return perm[label_pos % len(perm)]
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """A running VM (or VM-like unit: ELB proxy, PaaS node, CDN edge)."""
 

@@ -18,7 +18,7 @@ from repro.flags import columnar_runtime_enabled
 from repro.net.ipv4 import IPv4Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NameServer:
     """An authoritative name server: a hostname and its address."""
 
@@ -74,6 +74,28 @@ class DnsInfrastructure:
     def register_nameserver(self, server: NameServer) -> NameServer:
         self._nameservers[server.hostname] = server
         return server
+
+    def unregister_nameserver(self, hostname: str) -> None:
+        """Forget a registered name server (chunked-build release)."""
+        self._nameservers.pop(normalize_name(hostname), None)
+
+    # -- release (chunked builds) -------------------------------------
+
+    def release_zone(self, origin: str) -> bool:
+        """Drop a zone once no later pipeline stage can query it.
+
+        The streaming chunked build deploys tenants in rank chunks and
+        releases each chunk's zones — the dominant memory term at paper
+        scale — after measuring them, keeping only the zones the packet
+        capture will revisit.  Returns False when no such zone exists.
+        """
+        zone = self._zones.pop(normalize_name(origin), None)
+        if zone is None:
+            return False
+        zone._on_change = None
+        self._zone_cache.clear()
+        self._bump_topology()
+        return True
 
     # -- lookup -------------------------------------------------------
 
@@ -239,6 +261,50 @@ class DnsInfrastructure:
                 if len(owners) >= 2:
                     shared.add(dynamic_name)
         return shared
+
+    def cross_chunk_dynamic_names(
+        self, window_domains: Iterable[str]
+    ) -> Set[str]:
+        """Dynamic names whose rotation can interleave across build
+        chunks.
+
+        The chunked §2.1 build (:mod:`repro.analysis.streambuild`)
+        measures one rank window at a time, so — unlike the all-at-once
+        shard fan-out — queries from *future* windows have not happened
+        yet when a window's digs run.  A dynamic name is safe to rotate
+        window-locally only when every alias pointing at it lives in
+        exactly one of the window's own tenant zones; then the name's
+        whole query history belongs to that window and the local
+        counter equals the sequential one.  Conservatively flag
+        everything else:
+
+        * any alias outside the window's tenant zones — an alias
+          population that can keep growing chunk after chunk
+          (``proxy.heroku.com`` accumulates one ``herokuapp.com`` alias
+          per app, across all chunks);
+        * two or more aliases even within the window (deployer flows
+          never produce this; defensive).
+
+        Flagged names' digs are logged and replayed at the end of the
+        build, and the final reconcile turns any name this analysis
+        missed into a hard error, never silent drift.
+        """
+        window = {normalize_name(domain) for domain in window_domains}
+        alias_origins: Dict[str, List[str]] = {}
+        for origin, zone in self._zones.items():
+            for _name, target in zone.cname_links():
+                alias_origins.setdefault(target, []).append(origin)
+        flagged: Set[str] = set()
+        for zone in self._zones.values():
+            for dynamic_name in zone.dynamic_names():
+                origins = alias_origins.get(dynamic_name, ())
+                if not origins:
+                    continue
+                if len(origins) >= 2 or any(
+                    origin not in window for origin in origins
+                ):
+                    flagged.add(dynamic_name)
+        return flagged
 
     def nameserver_address(self, hostname: str) -> Optional[IPv4Address]:
         """Resolve a name-server hostname to its address.

@@ -47,7 +47,7 @@ def parent_of(name: str) -> Optional[str]:
     return rest if dot else None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceRecord:
     """One DNS resource record.
 

@@ -19,7 +19,7 @@ from repro.sim import Clock
 _MAX_CNAME_CHAIN = 12
 
 
-@dataclass
+@dataclass(slots=True)
 class _CacheEntry:
     response: DnsResponse
     expires_at: float

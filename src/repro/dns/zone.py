@@ -25,7 +25,7 @@ class TransferRefused(Exception):
 AnswerFn = Callable[[str, RRType, object, int], List[ResourceRecord]]
 
 
-@dataclass
+@dataclass(slots=True)
 class DynamicName:
     """A name whose records are computed on every query."""
 

@@ -41,7 +41,7 @@ def int_to_ip(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class IPv4Address:
     """A single IPv4 address.
 
@@ -74,7 +74,7 @@ class IPv4Address:
         return IPv4Network(self.value & 0xFFFF0000, 16)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class IPv4Network:
     """A CIDR block, normalized so host bits are zero.
 

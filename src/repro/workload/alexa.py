@@ -18,7 +18,7 @@ from repro.workload.names import DomainNameFactory
 from repro.workload.notable import NotableSpec, alexa_notables
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AlexaSite:
     """One row of the top-sites list."""
 

@@ -47,6 +47,17 @@ class CustomerModel:
             plan.domain: plan.customer_country for plan in plans
         }
 
+    @classmethod
+    def from_mapping(cls, country_by_domain) -> "CustomerModel":
+        """A model over an already-collected domain → country mapping.
+
+        The chunked world build releases plan objects as it goes, so it
+        accumulates this mapping instead of keeping every plan alive.
+        """
+        model = cls(())
+        model._country = dict(country_by_domain)
+        return model
+
     def customer_country(self, domain: str) -> Optional[str]:
         """The domain's dominant client country, or None if the web
         information service has no data for it."""

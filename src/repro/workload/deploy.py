@@ -28,7 +28,10 @@ from repro.sim import StreamRegistry
 from repro.workload.plans import DomainPlan, SubdomainPlan
 
 #: Pool the external (non-cloud) Internet hands out hosting IPs from.
-_EXTERNAL_POOL = IPv4Network.parse("93.0.0.0/10")
+#: Sized for the paper tier: 1M domains consume ~8M cursor steps, and
+#: widening the prefix keeps every address the narrower pool ever
+#: issued (same base, same offsets) so smaller tiers are unchanged.
+_EXTERNAL_POOL = IPv4Network.parse("93.0.0.0/8")
 #: Number of shared third-party hosting zones ('other_cname' targets).
 _NUM_HOST_PARTNERS = 20
 #: Number of non-CloudFront CDN operators.
@@ -156,6 +159,32 @@ class Deployer:
 
     def deploy_all(self, plans: List[DomainPlan]) -> List[DeployedDomain]:
         return [self.deploy_domain(plan) for plan in plans]
+
+    def release_domains(self, domains) -> None:
+        """Drop per-domain bookkeeping once a chunked build is done
+        measuring the domains.
+
+        Launched instances and value-added services stay — the WAN
+        campaigns probe them and the capture's background traffic
+        targets them — only the deployer's own indexes (the deployed
+        map, front-end VM / Cloud Service pools and their caps) are
+        reclaimed.  One batch pass, so releasing a whole rank chunk
+        costs one scan of the pool tables, not one per domain.
+        """
+        dropped = set(domains)
+        if not dropped:
+            return
+        for domain in dropped:
+            self.deployed.pop(domain, None)
+            self._vm_pool_caps.pop(domain, None)
+        self._vm_pools = {
+            key: pool for key, pool in self._vm_pools.items()
+            if key[0] not in dropped
+        }
+        self._cs_pools = {
+            key: pool for key, pool in self._cs_pools.items()
+            if key[0] not in dropped
+        }
 
     def deploy_domain(self, plan: DomainPlan) -> DeployedDomain:
         # A notable domain can coincide with a service zone the clouds

@@ -27,7 +27,7 @@ _SINGLE_REGION_FRONTENDS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class SubdomainPlan:
     """Ground truth for one subdomain."""
 
@@ -46,7 +46,7 @@ class SubdomainPlan:
         return sum(len(z) for z in self.zone_indices)
 
 
-@dataclass
+@dataclass(slots=True)
 class DomainPlan:
     """Ground truth for one domain."""
 
@@ -88,14 +88,20 @@ class PlanGenerator:
 
     def generate(self) -> List[DomainPlan]:
         """Plans for the whole ranking, notables included."""
-        plans = []
-        for site in self.alexa:
-            notable = notable_by_domain(site.domain)
-            if notable is not None:
-                plans.append(self._plan_notable(site.rank, notable))
-            else:
-                plans.append(self._plan_sampled(site.rank, site.domain))
-        return plans
+        return [self.plan_site(site) for site in self.alexa]
+
+    def plan_site(self, site) -> DomainPlan:
+        """The plan for one ranked site.
+
+        Sampling consumes the shared ``plans`` stream, so callers must
+        visit sites in rank order — the chunked world build does, one
+        rank window at a time, and gets the exact plans a whole-list
+        :meth:`generate` would have produced.
+        """
+        notable = notable_by_domain(site.domain)
+        if notable is not None:
+            return self._plan_notable(site.rank, notable)
+        return self._plan_sampled(site.rank, site.domain)
 
     def plan_capture_only_domain(self, spec: NotableSpec) -> DomainPlan:
         """A plan for a notable seen only in the capture (no Alexa rank)."""

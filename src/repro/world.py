@@ -88,9 +88,22 @@ class WorldConfig:
 
 
 class World:
-    """The fully built simulation."""
+    """The fully built simulation.
 
-    def __init__(self, config: Optional[WorldConfig] = None):
+    With ``defer_tenants=True`` only the substrate — clouds, DNS, the
+    ranking, the plan and deploy machinery — is built up front; the
+    tenant population is deployed incrementally in rank order through
+    :meth:`ensure_deployed_through` / :meth:`release_window` /
+    :meth:`finalize_tenants` (the streaming chunked build), or all at
+    once through :meth:`catch_up_tenants` (the batch fallback).  Every
+    RNG substream is consumed in the same within-stream order either
+    way, so the two construction modes are bit-identical.
+    """
+
+    def __init__(
+        self, config: Optional[WorldConfig] = None,
+        defer_tenants: bool = False,
+    ):
         self.config = config or WorldConfig()
         self.streams = StreamRegistry(self.config.seed)
         self.clock = Clock()
@@ -111,13 +124,18 @@ class World:
         self.plan_generator = PlanGenerator(
             self.config.mixtures, self.streams, self.alexa
         )
-        self.plans: List[DomainPlan] = self.plan_generator.generate()
-        self.capture_only_plans: List[DomainPlan] = [
-            self.plan_generator.plan_capture_only_domain(spec)
-            for spec in capture_notables()
-            if not spec.in_alexa or spec.rank > self.config.num_domains
-        ]
-        self.capture_only_plans.extend(self._offlist_cloud_plans())
+        self.defer_tenants = defer_tenants
+        self._finalized = not defer_tenants
+        self._released_tenants = False
+        self._next_rank = 0
+        self._deploy_window: List[DeployedDomain] = []
+        self._n_cloud_plans = 0
+        self._n_cloud_subdomains = 0
+        self._customer_country: Dict[str, Optional[str]] = {}
+        self._traffic: List[TrafficDomain] = []
+        self._traffic_seen: set = set()
+        self.plans: List[DomainPlan] = []
+        self.capture_only_plans: List[DomainPlan] = []
         self.deployer = Deployer(
             streams=self.streams,
             dns=self.dns,
@@ -130,31 +148,54 @@ class World:
             azure_cdn=self.azure_cdn,
             route53=self.route53,
         )
-        self.deployed: List[DeployedDomain] = self.deployer.deploy_all(
-            self.plans + self.capture_only_plans
-        )
-        self.customers = CustomerModel(self.plans + self.capture_only_plans)
-        # Wide-area substrate.
+        self.deployed: List[DeployedDomain] = []
+        self.customers: Optional[CustomerModel] = None
         self.providers: Dict[str, object] = {
             "ec2": self.ec2,
             "azure": self.azure,
         }
+        self.latency: Optional[LatencyModel] = None
+        self.routing: Optional[RoutingModel] = None
+        self.throughput: Optional[ThroughputModel] = None
+        self.directory: Optional[EndpointDirectory] = None
+        self.prober: Optional[Prober] = None
+        self.downloader: Optional[HttpDownloader] = None
+        self._capture_trace: Optional[Trace] = None
+        self._resolvers: Dict[str, StubResolver] = {}
+        if not defer_tenants:
+            self.plans = self.plan_generator.generate()
+            self.capture_only_plans = [
+                self.plan_generator.plan_capture_only_domain(spec)
+                for spec in capture_notables()
+                if not spec.in_alexa or spec.rank > self.config.num_domains
+            ]
+            self.capture_only_plans.extend(self._offlist_cloud_plans())
+            self.deployed = self.deployer.deploy_all(
+                self.plans + self.capture_only_plans
+            )
+            self.customers = CustomerModel(
+                self.plans + self.capture_only_plans
+            )
+            self._build_wan_substrate()
+
+    def _build_wan_substrate(self) -> None:
         self.latency = LatencyModel(self.streams, self.providers)
         self.routing = RoutingModel(self.streams, self.providers)
         self.throughput = ThroughputModel(self.streams, self.latency)
         self.directory = EndpointDirectory([self.ec2, self.azure])
         self.prober = Prober(self.latency, self.directory)
         self.downloader = HttpDownloader(self.throughput)
-        self._capture_trace: Optional[Trace] = None
-        self._resolvers: Dict[str, StubResolver] = {}
 
-    def _offlist_cloud_plans(self) -> List[DomainPlan]:
+    def _offlist_cloud_plans(
+        self, n_alexa_cloud: Optional[int] = None
+    ) -> List[DomainPlan]:
         """Cloud-using domains the capture sees but the Alexa list does
         not (roughly one per visible Alexa cloud domain in the paper:
         6,702 of 13,604)."""
         from repro.workload.names import DomainNameFactory
 
-        n_alexa_cloud = sum(1 for p in self.plans if p.is_cloud_using)
+        if n_alexa_cloud is None:
+            n_alexa_cloud = sum(1 for p in self.plans if p.is_cloud_using)
         count = int(
             n_alexa_cloud
             * self.config.capture_visibility
@@ -168,17 +209,190 @@ class World:
             for _ in range(count)
         ]
 
+    # -- incremental tenant population (chunked builds) -----------------------
+
+    @property
+    def pending_tenants(self) -> bool:
+        """True while a deferred world still owes tenant deployments."""
+        return self.defer_tenants and not self._finalized
+
+    def ensure_deployed_through(self, hi_rank: int) -> List[DeployedDomain]:
+        """Plan and deploy ranked sites up to (excluding) ``hi_rank``.
+
+        Sites are visited strictly in rank order, so the ``plans`` and
+        ``deploy`` streams advance exactly as a whole-list build's
+        would.  Returns the un-released deploy window.
+        """
+        if not self.pending_tenants:
+            raise RuntimeError(
+                "ensure_deployed_through needs a deferred, un-finalized "
+                "world"
+            )
+        sites = self.alexa.sites
+        hi = min(hi_rank, len(sites))
+        while self._next_rank < hi:
+            plan = self.plan_generator.plan_site(sites[self._next_rank])
+            if plan.is_cloud_using:
+                self._n_cloud_plans += 1
+                self._n_cloud_subdomains += len(plan.cloud_subdomains())
+            self._deploy_window.append(self.deployer.deploy_domain(plan))
+            self._customer_country[plan.domain] = plan.customer_country
+            self._next_rank += 1
+        return self._deploy_window
+
+    def _note_traffic_domain(self, deployed: DeployedDomain) -> bool:
+        """One domain's slice of the batch :meth:`traffic_domains` loop.
+
+        Called once per deployed domain *in deploy order*, it consumes
+        the same ``capture/domains`` draws a whole-list pass would (the
+        stream registry memoizes, so both modes advance one shared
+        generator), and returns whether the capture will revisit the
+        domain — the retention decision for its zone.
+        """
+        rng = self.streams.stream("capture", "domains")
+        plan = deployed.plan
+        if not plan.is_cloud_using or plan.domain in self._traffic_seen:
+            return False
+        cloud_subs = plan.cloud_subdomains()
+        if not cloud_subs:
+            return False
+        provider = (
+            "azure" if plan.category.startswith("azure") else "ec2"
+        )
+        notable = plan.notable
+        capture_only = plan.rank is None and notable is None
+        if notable is not None and notable.capture_share > 0:
+            self._traffic.append(TrafficDomain(
+                domain=plan.domain,
+                provider=provider,
+                hostnames=[s.fqdn for s in cloud_subs[:6]],
+                byte_share=notable.capture_share,
+                https_fraction=notable.https_fraction,
+                storage_profile=notable.https_fraction > 0.8,
+            ))
+            self._traffic_seen.add(plan.domain)
+            return True
+        if capture_only or rng.random() < self.config.capture_visibility:
+            self._traffic.append(TrafficDomain(
+                domain=plan.domain,
+                provider=provider,
+                hostnames=[s.fqdn for s in cloud_subs[:4]],
+            ))
+            self._traffic_seen.add(plan.domain)
+            return True
+        return False
+
+    def release_window(self) -> int:
+        """Decide capture retention for the deploy window and release
+        the rest.
+
+        Retained domains (the capture's traffic domains) keep their
+        zone and name-server registrations; everything else gives back
+        its zone, its per-domain name servers, and the deployer's
+        bookkeeping — the terms that grow linearly with rank.  Cloud
+        instances and value-added services always stay: the WAN
+        campaigns probe them.  Returns the number of zones released.
+        """
+        released = 0
+        window_domains = []
+        for deployed in self._deploy_window:
+            domain = deployed.plan.domain
+            window_domains.append(domain)
+            keep = self._note_traffic_domain(deployed)
+            if keep or deployed.plan.notable is not None:
+                # Notables can share a zone with cloud service
+                # infrastructure (msecnd.net is the Azure CDN's zone);
+                # they are few, so retain them unconditionally.
+                continue
+            if self.dns.release_zone(domain):
+                released += 1
+            suffix = "." + domain
+            for server in deployed.nameservers:
+                if server.hostname.endswith(suffix):
+                    self.dns.unregister_nameserver(server.hostname)
+        self.deployer.release_domains(window_domains)
+        self._deploy_window = []
+        self._released_tenants = True
+        return released
+
+    def finalize_tenants(self) -> None:
+        """Deploy the capture-only tail and build the WAN substrate.
+
+        After this the world answers every query a batch-built one
+        does; a releasing build's :meth:`traffic_domains` returns the
+        list accumulated during :meth:`release_window`, a catch-up
+        build keeps the batch code paths.
+        """
+        if self._finalized:
+            raise RuntimeError("tenants already finalized")
+        if self._next_rank < len(self.alexa.sites):
+            raise RuntimeError(
+                "finalize_tenants before all ranked sites deployed"
+            )
+        if self._released_tenants and self._deploy_window:
+            raise RuntimeError("release_window the last chunk first")
+        self.capture_only_plans = [
+            self.plan_generator.plan_capture_only_domain(spec)
+            for spec in capture_notables()
+            if not spec.in_alexa or spec.rank > self.config.num_domains
+        ]
+        self.capture_only_plans.extend(
+            self._offlist_cloud_plans(self._n_cloud_plans)
+        )
+        tail = self.deployer.deploy_all(self.capture_only_plans)
+        if self._released_tenants:
+            for deployed in tail:
+                self._note_traffic_domain(deployed)
+            # Capture-only zones stay (the capture digs them); only the
+            # deployer's per-domain bookkeeping is reclaimed.
+            self.deployer.release_domains(
+                [d.plan.domain for d in tail]
+            )
+        else:
+            # Catch-up: expose the batch-shaped views so every
+            # downstream consumer takes the batch code paths.
+            self.plans = [d.plan for d in self._deploy_window]
+            self.deployed = self._deploy_window + tail
+            self._deploy_window = []
+        mapping = dict(self._customer_country)
+        for plan in self.capture_only_plans:
+            mapping[plan.domain] = plan.customer_country
+        self.customers = CustomerModel.from_mapping(mapping)
+        self._build_wan_substrate()
+        self._finalized = True
+
+    def catch_up_tenants(self) -> None:
+        """Deploy every remaining tenant at once, batch-equivalently.
+
+        The fallback when a deferred world reaches a consumer that
+        cannot run the chunked build (live event sink, partial range
+        coverage, no fork support): the result is indistinguishable
+        from a world built with ``defer_tenants=False``.
+        """
+        if not self.pending_tenants:
+            return
+        if self._released_tenants:
+            raise RuntimeError("cannot catch up after tenant releases")
+        self.ensure_deployed_through(len(self.alexa.sites))
+        self.finalize_tenants()
+
     # -- introspection ---------------------------------------------------------
 
     def describe(self) -> Dict[str, int]:
         """Headline counts of the built world (ground truth side)."""
-        cloud_plans = [p for p in self.plans if p.is_cloud_using]
+        if self._released_tenants:
+            n_cloud = self._n_cloud_plans
+            n_cloud_subs = self._n_cloud_subdomains
+        else:
+            cloud_plans = [p for p in self.plans if p.is_cloud_using]
+            n_cloud = len(cloud_plans)
+            n_cloud_subs = sum(
+                len(p.cloud_subdomains()) for p in cloud_plans
+            )
         return {
             "alexa_domains": len(self.alexa),
-            "cloud_using_domains": len(cloud_plans),
-            "cloud_subdomains_planned": sum(
-                len(p.cloud_subdomains()) for p in cloud_plans
-            ),
+            "cloud_using_domains": n_cloud,
+            "cloud_subdomains_planned": n_cloud_subs,
             "capture_only_domains": len(self.capture_only_plans),
             "ec2_instances": len(self.ec2.instances),
             "azure_instances": len(self.azure.instances),
@@ -229,21 +443,41 @@ class World:
 
     # -- the packet capture -----------------------------------------------------
 
+    def _capture_generator(self) -> CaptureGenerator:
+        """A fresh border-capture generator with background targets set
+        (consumes the ``capture/background`` stream)."""
+        generator = CaptureGenerator(
+            streams=self.streams,
+            resolver=self.resolver_for(CAMPUS_VANTAGE),
+            cloud_ranges={
+                "ec2": self.ec2.published_range_set(),
+                "azure": self.azure.published_range_set(),
+            },
+            config=self.config.capture,
+        )
+        generator.set_background_targets(self._background_targets())
+        return generator
+
     def capture_trace(self) -> Trace:
         """The week-long campus capture (generated once, cached)."""
         if self._capture_trace is None:
-            generator = CaptureGenerator(
-                streams=self.streams,
-                resolver=self.resolver_for(CAMPUS_VANTAGE),
-                cloud_ranges={
-                    "ec2": self.ec2.published_range_set(),
-                    "azure": self.azure.published_range_set(),
-                },
-                config=self.config.capture,
-            )
-            generator.set_background_targets(self._background_targets())
+            generator = self._capture_generator()
             self._capture_trace = generator.generate(self.traffic_domains())
         return self._capture_trace
+
+    def capture_summary(self, workers: int = 0, obs=None):
+        """Stream-analyze the capture without materializing a trace.
+
+        One pass of bounded-memory aggregation (optionally sharded by
+        capture day when ``workers > 1``); totals match the batch
+        analyzer's exactly — see :mod:`repro.capture.streaming`.
+        """
+        from repro.capture.streaming import streaming_capture_summary
+        from repro.obs import NOOP
+
+        return streaming_capture_summary(
+            self, workers=workers, obs=obs if obs is not None else NOOP
+        )
 
     def _background_targets(self):
         rng = self.streams.stream("capture", "background")
@@ -261,8 +495,17 @@ class World:
         """The domains the campus population talks to.
 
         All capture notables (Table 5), a sampled slice of the other
-        Alexa cloud-using domains, and the capture-only tail.
+        Alexa cloud-using domains, and the capture-only tail.  A
+        releasing chunked build made these decisions while the tenants
+        were still deployed, so it returns the accumulated list; the
+        batch path draws them here.
         """
+        if self._released_tenants:
+            if not self._finalized:
+                raise RuntimeError(
+                    "traffic_domains before finalize_tenants"
+                )
+            return list(self._traffic)
         rng = self.streams.stream("capture", "domains")
         result: List[TrafficDomain] = []
         seen = set()

@@ -1,0 +1,172 @@
+"""Streaming capture analysis must match the batch analyzer byte for
+byte: the one-pass summary vs ``BroAnalyzer`` over the materialized
+trace, the day-sharded fan-out vs the sequential pass, and the DNS
+side effects either path leaves on the world."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.capture.analyzer import BroAnalyzer
+from repro.capture.streaming import streaming_capture_eligible
+from repro.flags import set_streaming_enabled
+from repro.obs import Observability
+from repro.world import World, WorldConfig
+
+SEED = 21
+DOMAINS = 300
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="day sharding needs os.fork"
+)
+
+
+def _world():
+    return World(WorldConfig(seed=SEED, num_domains=DOMAINS))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    """Batch world, its trace, and the batch analyzer."""
+    world = _world()
+    trace = world.capture_trace()
+    analyzer = BroAnalyzer({
+        "ec2": world.ec2.published_range_set(),
+        "azure": world.azure.published_range_set(),
+    })
+    return world, trace, analyzer
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    world = _world()
+    return world, world.capture_summary()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    world = _world()
+    return world, world.capture_summary(workers=2)
+
+
+def _domain_view(traffic):
+    """DomainTraffic minus the per-flow size lists (the one field the
+    bounded-memory summary gives up, by design)."""
+    return {
+        name: (d.provider, d.http_bytes, d.https_bytes,
+               d.http_flows, d.https_flows)
+        for name, d in traffic.items()
+    }
+
+
+class TestStreamingMatchesBatch:
+    def test_totals(self, batch, sequential):
+        _, trace, _ = batch
+        _, summary = sequential
+        assert (len(summary), summary.total_bytes()) == (
+            len(trace), trace.total_bytes()
+        )
+
+    def test_cloud_shares(self, batch, sequential):
+        _, trace, analyzer = batch
+        _, summary = sequential
+        assert summary.cloud_shares() == analyzer.cloud_shares(trace)
+
+    def test_protocol_breakdown(self, batch, sequential):
+        _, trace, analyzer = batch
+        _, summary = sequential
+        assert (
+            summary.protocol_breakdown()
+            == analyzer.protocol_breakdown(trace)
+        )
+
+    def test_domain_traffic(self, batch, sequential):
+        _, trace, analyzer = batch
+        _, summary = sequential
+        assert not summary.domains.saturated
+        assert _domain_view(summary.domain_traffic()) == _domain_view(
+            analyzer.domain_traffic(trace)
+        )
+
+    def test_content_types_and_hourly(self, batch, sequential):
+        _, trace, analyzer = batch
+        _, summary = sequential
+        assert summary.content_types() == analyzer.content_types(trace)
+        assert summary.hourly_volume() == analyzer.hourly_volume(trace)
+
+    def test_world_side_effects_identical(self, batch, sequential):
+        batch_world, _, _ = batch
+        stream_world, _ = sequential
+        assert (
+            stream_world.dns.dynamic_query_counts()
+            == batch_world.dns.dynamic_query_counts()
+        )
+        assert {
+            name: r.query_count
+            for name, r in stream_world._resolvers.items()
+        } == {
+            name: r.query_count
+            for name, r in batch_world._resolvers.items()
+        }
+
+
+@needs_fork
+class TestShardedMergeBitIdentical:
+    def test_sharded_equals_sequential(self, sequential, sharded):
+        _, seq = sequential
+        _, par = sharded
+        assert (len(par), par.total_bytes()) == (
+            len(seq), seq.total_bytes()
+        )
+        assert par.cloud == seq.cloud
+        assert par.proto == seq.proto
+        assert par.content == seq.content
+        assert par.hourly == seq.hourly
+        assert par.domains.items() == seq.domains.items()
+        assert par.sample.items() == seq.sample.items()
+
+    def test_sharded_side_effects_identical(self, sequential, sharded):
+        seq_world, _ = sequential
+        par_world, _ = sharded
+        assert (
+            par_world.dns.dynamic_query_counts()
+            == seq_world.dns.dynamic_query_counts()
+        )
+        assert {
+            name: r.query_count
+            for name, r in par_world._resolvers.items()
+        } == {
+            name: r.query_count
+            for name, r in seq_world._resolvers.items()
+        }
+
+    def test_pinned_merge_digest(self, sharded):
+        # Pins the merged summary's bytes for seed=21, domains=300.  A
+        # change here means the sharded merge (or the flow stream
+        # feeding it) no longer reproduces the committed capture —
+        # treat it as a regression, not a re-baseline.
+        _, summary = sharded
+        canonical = repr((
+            len(summary),
+            summary.total_bytes(),
+            sorted(_domain_view(summary.domain_traffic()).items()),
+            summary.hourly_volume(),
+            sorted(summary.sample.keys()),
+        ))
+        digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        assert digest == "10ce208df27e427a"
+
+
+class TestEligibility:
+    def test_declines_on_flag_and_event_sink(self):
+        assert streaming_capture_eligible()
+        previous = set_streaming_enabled(False)
+        try:
+            assert not streaming_capture_eligible()
+        finally:
+            set_streaming_enabled(previous)
+        live = Observability.collecting(events=True)
+        assert not streaming_capture_eligible(live)
+        quiet = Observability.collecting(events=False)
+        assert streaming_capture_eligible(quiet)

@@ -1,0 +1,219 @@
+"""Unit tests for the streaming-plane primitives in ``repro.sampling``
+and ``repro.capture.streaming``: the compiled weighted choosers (edge
+cases the capture equivalence tests never isolate), the deterministic
+bottom-k reservoir, and the weighted space-saving sketch."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.capture.streaming import SpaceSavingSketch
+from repro.sampling import (
+    BottomKReservoir,
+    IndexedWeightedChooser,
+    WeightedChooser,
+)
+
+
+class _FixedRandom(random.Random):
+    """A Random whose ``random()`` replays a fixed value sequence."""
+
+    def __init__(self, values):
+        super().__init__(0)
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
+
+
+class TestWeightedChooserEdges:
+    def test_single_element_population(self):
+        chooser = WeightedChooser(["only"], [0.25])
+        rng = random.Random(3)
+        assert [chooser.choose(rng) for _ in range(50)] == ["only"] * 50
+        # Each draw still consumes exactly one random() — the chooser
+        # must stay stream-compatible with rng.choices.
+        a, b = random.Random(9), random.Random(9)
+        chooser.choose(a)
+        b.random()
+        assert a.getstate() == b.getstate()
+
+    def test_float_last_bucket_boundary(self):
+        # The largest double below 1.0 pushes the probe right up
+        # against (and, after the multiply rounds, possibly onto) the
+        # last cumulative weight.  The hi = len - 1 clamp must return
+        # the last element rather than fall off the population — the
+        # same clamp random.choices carries for the same reason.
+        population = ["a", "b", "c"]
+        weights = [0.1, 0.2, 0.7]
+        probe = 1.0 - 2 ** -53
+        chooser = WeightedChooser(population, weights)
+        assert chooser.choose(_FixedRandom([probe])) == "c"
+        expected = _FixedRandom([probe]).choices(
+            population, weights=weights, k=1
+        )[0]
+        assert chooser.choose(_FixedRandom([probe])) == expected
+
+    def test_boundary_probes_match_choices_everywhere(self):
+        population = list("abcde")
+        weights = [0.3, 0.0, 0.1, 0.35, 0.25]
+        chooser = WeightedChooser(population, weights)
+        cums = list(chooser.cum_weights)
+        probes = [0.0, 1.0 - 2 ** -53]
+        for cum in cums:
+            fraction = cum / chooser.total
+            for value in (fraction, fraction - 2 ** -53):
+                if 0.0 <= value < 1.0:
+                    probes.append(value)
+        for probe in probes:
+            assert chooser.choose(_FixedRandom([probe])) == _FixedRandom(
+                [probe]
+            ).choices(population, weights=weights, k=1)[0]
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            WeightedChooser([], [])
+        with pytest.raises(ValueError):
+            WeightedChooser(["a"], [0.0])
+        with pytest.raises(ValueError):
+            WeightedChooser(["a", "b"], [1.0])
+
+
+class TestIndexedWeightedChooser:
+    def test_bit_identical_to_weighted_chooser(self):
+        weights = [1.0 / (i + 1) ** 0.6 for i in range(500)]
+        boxed = WeightedChooser(list(range(500)), weights)
+        packed = IndexedWeightedChooser(iter(weights))
+        a, b = random.Random(11), random.Random(11)
+        for _ in range(2000):
+            assert packed.choose(a) == boxed.choose(b)
+
+    def test_single_element_and_boundary(self):
+        solo = IndexedWeightedChooser([2.5])
+        assert solo.choose(random.Random(1)) == 0
+        multi = IndexedWeightedChooser([0.5, 0.5])
+        assert multi.choose(_FixedRandom([1.0 - 2 ** -53])) == 1
+
+    def test_generator_input_and_len(self):
+        chooser = IndexedWeightedChooser(w for w in (1.0, 2.0, 3.0))
+        assert len(chooser) == 3
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            IndexedWeightedChooser(iter(()))
+        with pytest.raises(ValueError):
+            IndexedWeightedChooser([0.0, 0.0])
+
+
+class TestBottomKReservoir:
+    def test_merge_equals_sequential_any_partition(self):
+        keys = [f"flow-{i}" for i in range(300)]
+        sequential = BottomKReservoir(20, salt="s")
+        for key in keys:
+            sequential.offer(key, key.upper())
+        for cuts in ((100, 200), (1, 299), (150, 150)):
+            parts = []
+            lo = 0
+            for width in cuts + (300 - sum(cuts),):
+                part = BottomKReservoir(20, salt="s")
+                for key in keys[lo:lo + width]:
+                    part.offer(key, key.upper())
+                parts.append(part)
+                lo += width
+            merged = BottomKReservoir(20, salt="s")
+            # Merge in reverse order too — order must not matter.
+            for part in reversed(parts):
+                merged.merge(part)
+            assert merged.items() == sequential.items()
+
+    def test_duplicate_offers_are_noops(self):
+        reservoir = BottomKReservoir(4, salt="x")
+        for _ in range(3):
+            for key in ("a", "b", "c", "d", "e", "f"):
+                reservoir.offer(key)
+        assert len(reservoir) == 4
+        once = BottomKReservoir(4, salt="x")
+        for key in ("a", "b", "c", "d", "e", "f"):
+            once.offer(key)
+        assert reservoir.keys() == once.keys()
+
+    def test_salt_mismatch_and_bad_size(self):
+        with pytest.raises(ValueError):
+            BottomKReservoir(0)
+        left = BottomKReservoir(2, salt="a")
+        right = BottomKReservoir(2, salt="b")
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+
+class TestSpaceSavingSketch:
+    def _weighted_stream(self, seed=5, distinct=40, n=500):
+        rng = random.Random(seed)
+        return [
+            (f"key-{rng.randrange(distinct)}", rng.randrange(1, 1000))
+            for _ in range(n)
+        ]
+
+    def test_exact_below_capacity(self):
+        stream = self._weighted_stream()
+        sketch = SpaceSavingSketch(64, aux_len=1)
+        truth = Counter()
+        for key, weight in stream:
+            sketch.add(key, weight, (weight,))
+            truth[key] += weight
+        assert not sketch.saturated
+        assert sketch.counts == dict(truth)
+        assert all(
+            sketch.aux[key] == [count] for key, count in truth.items()
+        )
+        assert [row[2] for row in sketch.items()] == [0] * len(truth)
+
+    def test_merge_of_partitions_exact_below_capacity(self):
+        stream = self._weighted_stream()
+        sequential = SpaceSavingSketch(64, aux_len=1)
+        for key, weight in stream:
+            sequential.add(key, weight, (weight,))
+        merged = SpaceSavingSketch(64, aux_len=1)
+        for lo in range(0, len(stream), 117):
+            part = SpaceSavingSketch(64, aux_len=1)
+            for key, weight in stream[lo:lo + 117]:
+                part.add(key, weight, (weight,))
+            merged.merge(part)
+        assert merged.counts == sequential.counts
+        assert merged.aux == sequential.aux
+        assert merged.items() == sequential.items()
+
+    def test_saturated_eviction_is_deterministic_and_conservative(self):
+        stream = self._weighted_stream(seed=8, distinct=200, n=2000)
+        truth = Counter()
+        for key, weight in stream:
+            truth[key] += weight
+        runs = []
+        for _ in range(2):
+            sketch = SpaceSavingSketch(32, aux_len=0)
+            for key, weight in stream:
+                sketch.add(key, weight)
+            runs.append(sketch.items())
+        # Pure function of the input sequence: two identical feeds
+        # yield byte-identical tables.
+        assert runs[0] == runs[1]
+        sketch = SpaceSavingSketch(32, aux_len=0)
+        for key, weight in stream:
+            sketch.add(key, weight)
+        assert sketch.saturated
+        # Space-saving invariants: estimates never undercount, and
+        # count - error never overcounts.
+        for key, count, error, _aux in sketch.items():
+            assert count >= truth[key]
+            assert count - error <= truth[key]
+        # The total weight is conserved by the eviction rule.
+        assert sum(sketch.counts.values()) >= sum(truth.values()) // 2
+
+    def test_rejects_bad_capacity_and_aux_mismatch(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(0)
+        left = SpaceSavingSketch(4, aux_len=1)
+        right = SpaceSavingSketch(4, aux_len=2)
+        with pytest.raises(ValueError):
+            left.merge(right)
