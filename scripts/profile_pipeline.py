@@ -16,7 +16,8 @@ bit-identical results as well as speed.  Usage:
         [--max-rss-mib M] \
         [--verify-workers "0,2,4"] [--repeat K] \
         [--no-columnar | --compare-scalar] \
-        [--cache-dir DIR | --no-cache-check] [--out BENCH_pipeline.json]
+        [--cache-dir DIR | --no-cache-check] \
+        [--epochs N] [--epoch-plan NAME] [--out BENCH_pipeline.json]
 
 ``--scale`` picks a domain-count tier — ``seed`` (2.5k, the committed
 bench), ``mid`` (100k), ``paper`` (1M, the paper's top-1M crawl) — and
@@ -45,6 +46,15 @@ the uncached digests.
 With ``--repeat K`` each stage's reported time is the best of K full
 pipeline runs (the digests must agree across runs, and do — caching is
 output-transparent; see docs/PERFORMANCE.md).
+
+``--epochs N`` additionally runs an N-epoch incremental series (the
+longitudinal plane; ``--epoch-plan`` picks the evolution recipe)
+through a fresh artifact cache and records per-epoch wall times and
+cache hit/miss deltas in the bench JSON's ``epoch_series`` section —
+the first-epoch vs steady-state epoch cost.  Two gates fail the run:
+epoch 0 must reproduce the single-shot digests bit-for-bit, and every
+later epoch must be served at least partly from the cache (the epoch
+fingerprints must reuse unchanged artifact kinds).
 
 All timings come from the :mod:`repro.obs` tracer (the same spans the
 run manifest exports), not ad-hoc stopwatch dicts.  Before overwriting
@@ -388,6 +398,101 @@ def cache_check(args, expected_digests: dict) -> dict:
             shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def run_epoch_series(
+    seed: int, domains: int, wan_rounds: int, workers: int,
+    epochs: int, plan_name: str, cache_dir: str, capture=None,
+) -> dict:
+    """An N-epoch incremental series through one artifact cache.
+
+    Epoch 0 carries no fingerprint components, so its artifact keys —
+    and therefore its digests — are exactly the single-shot
+    pipeline's.  Each later epoch rebuilds only the artifact kinds its
+    plan's steps diffed and is served the rest (the WAN matrices,
+    under every bundled plan) from the store; the per-epoch cache
+    deltas record that split.
+    """
+    from repro.epochs import Epoch, resolve_epoch_plan
+
+    plan = resolve_epoch_plan(plan_name)
+    store = ArtifactStore(cache_dir)
+    world_config = WorldConfig(
+        seed=seed, num_domains=domains,
+        capture=capture if capture is not None else CaptureConfig(),
+    )
+    wan_config = WanConfig(rounds=wan_rounds, workers=workers)
+    per_epoch = []
+    epoch0_digests = None
+    for index in range(epochs):
+        before = store.stats.as_dict()
+        epoch = Epoch(plan, index, world_config)
+        context = ExperimentContext(
+            world_config, wan_config, workers=workers,
+            artifact_store=store, epoch=epoch,
+        )
+        start = time.perf_counter()
+        digests = {}
+        digests.update(_dataset_digests(context.dataset))
+        wan = context.wan
+        digests.update(_wan_digests(wan))
+        digests.update(_trace_digest(context.trace))
+        digests.update(_isp_digest(wan.isp_diversity()))
+        elapsed = time.perf_counter() - start
+        after = store.stats.as_dict()
+        if index == 0:
+            epoch0_digests = digests
+        per_epoch.append({
+            "epoch": index,
+            "elapsed_s": round(elapsed, 3),
+            "cache": {
+                name: after[name] - before[name] for name in after
+            },
+        })
+    return {
+        "plan": plan.name,
+        "epochs": epochs,
+        "per_epoch": per_epoch,
+        "epoch0_digests": epoch0_digests,
+    }
+
+
+def epoch_series_check(args, expected_digests: dict, capture) -> dict:
+    """``--epochs``: run the incremental series and gate on (a) epoch 0
+    reproducing the single-shot digests and (b) every later epoch being
+    served at least partly from the artifact cache."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-epochs-bench-")
+    try:
+        series = run_epoch_series(
+            args.seed, args.domains, args.wan_rounds, args.workers,
+            args.epochs, args.epoch_plan, cache_dir, capture=capture,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if series["epoch0_digests"] != expected_digests:
+        raise SystemExit(
+            "epoch 0 diverged from the single-shot pipeline: "
+            f"{series['epoch0_digests']} vs {expected_digests}"
+        )
+    stale = [
+        entry["epoch"] for entry in series["per_epoch"][1:]
+        if entry["cache"]["hits"] <= 0
+    ]
+    if stale:
+        raise SystemExit(
+            f"epochs {stale} re-ran without a single artifact-cache "
+            "hit — the epoch fingerprints are not reusing unchanged "
+            "artifact kinds"
+        )
+    series["outputs_identical"] = True
+    series["first_epoch_s"] = series["per_epoch"][0]["elapsed_s"]
+    if len(series["per_epoch"]) > 1:
+        series["steady_state_epoch_s"] = round(
+            sum(e["elapsed_s"] for e in series["per_epoch"][1:])
+            / (len(series["per_epoch"]) - 1),
+            3,
+        )
+    return series
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -445,6 +550,17 @@ def main() -> int:
         help="skip the cold-vs-warm artifact-cache runs",
     )
     parser.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="also run an N-epoch incremental series through a fresh "
+             "artifact cache and record per-epoch timings and cache "
+             "deltas; gates on epoch 0 reproducing the single-shot "
+             "digests and later epochs hitting the cache",
+    )
+    parser.add_argument(
+        "--epoch-plan", default="steady-growth", metavar="NAME",
+        help="named epoch plan for --epochs (see repro.epochs.plan)",
+    )
+    parser.add_argument(
         "--no-columnar", action="store_true",
         help="disable the columnar data plane (scalar reference paths)",
     )
@@ -489,6 +605,8 @@ def main() -> int:
         args.out = SCALES[args.scale]["out"]
     if args.no_columnar and args.compare_scalar:
         parser.error("--compare-scalar is meaningless with --no-columnar")
+    if args.epochs is not None and args.epochs < 1:
+        parser.error("--epochs needs at least 1 epoch")
 
     columnar = not args.no_columnar
     streaming = not args.no_streaming
@@ -647,6 +765,11 @@ def main() -> int:
 
     if not args.no_cache_check:
         report["artifact_cache"] = cache_check(args, digests)
+
+    if args.epochs is not None:
+        report["epoch_series"] = epoch_series_check(
+            args, digests, capture
+        )
 
     if args.baseline:
         with open(args.baseline) as fh:

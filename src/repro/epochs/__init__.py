@@ -1,0 +1,64 @@
+"""The longitudinal plane: one world timeline, N measurement runs.
+
+The paper closes by calling for ongoing tracking of cloud usage; this
+package makes that a first-class pipeline axis.  An
+:class:`~repro.epochs.plan.EpochPlan` names a deterministic evolution
+recipe built from composable :class:`~repro.epochs.steps.EpochStep`\\ s
+(adoption, region expansion, EC2↔Azure↔both migrations, tenant
+churn); an :class:`~repro.epochs.plan.Epoch` is one point on the
+timeline; :func:`~repro.epochs.series.run_series` re-runs the full
+experiment plane at every epoch with incremental artifact reuse and
+emits the cross-epoch trend tables (:mod:`~repro.epochs.trends`) in
+``series.json``.
+
+Epoch 0 is byte-identical to the single-shot pipeline, and a series is
+byte-identical cold vs warm-cache and sequential vs ``--workers N``.
+
+Exports resolve lazily (PEP 562): ``repro.evolution`` delegates its
+mutation bodies to :mod:`repro.epochs.steps` while the series/trends
+layers consume ``repro.evolution`` snapshots, so an eager ``__init__``
+would close an import cycle.
+"""
+
+_EXPORTS = {
+    "DEFAULT_EPOCH_PLAN": "repro.epochs.plan",
+    "EPOCH_SECONDS": "repro.epochs.plan",
+    "Epoch": "repro.epochs.plan",
+    "EpochPlan": "repro.epochs.plan",
+    "named_epoch_plans": "repro.epochs.plan",
+    "resolve_epoch_plan": "repro.epochs.plan",
+    "EpochRun": "repro.epochs.series",
+    "SeriesResult": "repro.epochs.series",
+    "run_series": "repro.epochs.series",
+    "series_identifier": "repro.epochs.series",
+    "STEP_TYPES": "repro.epochs.steps",
+    "CloudAdoption": "repro.epochs.steps",
+    "DualProviderAdoption": "repro.epochs.steps",
+    "EpochDiff": "repro.epochs.steps",
+    "EpochStep": "repro.epochs.steps",
+    "MigrationToAzure": "repro.epochs.steps",
+    "MigrationToEc2": "repro.epochs.steps",
+    "RegionExpansion": "repro.epochs.steps",
+    "TenantChurn": "repro.epochs.steps",
+    "TrendContext": "repro.epochs.trends",
+    "run_trends": "repro.epochs.trends",
+    "trend_specs": "repro.epochs.trends",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.epochs' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

@@ -8,6 +8,21 @@ existing tenants add regions, and some migrate between providers.
 :class:`LongitudinalStudy` re-runs the full §2.1 pipeline before and
 after (with virtual time advanced so resolver caches expire) and
 reports the drift.
+
+The mutation bodies live in :mod:`repro.epochs.steps` as composable
+:class:`~repro.epochs.steps.EpochStep` value objects — the epoch
+engine (:mod:`repro.epochs`) replays them with named per-epoch RNG
+streams for N-epoch series with incremental artifact reuse.  This
+module keeps the original convenience API: one shared ``"evolution"``
+stream threaded through each step in call order, so legacy callers'
+draws are unchanged.
+
+Snapshots carry only derived summary fields; the full per-epoch
+dataset (tens of MB at paper scale, which would defeat the streaming
+plane's constant-memory work) is retained only when the study is
+created with ``retain_datasets=True``.  ``Snapshot.virtual_time_s`` is
+the simulation's virtual clock — never wall clock — so anything
+derived from snapshots stays byte-identical run over run.
 """
 
 from __future__ import annotations
@@ -18,25 +33,49 @@ from typing import Dict, List, Optional
 from repro.analysis.clouduse import CloudUseAnalysis
 from repro.analysis.dataset import AlexaSubdomainsDataset, DatasetBuilder
 from repro.analysis.regions import RegionAnalysis
-from repro.cloud.base import InstanceRole, InstanceType
-from repro.dns.records import RRType, ResourceRecord
-from repro.workload.mixtures import sample_discrete
-from repro.workload.plans import SubdomainPlan
+from repro.epochs.steps import CloudAdoption, MigrationToEc2, RegionExpansion
 from repro.world import World
 
 
 @dataclass
 class Snapshot:
-    """One measurement epoch's summary."""
+    """One measurement epoch's summary (derived fields only)."""
 
     label: str
-    taken_at: float
+    #: Simulation virtual time (seconds since the simulation epoch) at
+    #: which the snapshot was taken — deterministic, unlike wall clock.
+    virtual_time_s: float
     cloud_domains: int
     cloud_subdomains: int
     ec2_share: float
+    azure_share: float
     multi_region_fraction: float
+    #: Epoch index on a timeline (0 for ad-hoc snapshots).
+    epoch: int = 0
     region_subdomains: Dict[str, int] = field(default_factory=dict)
+    #: Domain counts per Table 3 category ("EC2 only", "EC2 + Azure", ...).
+    provider_domains: Dict[str, int] = field(default_factory=dict)
+    #: The full dataset, retained only on explicit request
+    #: (``LongitudinalStudy(retain_datasets=True)``) — holding one per
+    #: epoch defeats the streaming plane's constant-memory budget.
     dataset: Optional[AlexaSubdomainsDataset] = None
+
+    def as_dict(self) -> dict:
+        """Deterministic summary for series manifests (no dataset)."""
+        return {
+            "label": self.label,
+            "epoch": self.epoch,
+            "virtual_time_s": self.virtual_time_s,
+            "cloud_domains": self.cloud_domains,
+            "cloud_subdomains": self.cloud_subdomains,
+            "ec2_share": round(self.ec2_share, 6),
+            "azure_share": round(self.azure_share, 6),
+            "multi_region_fraction": round(self.multi_region_fraction, 6),
+            "region_subdomains": dict(sorted(
+                self.region_subdomains.items()
+            )),
+            "provider_domains": dict(self.provider_domains),
+        }
 
 
 @dataclass
@@ -50,8 +89,51 @@ class Drift:
     fastest_growing_region: Optional[str]
 
 
+def take_world_snapshot(
+    world: World,
+    dataset: AlexaSubdomainsDataset,
+    label: str,
+    epoch: int = 0,
+    retain_dataset: bool = False,
+) -> Snapshot:
+    """Summarize one (world, dataset) pair into a :class:`Snapshot`.
+
+    Shared by :class:`LongitudinalStudy` and the epoch series runner —
+    the latter passes the cached dataset product, so a warm epoch never
+    rebuilds anything to snapshot itself.
+    """
+    clouduse = CloudUseAnalysis(world, dataset)
+    regions = RegionAnalysis(world, dataset)
+    report = clouduse.report()
+    region_counts = {
+        f"{p}.{r}": v["subdomains"]
+        for (p, r), v in regions.region_counts().items()
+    }
+    multi = 1.0 - regions.single_region_fraction("ec2")
+    total = report.total_domains
+    return Snapshot(
+        label=label,
+        virtual_time_s=world.clock.now,
+        epoch=epoch,
+        cloud_domains=total,
+        cloud_subdomains=report.total_subdomains,
+        ec2_share=report.ec2_total_domains / total if total else 0.0,
+        azure_share=report.azure_total_domains / total if total else 0.0,
+        multi_region_fraction=multi,
+        region_subdomains=region_counts,
+        provider_domains=dict(report.domain_counts),
+        dataset=dataset if retain_dataset else None,
+    )
+
+
 class WorldEvolution:
-    """Applies adoption/expansion/migration steps to a live world."""
+    """Applies adoption/expansion/migration steps to a live world.
+
+    Thin convenience wrapper over the epoch steps: every method builds
+    the matching :class:`~repro.epochs.steps.EpochStep` and applies it
+    with this instance's single shared ``"evolution"`` stream, so the
+    draw sequence is exactly the original in-line implementation's.
+    """
 
     def __init__(self, world: World):
         self.world = world
@@ -62,119 +144,20 @@ class WorldEvolution:
     def adopt_cloud(self, count: int) -> int:
         """``count`` previously cloud-free domains put a subdomain on
         EC2 (adoption in the wild: one app at a time, us-east first)."""
-        candidates = [
-            plan for plan in self.world.plans if not plan.is_cloud_using
-        ]
-        adopted = 0
-        for plan in self.rng.sample(
-            candidates, k=min(count, len(candidates))
-        ):
-            region = sample_discrete(
-                self.rng, self.world.config.mixtures.ec2_region_weights
-            )
-            label = self.rng.choice(("app", "api", "beta", "cloud"))
-            fqdn = f"{label}.{plan.domain}"
-            zone = self.world.dns.get_zone(plan.domain)
-            if zone is None or zone.has_name(fqdn):
-                continue
-            instance = self.world.ec2.launch_instance(
-                account_id=f"acct-{plan.domain}",
-                region_name=region,
-                itype=InstanceType.M1_MEDIUM,
-                role=InstanceRole.WEB,
-                rng=self.rng,
-            )
-            zone.add(ResourceRecord(fqdn, RRType.A, instance.public_ip,
-                                    ttl=300))
-            plan.category = "ec2_other"
-            plan.home_region_ec2 = region
-            plan.subdomains.append(SubdomainPlan(
-                fqdn=fqdn, kind="cloud", provider="ec2", frontend="vm",
-                regions=(region,), zone_indices=((instance.zone_index,),),
-                n_vms=1,
-            ))
-            adopted += 1
-        return adopted
+        diff = CloudAdoption(count=count).apply(self.world, self.rng)
+        return len(diff.domains)
 
     def expand_to_second_region(self, count: int) -> int:
         """``count`` single-region VM front ends add a replica region —
         the paper's own recommendation being taken up."""
-        expanded = 0
-        candidates = []
-        for plan in self.world.plans:
-            for sub in plan.cloud_subdomains():
-                if (
-                    sub.provider == "ec2"
-                    and sub.frontend == "vm"
-                    and len(sub.regions) == 1
-                ):
-                    candidates.append((plan, sub))
-        for plan, sub in self.rng.sample(
-            candidates, k=min(count, len(candidates))
-        ):
-            zone = self.world.dns.get_zone(plan.domain)
-            if zone is None:
-                continue
-            current = sub.regions[0]
-            options = [
-                r for r in self.world.ec2.region_names() if r != current
-            ]
-            region = self.rng.choice(options)
-            instance = self.world.ec2.launch_instance(
-                account_id=f"acct-{plan.domain}",
-                region_name=region,
-                itype=InstanceType.M1_MEDIUM,
-                role=InstanceRole.WEB,
-                rng=self.rng,
-            )
-            zone.add(ResourceRecord(
-                sub.fqdn, RRType.A, instance.public_ip, ttl=300
-            ))
-            sub.regions = sub.regions + (region,)
-            sub.zone_indices = sub.zone_indices + (
-                (instance.zone_index,),
-            )
-            expanded += 1
-        return expanded
+        diff = RegionExpansion(count=count).apply(self.world, self.rng)
+        return len(diff.subdomains)
 
     def migrate_to_ec2(self, count: int) -> int:
         """``count`` Azure-hosted subdomains move to EC2 (replace their
         records rather than accrete — a true migration)."""
-        migrated = 0
-        candidates = []
-        for plan in self.world.plans:
-            for sub in plan.cloud_subdomains():
-                if sub.provider == "azure" and sub.frontend in (
-                    "cs_direct", "cs_cname"
-                ):
-                    candidates.append((plan, sub))
-        for plan, sub in self.rng.sample(
-            candidates, k=min(count, len(candidates))
-        ):
-            zone = self.world.dns.get_zone(plan.domain)
-            if zone is None:
-                continue
-            region = sample_discrete(
-                self.rng, self.world.config.mixtures.ec2_region_weights
-            )
-            instance = self.world.ec2.launch_instance(
-                account_id=f"acct-{plan.domain}",
-                region_name=region,
-                itype=InstanceType.M1_MEDIUM,
-                role=InstanceRole.WEB,
-                rng=self.rng,
-            )
-            zone.remove(sub.fqdn)
-            zone.add(ResourceRecord(
-                sub.fqdn, RRType.A, instance.public_ip, ttl=300
-            ))
-            sub.provider = "ec2"
-            sub.frontend = "vm"
-            sub.regions = (region,)
-            sub.zone_indices = ((instance.zone_index,),)
-            sub.n_vms = 1
-            migrated += 1
-        return migrated
+        diff = MigrationToEc2(count=count).apply(self.world, self.rng)
+        return len(diff.subdomains)
 
     def advance_epoch(self, seconds: float = 180 * 86400.0) -> None:
         """Move virtual time forward so resolver caches expire."""
@@ -184,32 +167,19 @@ class WorldEvolution:
 class LongitudinalStudy:
     """Runs the measurement pipeline at multiple epochs and diffs."""
 
-    def __init__(self, world: World):
+    def __init__(self, world: World, retain_datasets: bool = False):
         self.world = world
+        #: Keep the full dataset on each snapshot (debugging aid; off
+        #: by default so long studies stay constant-memory).
+        self.retain_datasets = retain_datasets
         self.snapshots: List[Snapshot] = []
 
     def take_snapshot(self, label: str) -> Snapshot:
         dataset = DatasetBuilder(self.world).build()
-        clouduse = CloudUseAnalysis(self.world, dataset)
-        regions = RegionAnalysis(self.world, dataset)
-        report = clouduse.report()
-        region_counts = {
-            f"{p}.{r}": v["subdomains"]
-            for (p, r), v in regions.region_counts().items()
-        }
-        multi = 1.0 - regions.single_region_fraction("ec2")
-        snapshot = Snapshot(
-            label=label,
-            taken_at=self.world.clock.now,
-            cloud_domains=report.total_domains,
-            cloud_subdomains=report.total_subdomains,
-            ec2_share=(
-                report.ec2_total_domains / report.total_domains
-                if report.total_domains else 0.0
-            ),
-            multi_region_fraction=multi,
-            region_subdomains=region_counts,
-            dataset=dataset,
+        snapshot = take_world_snapshot(
+            self.world, dataset, label,
+            epoch=len(self.snapshots),
+            retain_dataset=self.retain_datasets,
         )
         self.snapshots.append(snapshot)
         return snapshot

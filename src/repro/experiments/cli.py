@@ -14,6 +14,13 @@ fidelity report in text and JSON, the rendered summaries, and the
 ``--fidelity-gate`` turns any ``divergent`` verdict into a non-zero
 exit, the regression gate CI runs at seed scale.
 
+``--epochs N`` switches to longitudinal mode (see :mod:`repro.epochs`):
+the experiments re-run at N epochs of an evolving world timeline under
+a named ``--epoch-plan``, writing one ``run-<hash>`` directory per
+epoch plus a ``series-<hash>/series.json`` with cross-epoch trend
+tables.  Epoch 0 is byte-identical to a single-shot run and is the
+only epoch the fidelity gate judges.
+
 Observability (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
 ``--trace-out`` exports the span tree as Chrome ``trace_event`` JSON,
 ``--metrics-out`` the Prometheus text exposition, ``--events-out`` the
@@ -82,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
              "ec2.us-east-1-outage+elb-outage (resolved from the "
              "repro.faults registry); drilled runs are exempt from "
              "paper comparison",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="longitudinal mode: run the experiments at N epochs of an "
+             "evolving world timeline (epoch 0 is byte-identical to a "
+             "single-shot run; later epochs reuse every cached "
+             "artifact their evolution steps left untouched) and "
+             "write a series.json with cross-epoch trend tables",
+    )
+    parser.add_argument(
+        "--epoch-plan", metavar="NAME", default=None,
+        help="named evolution recipe for --epochs (default: "
+             "steady-growth; see repro.epochs.named_epoch_plans). "
+             "Implies --epochs 3 when given alone",
     )
     parser.add_argument(
         "--artifact-dir", metavar="DIR", default=".repro-artifacts",
@@ -171,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         None if args.no_artifact_cache
         else ArtifactStore(args.artifact_dir, obs=obs)
     )
+    if args.epochs is not None or args.epoch_plan is not None:
+        return _run_epoch_series(args, scenario, obs, store)
     context = ExperimentContext(
         WorldConfig(seed=args.seed, num_domains=args.domains),
         WanConfig(rounds=args.wan_rounds, workers=args.workers),
@@ -223,6 +246,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             context=context,
         )
         print(f"run {manifest.run_id}: wrote {paths['manifest']}")
+    _export_obs(args, obs)
+    if args.fidelity_gate and report.divergent_keys:
+        for experiment_id, key in report.divergent_keys:
+            print(
+                f"fidelity gate: {experiment_id}.{key} is divergent",
+                file=sys.stderr,
+            )
+        return EXIT_DIVERGENT
+    return 0
+
+
+def _export_obs(args, obs: Observability) -> None:
+    """Write the --trace-out/--metrics-out/--events-out exports."""
     if args.trace_out:
         obs.tracer.write_chrome(args.trace_out)
         print(f"wrote trace {args.trace_out}")
@@ -236,10 +272,89 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.events_out:
         obs.events.write(args.events_out)
         print(f"wrote events {args.events_out}")
-    if args.fidelity_gate and report.divergent_keys:
-        for experiment_id, key in report.divergent_keys:
+
+
+def _run_epoch_series(args, scenario, obs, store) -> int:
+    """The --epochs branch: one world timeline, N runs.
+
+    Composes with --workers, --scenario, --out-dir, and
+    --fidelity-gate (the gate judges epoch 0 only — later epochs
+    measure a deliberately evolved world and are exempt).
+    """
+    from repro.analysis.wan import WanConfig
+    from repro.epochs import DEFAULT_EPOCH_PLAN, resolve_epoch_plan
+    from repro.epochs.series import run_series
+    from repro.sim import set_rng_observer
+
+    try:
+        plan = resolve_epoch_plan(args.epoch_plan or DEFAULT_EPOCH_PLAN)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    epochs = args.epochs if args.epochs is not None else 3
+    if epochs < 1:
+        print(f"error: --epochs must be >= 1, got {epochs}",
+              file=sys.stderr)
+        return 2
+    if args.experiments:
+        specs = [get_experiment(e) for e in args.experiments]
+    else:
+        specs = all_experiments()
+    print(f"epoch plan: {plan.name} — {plan.description}\n")
+    previous_observer = obs.install_rng_counter()
+    try:
+        series = run_series(
+            specs,
+            WorldConfig(seed=args.seed, num_domains=args.domains),
+            WanConfig(rounds=args.wan_rounds, workers=args.workers),
+            plan,
+            epochs,
+            workers=args.workers,
+            artifact_store=store,
+            scenario=scenario,
+            obs=obs,
+            out_dir=args.out_dir,
+        )
+    finally:
+        set_rng_observer(previous_observer)
+    for run in series.epochs:
+        changes = sum(
+            len(diff.domains) + len(diff.subdomains)
+            for diff in run.epoch.diffs
+        )
+        cache = run.cache_delta
+        cache_note = (
+            f", cache {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses"
+            if cache else ""
+        )
+        print(
+            f"epoch {run.epoch.index}: {run.run_id} — "
+            f"{len(run.epoch.steps())} steps, {changes} changes"
+            f"{cache_note} ({run.elapsed_s:.1f}s)"
+        )
+    print()
+    print(series.render_trends())
+    epoch0 = series.epochs[0].manifest.fidelity
+    print()
+    print(epoch0.render_text())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(series.render_trends() + "\n")
+        print(f"wrote {args.out}")
+    if args.out_dir:
+        from pathlib import Path
+
+        series_path = (
+            Path(args.out_dir) / series.series_id / "series.json"
+        )
+        print(f"series {series.series_id}: wrote {series_path}")
+    _export_obs(args, obs)
+    if args.fidelity_gate and epoch0.divergent_keys:
+        for experiment_id, key in epoch0.divergent_keys:
             print(
-                f"fidelity gate: {experiment_id}.{key} is divergent",
+                f"fidelity gate: epoch 0 {experiment_id}.{key} is "
+                f"divergent",
                 file=sys.stderr,
             )
         return EXIT_DIVERGENT

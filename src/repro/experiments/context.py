@@ -63,6 +63,7 @@ class ExperimentContext:
         artifact_store: Optional[ArtifactStore] = None,
         scenario: Optional[OutageScenario] = None,
         obs: Optional[Observability] = None,
+        epoch=None,
     ):
         self.world_config = world_config or WorldConfig()
         self.wan_config = wan_config or WanConfig()
@@ -74,6 +75,13 @@ class ExperimentContext:
         #: runs (and into the dataset/WAN artifact keys — a drilled run
         #: must never be served a healthy run's products).
         self.scenario = scenario
+        #: Point on a world timeline (:class:`repro.epochs.plan.Epoch`)
+        #: or ``None`` for the classic single-shot pipeline.  When set,
+        #: the world is built through the epoch timeline and artifact
+        #: keys gain a per-kind epoch fingerprint — omitted whenever no
+        #: step through this epoch touched the kind, so those artifacts
+        #: keep their epoch-0 keys and hit the store.
+        self.epoch = epoch
         #: Observability plane threaded into every build, campaign, and
         #: artifact-store call this context owns.  Defaults to a
         #: collecting tracer+metrics (events off) so :meth:`telemetry`
@@ -104,6 +112,14 @@ class ExperimentContext:
         # are unchanged across revisions that predate scenarios.
         if self.scenario is not None:
             extra["scenario"] = self.scenario.name
+        # Same join-only-when-set rule for the epoch axis: the
+        # fingerprint is None both for epoch 0 and for kinds no step
+        # touched, so those keys equal the single-shot keys and the
+        # cached artifacts are reused across the series.
+        if self.epoch is not None:
+            fingerprint = self.epoch.fingerprint(kind)
+            if fingerprint is not None:
+                extra["epoch"] = fingerprint
         return artifact_key(
             kind, {"world": self.world_config, **extra}
         )
@@ -125,7 +141,13 @@ class ExperimentContext:
     def world(self) -> World:
         if self._world is None:
             with self.obs.tracer.span("world", category="stage"):
-                self._world = World(self.world_config)
+                if self.epoch is not None:
+                    # The epoch timeline owns world construction: base
+                    # world plus every evolution step through this
+                    # epoch, memoized on the Epoch.
+                    self._world = self.epoch.build_world()
+                else:
+                    self._world = World(self.world_config)
             pending, self._replays = self._replays, []
             for replay in pending:
                 replay()

@@ -6,6 +6,9 @@ up into a per-experiment status (the worst key verdict) and a
 whole-run :class:`FidelityReport` (text + JSON).  Outage-scenario runs
 are *exempt*: a drilled world is deliberately not the paper's, so its
 keys carry the ``exempt`` verdict and never count against fidelity.
+Evolved epochs (index >= 1 of a longitudinal series) are exempt for
+the same reason: the world has deliberately moved on from the paper's
+2013 crawl, so only epoch 0 is scored against the paper.
 
 The CI gate consumes the JSON form: a seed-scale run must produce
 zero ``divergent`` verdicts.
@@ -54,10 +57,14 @@ class ExperimentFidelity:
     experiment_id: str
     verdicts: Tuple[KeyVerdict, ...]
     scenario: Optional[str] = None
+    #: Evolved-epoch index (>= 1) when this run measured a world that
+    #: has moved past the paper's; ``None`` for single-shot and epoch-0
+    #: runs, which stay scored.
+    epoch: Optional[int] = None
 
     @property
     def exempt(self) -> bool:
-        return self.scenario is not None
+        return self.scenario is not None or self.epoch is not None
 
     @property
     def counts(self) -> Counter:
@@ -84,18 +91,21 @@ class ExperimentFidelity:
         return {
             "experiment_id": self.experiment_id,
             "status": self.status,
-            **({"scenario": self.scenario} if self.exempt else {}),
+            **({"scenario": self.scenario}
+               if self.scenario is not None else {}),
+            **({"epoch": self.epoch} if self.epoch is not None else {}),
             "keys": [v.as_dict() for v in self.verdicts],
         }
 
 
 def score_experiment(spec, measured: Dict[str, object],
-                     scenario: Optional[str] = None) -> ExperimentFidelity:
+                     scenario: Optional[str] = None,
+                     epoch: Optional[int] = None) -> ExperimentFidelity:
     """Judge every declared expectation against the measured values."""
     verdicts = []
     for expectation in spec.expectations:
         value = measured.get(expectation.key)
-        if scenario is not None:
+        if scenario is not None or epoch is not None:
             delta, verdict = None, "exempt"
         else:
             delta, verdict = expectation.judge(value)
@@ -109,7 +119,8 @@ def score_experiment(spec, measured: Dict[str, object],
             note=expectation.note,
         ))
     return ExperimentFidelity(
-        spec.experiment_id, tuple(verdicts), scenario=scenario
+        spec.experiment_id, tuple(verdicts), scenario=scenario,
+        epoch=epoch,
     )
 
 
@@ -119,10 +130,13 @@ class FidelityReport:
 
     experiments: List[ExperimentFidelity]
     scenario: Optional[str] = None
+    #: Evolved-epoch index (>= 1) when the whole run measured an
+    #: evolved world; ``None`` keeps the run scored.
+    epoch: Optional[int] = None
 
     @property
     def exempt(self) -> bool:
-        return self.scenario is not None
+        return self.scenario is not None or self.epoch is not None
 
     @property
     def counts(self) -> Counter:
@@ -155,7 +169,9 @@ class FidelityReport:
         return {
             "status": self.status,
             "exempt": self.exempt,
-            **({"scenario": self.scenario} if self.exempt else {}),
+            **({"scenario": self.scenario}
+               if self.scenario is not None else {}),
+            **({"epoch": self.epoch} if self.epoch is not None else {}),
             "counts": dict(self.counts),
             "experiments": [f.as_dict() for f in self.experiments],
         }
@@ -164,11 +180,17 @@ class FidelityReport:
         """The human-facing fidelity report."""
         from repro.report.table import TextTable
 
-        if self.exempt:
+        if self.scenario is not None:
             return (
                 f"fidelity: exempt — outage drill "
                 f"'{self.scenario}' runs are not comparable to the "
                 f"paper's healthy-world numbers"
+            )
+        if self.epoch is not None:
+            return (
+                f"fidelity: exempt — epoch {self.epoch} measures a "
+                f"deliberately evolved world; only epoch 0 is scored "
+                f"against the paper's 2013 crawl"
             )
         table = TextTable(
             ["Experiment", "Status", "Match", "Drift", "Divergent",

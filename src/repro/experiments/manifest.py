@@ -50,6 +50,11 @@ def run_identifier(context, experiment_ids: Tuple[str, ...]) -> str:
     }
     if context.scenario is not None:
         components["scenario"] = context.scenario.name
+    # Epoch 0 must land in exactly the single-shot run directory (it
+    # *is* that run), so the epoch joins the id only when evolved.
+    epoch = getattr(context, "epoch", None)
+    if epoch is not None and epoch.index > 0:
+        components["epoch"] = (epoch.plan_name, epoch.index)
     return "run-" + artifact_key("run-manifest", components)[:12]
 
 
@@ -102,10 +107,15 @@ class RunManifest:
                 ),
                 **({"notes": result.notes} if result.notes else {}),
             })
+        epoch = getattr(context, "epoch", None)
+        epoch_index = (
+            epoch.index if epoch is not None and epoch.index > 0 else None
+        )
         report = FidelityReport(
             [result.fidelity for _, result, _ in runs
              if result.fidelity is not None],
             scenario=scenario,
+            epoch=epoch_index,
         )
         world = context.world_config
         wan = context.wan_config
@@ -126,6 +136,12 @@ class RunManifest:
                 "wan_rounds": wan.rounds,
                 "workers": context.workers,
                 "scenario": scenario,
+                # Only evolved epochs mark the config: epoch 0's
+                # manifest must stay byte-identical to a single-shot
+                # run's.
+                **({"epoch": {"plan": epoch.plan_name,
+                              "index": epoch.index}}
+                   if epoch_index is not None else {}),
                 "experiments": [
                     spec.experiment_id for spec, _, _ in runs
                 ],

@@ -277,9 +277,11 @@ class ExperimentSpec:
         from repro.experiments.fidelity import score_experiment
 
         obs = getattr(context, "obs", NOOP)
+        epoch = getattr(context, "epoch", None)
         with obs.tracer.span(
             f"experiment:{self.experiment_id}", category="experiment",
             section=self.paper_section,
+            **({"epoch": epoch.index} if epoch is not None else {}),
         ):
             measurement = self.measure(context)
         unknown = set(measurement.measured) - set(self.keys)
@@ -292,6 +294,12 @@ class ExperimentSpec:
         fidelity = score_experiment(
             self, measurement.measured,
             scenario=scenario.name if scenario is not None else None,
+            # Epoch 0 is the paper's world and stays scored; evolved
+            # epochs are exempt from paper comparison.
+            epoch=(
+                epoch.index
+                if epoch is not None and epoch.index > 0 else None
+            ),
         )
         return ExperimentResult(
             experiment_id=self.experiment_id,

@@ -1,0 +1,1 @@
+"""Tests for the longitudinal plane (repro.epochs)."""

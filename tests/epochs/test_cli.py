@@ -1,0 +1,56 @@
+"""End-to-end tests of the CLI's longitudinal mode (``--epochs``)."""
+
+import json
+
+from repro.experiments.cli import main
+
+
+def _argv(tmp_path, *extra):
+    return [
+        "table03",
+        "--domains", "300",
+        "--wan-rounds", "2",
+        "--artifact-dir", str(tmp_path / "cache"),
+        "--out-dir", str(tmp_path / "runs"),
+        *extra,
+    ]
+
+
+def test_epochs_flag_runs_a_series(tmp_path, capsys):
+    assert main(_argv(tmp_path, "--epochs", "2")) == 0
+    out = capsys.readouterr().out
+    assert "epoch 0" in out and "epoch 1" in out
+    assert "Cloud share over time" in out
+    series_files = list((tmp_path / "runs").glob("series-*/series.json"))
+    assert len(series_files) == 1
+    payload = json.loads(series_files[0].read_text())
+    assert payload["config"]["epochs"] == 2
+    assert payload["config"]["experiments"] == ["table03"]
+    for link in payload["epochs"]:
+        assert (
+            tmp_path / "runs" / link["run_id"] / "manifest.json"
+        ).exists()
+
+
+def test_epoch_plan_alone_implies_three_epochs(tmp_path, capsys):
+    # "frozen" evolves nothing, so epochs 1-2 are pure cache replays.
+    assert main(_argv(tmp_path, "--epoch-plan", "frozen")) == 0
+    series_files = list((tmp_path / "runs").glob("series-*/series.json"))
+    payload = json.loads(series_files[0].read_text())
+    assert payload["config"]["epochs"] == 3
+    assert payload["plan"]["name"] == "frozen"
+    for link in payload["epochs"]:
+        assert link["steps"] == []
+        assert all(
+            value is None for value in link["fingerprints"].values()
+        )
+
+
+def test_unknown_epoch_plan_exits_2(tmp_path, capsys):
+    assert main(_argv(tmp_path, "--epochs", "2",
+                      "--epoch-plan", "no-such-plan")) == 2
+    assert "known plans" in capsys.readouterr().err
+
+
+def test_nonpositive_epochs_exits_2(tmp_path, capsys):
+    assert main(_argv(tmp_path, "--epochs", "0")) == 2

@@ -1,0 +1,129 @@
+"""Tests for epoch plans, fingerprints, and the Epoch timeline state."""
+
+import pytest
+
+from repro.epochs import (
+    DEFAULT_EPOCH_PLAN,
+    EPOCH_SECONDS,
+    Epoch,
+    named_epoch_plans,
+    resolve_epoch_plan,
+)
+from repro.world import WorldConfig
+
+CONFIG = WorldConfig(seed=7, num_domains=300)
+
+
+class TestPlanRegistry:
+    def test_default_plan_is_registered(self):
+        plans = named_epoch_plans()
+        assert DEFAULT_EPOCH_PLAN in plans
+        assert {"steady-growth", "provider-shift", "churn", "frozen"} <= set(
+            plans
+        )
+
+    def test_resolve_unknown_plan_lists_known(self):
+        with pytest.raises(ValueError, match="steady-growth"):
+            resolve_epoch_plan("no-such-plan")
+
+    def test_epoch_zero_has_no_steps(self):
+        for plan in named_epoch_plans().values():
+            assert plan.steps_for(0, 1000) == ()
+
+    def test_step_counts_scale_with_domains(self):
+        plan = resolve_epoch_plan("steady-growth")
+        small = plan.steps_for(1, 1_000)
+        large = plan.steps_for(1, 100_000)
+        assert small[0].count < large[0].count
+        # Even a tiny world evolves: counts floor at 1.
+        assert all(step.count >= 1 for step in plan.steps_for(1, 10))
+
+
+class TestFingerprints:
+    def test_epoch_zero_fingerprints_none_for_every_kind(self):
+        epoch = Epoch(resolve_epoch_plan("steady-growth"), 0, CONFIG)
+        for kind in ("dataset", "capture", "wan"):
+            assert epoch.fingerprint(kind) is None
+
+    def test_untouched_kind_keeps_epoch_zero_key(self):
+        # No bundled step affects "wan", so the WAN fingerprint stays
+        # None at every epoch — the component is omitted from the
+        # artifact key and the store serves the epoch-0 build.
+        epoch = Epoch(resolve_epoch_plan("steady-growth"), 2, CONFIG)
+        assert epoch.fingerprint("dataset") is not None
+        assert epoch.fingerprint("capture") is not None
+        assert epoch.fingerprint("wan") is None
+
+    def test_fingerprint_is_cumulative(self):
+        plan = resolve_epoch_plan("steady-growth")
+        one = Epoch(plan, 1, CONFIG).fingerprint("dataset")
+        two = Epoch(plan, 2, CONFIG).fingerprint("dataset")
+        assert one and two and one != two
+
+    def test_fingerprint_depends_on_plan(self):
+        one = Epoch(
+            resolve_epoch_plan("steady-growth"), 1, CONFIG
+        ).fingerprint("dataset")
+        other = Epoch(
+            resolve_epoch_plan("churn"), 1, CONFIG
+        ).fingerprint("dataset")
+        assert one != other
+
+    def test_frozen_plan_never_fingerprints(self):
+        epoch = Epoch(resolve_epoch_plan("frozen"), 3, CONFIG)
+        for kind in ("dataset", "capture", "wan"):
+            assert epoch.fingerprint(kind) is None
+
+
+class TestEpochWorlds:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch(resolve_epoch_plan("steady-growth"), -1, CONFIG)
+
+    def test_epoch_zero_world_is_single_shot(self):
+        from repro.world import World
+
+        epoch_world = Epoch(
+            resolve_epoch_plan("steady-growth"), 0, CONFIG
+        ).build_world()
+        plain = World(CONFIG)
+        assert epoch_world.clock.now == plain.clock.now == 0.0
+        assert [p.domain for p in epoch_world.plans] == [
+            p.domain for p in plain.plans
+        ]
+        assert [p.category for p in epoch_world.plans] == [
+            p.category for p in plain.plans
+        ]
+
+    def test_build_world_advances_clock_and_records_diffs(self):
+        plan = resolve_epoch_plan("steady-growth")
+        epoch = Epoch(plan, 2, CONFIG)
+        world = epoch.build_world()
+        assert world.clock.now == 2 * plan.epoch_seconds
+        assert epoch.virtual_time_s() == 2 * EPOCH_SECONDS
+        # Diffs cover only the steps entering *this* epoch.
+        assert len(epoch.diffs) == len(plan.steps_for(2, CONFIG.num_domains))
+        assert any(diff.changed for diff in epoch.diffs)
+
+    def test_build_world_is_memoized_and_deterministic(self):
+        plan = resolve_epoch_plan("steady-growth")
+        epoch = Epoch(plan, 1, CONFIG)
+        assert epoch.build_world() is epoch.build_world()
+        again = Epoch(plan, 1, CONFIG)
+        first = [
+            (p.domain, p.category) for p in epoch.build_world().plans
+        ]
+        second = [
+            (p.domain, p.category) for p in again.build_world().plans
+        ]
+        assert first == second
+
+    def test_later_epochs_grow_cloud_population(self):
+        plan = resolve_epoch_plan("steady-growth")
+        counts = []
+        for index in (0, 1, 2):
+            world = Epoch(plan, index, CONFIG).build_world()
+            counts.append(
+                sum(1 for p in world.plans if p.is_cloud_using)
+            )
+        assert counts[0] < counts[1] < counts[2]

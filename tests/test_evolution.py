@@ -96,11 +96,33 @@ class TestLongitudinalStudy:
         drift = LongitudinalStudy.drift(first, second)
         assert drift.domains_added == adopted
         assert drift.subdomains_added >= adopted
-        assert second.taken_at > first.taken_at
+        # Snapshots are stamped with simulation virtual time (never
+        # wall clock), so the epoch advance is exactly visible.
+        assert second.virtual_time_s > first.virtual_time_s
+        assert second.epoch == first.epoch + 1
 
-    def test_snapshot_carries_dataset(self):
+    def test_snapshot_drops_dataset_by_default(self):
         world = World(WorldConfig(seed=37, num_domains=300))
         study = LongitudinalStudy(world)
         snapshot = study.take_snapshot("only")
+        # Holding the full dataset per epoch would defeat the
+        # streaming plane's constant-memory budget.
+        assert snapshot.dataset is None
+        assert snapshot.cloud_subdomains > 0
+        assert "EC2 only" in snapshot.provider_domains
+
+    def test_snapshot_retains_dataset_on_request(self):
+        world = World(WorldConfig(seed=37, num_domains=300))
+        study = LongitudinalStudy(world, retain_datasets=True)
+        snapshot = study.take_snapshot("debug")
         assert snapshot.dataset is not None
         assert snapshot.cloud_subdomains == len(snapshot.dataset)
+
+    def test_snapshot_as_dict_is_summary_only(self):
+        world = World(WorldConfig(seed=37, num_domains=300))
+        snapshot = LongitudinalStudy(world).take_snapshot("only")
+        payload = snapshot.as_dict()
+        assert "dataset" not in payload
+        assert payload["virtual_time_s"] == 0.0
+        assert payload["cloud_domains"] == snapshot.cloud_domains
+        assert 0.0 <= payload["azure_share"] <= 1.0
