@@ -28,7 +28,10 @@ _EXPORTS = {
     "named_epoch_plans": "repro.epochs.plan",
     "resolve_epoch_plan": "repro.epochs.plan",
     "EpochRun": "repro.epochs.series",
+    "SERIES_SCHEMA_VERSION": "repro.epochs.series",
     "SeriesResult": "repro.epochs.series",
+    "iter_series_payloads": "repro.epochs.series",
+    "load_series": "repro.epochs.series",
     "run_series": "repro.epochs.series",
     "series_identifier": "repro.epochs.series",
     "STEP_TYPES": "repro.epochs.steps",

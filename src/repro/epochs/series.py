@@ -34,10 +34,11 @@ assert on.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.wan import WanConfig
 from repro.artifacts import ArtifactStore, artifact_key
@@ -47,13 +48,20 @@ from repro.epochs.trends import run_trends
 from repro.evolution import Snapshot, take_world_snapshot
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
-from repro.experiments.manifest import RunManifest
+from repro.experiments.manifest import RunManifest, check_schema_version
 from repro.experiments.spec import ExperimentSpec
 from repro.obs import NOOP, Observability, Tracer
 from repro.world import WorldConfig
 
+logger = logging.getLogger(__name__)
+
 #: Cache-stat fields carried into each epoch's delta record.
 _CACHE_FIELDS = ("hits", "misses", "stores", "invalid")
+
+#: Version of the ``series.json`` layout this code writes; same
+#: contract as :data:`repro.experiments.manifest.MANIFEST_SCHEMA_VERSION`
+#: (missing field = version 0, newer versions refused on load).
+SERIES_SCHEMA_VERSION = 1
 
 
 def series_identifier(
@@ -137,6 +145,7 @@ class SeriesResult:
     def payload(self) -> dict:
         """The deterministic ``series.json`` body."""
         return {
+            "schema_version": SERIES_SCHEMA_VERSION,
             "series_id": self.series_id,
             "plan": {
                 "name": self.plan.name,
@@ -325,3 +334,58 @@ def run_series(
     if out_root is not None:
         result.write(out_root)
     return result
+
+
+# -- reading series back ----------------------------------------------
+#
+# Like manifests (see repro.experiments.manifest), series used to be
+# write-only; the service repository layer reads them back with the
+# same schema-version contract.
+
+
+def load_series(path: Union[str, Path]) -> dict:
+    """Load and validate one ``series.json`` (or series directory).
+
+    Raises ``FileNotFoundError``/``json.JSONDecodeError`` for
+    unreadable files, ``ValueError`` for JSON that is not a series
+    payload, and
+    :class:`~repro.experiments.manifest.UnsupportedSchemaError` for
+    versions newer than :data:`SERIES_SCHEMA_VERSION`.
+    """
+    path = Path(path)
+    expected_id = None
+    if path.is_dir():
+        expected_id = path.name
+        path = path / "series.json"
+    with path.open() as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "series_id" not in payload:
+        raise ValueError(f"{path} is not a series payload (no series_id)")
+    if expected_id is not None and payload["series_id"] != expected_id:
+        raise ValueError(
+            f"{path} declares series_id {payload['series_id']!r} but "
+            f"lives in {expected_id!r}"
+        )
+    check_schema_version(payload, SERIES_SCHEMA_VERSION, path)
+    return payload
+
+
+def iter_series_payloads(
+    root: Union[str, Path]
+) -> Iterator[Tuple[Path, dict]]:
+    """Yield ``(series_dir, payload)`` for every ``series-*`` directory
+    under ``root`` in sorted order, skipping corrupt ones with a
+    warning (the same contract as
+    :func:`repro.experiments.manifest.iter_run_manifests`)."""
+    root = Path(root)
+    if not root.is_dir():
+        return
+    for series_dir in sorted(root.glob("series-*")):
+        if not series_dir.is_dir():
+            continue
+        try:
+            yield series_dir, load_series(series_dir)
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "skipping series dir %s: %s", series_dir, error
+            )

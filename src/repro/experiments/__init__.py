@@ -23,7 +23,14 @@ from repro.experiments.spec import (
     Tolerance,
 )
 from repro.experiments.context import ExperimentContext
-from repro.experiments.manifest import RunManifest
+from repro.experiments.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    LoadedRun,
+    RunManifest,
+    UnsupportedSchemaError,
+    iter_run_manifests,
+    load_manifest,
+)
 from repro.experiments.registry import (
     all_experiments,
     get_experiment,
@@ -41,6 +48,11 @@ __all__ = [
     "FidelityReport",
     "KeyVerdict",
     "RunManifest",
+    "LoadedRun",
+    "MANIFEST_SCHEMA_VERSION",
+    "UnsupportedSchemaError",
+    "iter_run_manifests",
+    "load_manifest",
     "all_experiments",
     "get_experiment",
     "experiment_ids",

@@ -7,6 +7,16 @@ Usage::
     repro-experiments --domains 5000 --seed 11 table09
     repro-experiments --out-dir runs/      # leave a run manifest
 
+The ``repro`` console script is the same entry point plus the service
+subcommands (``repro serve``, ``repro jobs …``, ``repro runs …``) —
+those route into :mod:`repro.service.cli`; anything else runs the
+experiments directly, exactly as ``repro-experiments`` always has.
+
+Exit codes are part of the contract (and documented in ``--help``):
+0 success, 2 usage error, ``EXIT_DIVERGENT`` (3) when
+``--fidelity-gate`` trips, ``EXIT_SERVICE`` (4) for service-layer
+failures.
+
 With ``--out-dir`` the run writes a content-addressed run directory
 (JSON manifest with per-experiment measured/paper/delta/verdict,
 fidelity report in text and JSON, the rendered summaries, and the
@@ -45,9 +55,15 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.obs import Observability, configure_logging
+from repro.service.cli import (
+    EXIT_CODES_HELP,
+    EXIT_SERVICE,
+    SERVICE_COMMANDS,
+)
 from repro.world import WorldConfig
 
-#: Exit status when ``--fidelity-gate`` trips.
+#: Exit status when ``--fidelity-gate`` trips (distinct from usage
+#: errors, 2, and service-layer errors, :data:`EXIT_SERVICE` = 4).
 EXIT_DIVERGENT = 3
 
 
@@ -56,8 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description=(
             "Regenerate the tables and figures of 'Next Stop, the "
-            "Cloud' (IMC 2013) from the simulated measurement study."
+            "Cloud' (IMC 2013) from the simulated measurement study. "
+            "The 'repro' alias adds service subcommands: repro serve, "
+            "repro jobs submit|list|show, repro runs "
+            "list|show|compare|rebuild-index."
         ),
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
@@ -166,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SERVICE_COMMANDS:
+        from repro.service.cli import service_main
+
+        return service_main(argv)
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():

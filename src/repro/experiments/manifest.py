@@ -28,15 +28,57 @@ quantity lives in the ``timings.json`` sidecar, never in the manifest.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.artifacts import artifact_key
 from repro.artifacts.keys import code_fingerprint
 from repro.experiments.base import ExperimentResult
 from repro.experiments.fidelity import FidelityReport
 from repro.experiments.spec import ExperimentSpec
+
+logger = logging.getLogger(__name__)
+
+#: Version of the ``manifest.json`` layout this code writes.  Bumped
+#: whenever a consumer (the service repository layer, most prominently)
+#: could misread an older or newer file; loaders accept every version
+#: up to and including this one (files written before versioning count
+#: as version 0) and refuse unknown newer ones with a clear error.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class UnsupportedSchemaError(ValueError):
+    """A manifest/series file declares a schema newer than this code.
+
+    The repository index must never guess at fields it does not know;
+    upgrading ``repro`` is the fix, not ignoring the version.
+    """
+
+
+def check_schema_version(
+    payload: dict, current: int, path: Union[str, Path, None] = None
+) -> int:
+    """Validate ``payload``'s ``schema_version`` against ``current``.
+
+    Missing fields read as version 0 (pre-versioning files remain
+    loadable); versions above ``current`` — or non-integer values —
+    raise :class:`UnsupportedSchemaError`.
+    """
+    version = payload.get("schema_version", 0)
+    where = f" in {path}" if path is not None else ""
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise UnsupportedSchemaError(
+            f"schema_version {version!r}{where} is not an integer"
+        )
+    if version > current:
+        raise UnsupportedSchemaError(
+            f"schema_version {version}{where} is newer than this "
+            f"repro's supported version {current}; upgrade repro to "
+            f"read it"
+        )
+    return version
 
 
 def run_identifier(context, experiment_ids: Tuple[str, ...]) -> str:
@@ -157,6 +199,7 @@ class RunManifest:
     def as_dict(self) -> dict:
         """The deterministic manifest payload (no wall-clock keys)."""
         return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
             "run_id": self.run_id,
             "config": self.config,
             "code_fingerprint": self.code_fingerprint,
@@ -217,3 +260,100 @@ class RunManifest:
                 for name, path in release.items()
             })
         return paths
+
+
+# -- reading runs back ------------------------------------------------
+#
+# The manifest plane used to be write-only: runs were emitted and only
+# ``ls`` could find them again.  The service layer (repro.service)
+# needs the reverse direction — load one run directory, or iterate a
+# whole tree of them — with schema versioning so the index can evolve
+# safely.
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    """Load and validate one ``manifest.json`` (or run directory).
+
+    Accepts the file itself or its ``run-<hash>`` directory.  Raises
+    ``FileNotFoundError``/``json.JSONDecodeError`` for unreadable
+    files, ``ValueError`` for JSON that is not a run manifest, and
+    :class:`UnsupportedSchemaError` for versions newer than
+    :data:`MANIFEST_SCHEMA_VERSION`.
+    """
+    path = Path(path)
+    expected_id = None
+    if path.is_dir():
+        expected_id = path.name
+        path = path / "manifest.json"
+    with path.open() as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "run_id" not in payload:
+        raise ValueError(f"{path} is not a run manifest (no run_id)")
+    if expected_id is not None and payload["run_id"] != expected_id:
+        # Run ids are content addresses; a directory holding somebody
+        # else's manifest is corrupt, not merely misnamed.
+        raise ValueError(
+            f"{path} declares run_id {payload['run_id']!r} but lives "
+            f"in {expected_id!r}"
+        )
+    check_schema_version(payload, MANIFEST_SCHEMA_VERSION, path)
+    return payload
+
+
+@dataclass(frozen=True)
+class LoadedRun:
+    """One run directory read back from disk.
+
+    ``manifest`` is the validated ``manifest.json`` payload; the
+    volatile sidecars (``timings.json``, ``fidelity.json``) load
+    lazily-ish via :meth:`from_dir` and default to empty when absent —
+    a partially written run directory is still loadable as long as the
+    manifest itself is intact.
+    """
+
+    run_dir: Path
+    manifest: Dict[str, object]
+    timings: Dict[str, object] = field(default_factory=dict)
+    fidelity: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        return str(self.manifest["run_id"])
+
+    @classmethod
+    def from_dir(cls, run_dir: Union[str, Path]) -> "LoadedRun":
+        run_dir = Path(run_dir)
+        manifest = load_manifest(run_dir)
+        sidecars: Dict[str, Dict[str, object]] = {}
+        for name in ("timings", "fidelity"):
+            sidecar = run_dir / f"{name}.json"
+            try:
+                with sidecar.open() as fh:
+                    loaded = json.load(fh)
+                sidecars[name] = loaded if isinstance(loaded, dict) else {}
+            except (OSError, json.JSONDecodeError):
+                sidecars[name] = {}
+        return cls(run_dir=run_dir, manifest=manifest, **sidecars)
+
+
+def iter_run_manifests(
+    root: Union[str, Path]
+) -> Iterator[Tuple[Path, dict]]:
+    """Yield ``(run_dir, manifest)`` for every ``run-*`` directory
+    under ``root``, in sorted (deterministic) order.
+
+    Corrupt or partial directories — unreadable JSON, missing
+    ``manifest.json``, unknown schema versions — are skipped with a
+    warning, never raised: one damaged run must not hide the rest of
+    the tree.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return
+    for run_dir in sorted(root.glob("run-*")):
+        if not run_dir.is_dir():
+            continue
+        try:
+            yield run_dir, load_manifest(run_dir)
+        except (OSError, ValueError) as error:
+            logger.warning("skipping run dir %s: %s", run_dir, error)

@@ -1,0 +1,338 @@
+"""The HTTP API: the service's read (and submit) surface.
+
+Pure stdlib (``http.server``): the container bakes no web framework in
+and none is needed — every response is JSON or plain text assembled
+from the repository, the scheduler, and the observability plane.
+
+Routes::
+
+    GET  /health                 service + index cardinalities
+    GET  /runs                   indexed runs (?scenario= &status=
+                                 &seed= &experiment= &epoch_plan=
+                                 &limit=)
+    GET  /runs/<id>              the run's manifest.json
+    GET  /runs/<id>/fidelity     fidelity report (JSON)
+    GET  /runs/<id>/timings      wall-clock sidecar (JSON, volatile)
+    GET  /runs/<id>/summary      rendered tables/figures (text)
+    GET  /series                 indexed series (?plan= &scenario=
+                                 &seed= &limit=)
+    GET  /series/<id>            series.json
+    GET  /series/<id>/trends     cross-epoch trend tables (text)
+    GET  /compare?a=<id>&b=<id>  key-by-key diff of two runs
+    GET  /metrics                Prometheus text exposition
+    GET  /jobs                   job queue (?status=)
+    GET  /jobs/<id>              one job's record
+    POST /jobs                   submit a JobSpec (JSON body; ?force=1
+                                 re-queues an identical spec)
+    POST /scan                   re-index the repository from disk
+
+Unknown ids are 404, bad specs/queries 400, everything else 500 — all
+with ``{"error": ...}`` JSON bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import MetricsRegistry, Observability
+from repro.service.compare import compare_runs
+from repro.service.errors import (
+    JobSpecError,
+    ServiceError,
+    UnknownJobError,
+    UnknownRunError,
+    UnknownSeriesError,
+)
+from repro.service.jobs import JobSpec
+
+logger = logging.getLogger(__name__)
+
+#: Default bind for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8321
+
+
+class _HTTPError(Exception):
+    """Internal: carry a status + message up to the dispatcher."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceAPI:
+    """Route handlers bound to one repository (+ optional scheduler)."""
+
+    def __init__(
+        self,
+        repository,
+        scheduler=None,
+        obs: Optional[Observability] = None,
+    ):
+        self.repository = repository
+        self.scheduler = scheduler
+        self.obs = obs or Observability(metrics=MetricsRegistry())
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, str, object]:
+        """Resolve one request to (status, content_type, payload).
+
+        ``payload`` is a JSON-serialisable object unless
+        ``content_type`` is ``text/plain``, in which case it is the
+        final string.
+        """
+        split = urlsplit(path)
+        query = {
+            name: values[0]
+            for name, values in parse_qs(split.query).items()
+        }
+        segments = [s for s in split.path.split("/") if s]
+        route = segments[0] if segments else "health"
+        self.obs.metrics.counter(
+            "service_requests_total", volatile=True,
+            method=method, route=route,
+        ).inc()
+        try:
+            return self._dispatch(method, segments, query, body)
+        except _HTTPError as error:
+            return error.status, "application/json", {
+                "error": str(error)
+            }
+        except (UnknownRunError, UnknownSeriesError,
+                UnknownJobError) as error:
+            return 404, "application/json", {"error": str(error)}
+        except JobSpecError as error:
+            return 400, "application/json", {"error": str(error)}
+        except ServiceError as error:
+            return 500, "application/json", {"error": str(error)}
+        except Exception as error:  # the server must keep serving
+            logger.exception("unhandled error for %s %s", method, path)
+            return 500, "application/json", {
+                "error": f"{type(error).__name__}: {error}"
+            }
+
+    def _dispatch(self, method, segments, query, body):
+        if method == "POST":
+            if segments == ["jobs"]:
+                return self._submit_job(query, body)
+            if segments == ["scan"]:
+                report = self.repository.scan()
+                return 200, "application/json", report.as_dict()
+            raise _HTTPError(404, f"no POST route /{'/'.join(segments)}")
+        if method != "GET":
+            raise _HTTPError(405, f"method {method} not allowed")
+        if not segments or segments == ["health"]:
+            return self._health()
+        head, rest = segments[0], segments[1:]
+        if head == "runs":
+            return self._runs(rest, query)
+        if head == "series":
+            return self._series(rest, query)
+        if head == "compare":
+            return self._compare(query)
+        if head == "metrics":
+            return self._metrics()
+        if head == "jobs":
+            return self._jobs(rest, query)
+        raise _HTTPError(404, f"no route /{'/'.join(segments)}")
+
+    # -- handlers ------------------------------------------------------
+
+    def _health(self):
+        payload = {
+            "status": "ok",
+            "index": self.repository.counts(),
+            "scheduler": self.scheduler is not None,
+        }
+        if self.scheduler is not None:
+            queue = self.scheduler.jobs()
+            payload["jobs"] = {
+                status: sum(1 for r in queue if r.status == status)
+                for status in ("pending", "running", "completed",
+                               "failed")
+            }
+        return 200, "application/json", payload
+
+    @staticmethod
+    def _int_param(query, name) -> Optional[int]:
+        if name not in query:
+            return None
+        try:
+            return int(query[name])
+        except ValueError:
+            raise _HTTPError(
+                400, f"query parameter {name} must be an integer, "
+                     f"got {query[name]!r}"
+            ) from None
+
+    def _runs(self, rest, query):
+        if not rest:
+            records = self.repository.runs(
+                scenario=query.get("scenario"),
+                status=query.get("status"),
+                seed=self._int_param(query, "seed"),
+                fingerprint=query.get("fingerprint"),
+                experiment=query.get("experiment"),
+                epoch_plan=query.get("epoch_plan"),
+                limit=self._int_param(query, "limit"),
+            )
+            return 200, "application/json", {
+                "runs": [record.as_dict() for record in records]
+            }
+        run_id = rest[0]
+        if len(rest) == 1:
+            loaded = self.repository.load_run(run_id)
+            return 200, "application/json", loaded.manifest
+        if rest[1:] == ["fidelity"]:
+            loaded = self.repository.load_run(run_id)
+            fidelity = (
+                loaded.fidelity
+                or loaded.manifest.get("fidelity") or {}
+            )
+            return 200, "application/json", fidelity
+        if rest[1:] == ["timings"]:
+            loaded = self.repository.load_run(run_id)
+            return 200, "application/json", loaded.timings
+        if rest[1:] == ["summary"]:
+            record = self.repository.get_run(run_id)
+            summary = Path(record.path) / "summaries.txt"
+            if not summary.is_file():
+                raise _HTTPError(
+                    404, f"run {run_id} has no summaries.txt"
+                )
+            return 200, "text/plain", summary.read_text()
+        raise _HTTPError(404, f"no route /runs/{'/'.join(rest[1:])}")
+
+    def _series(self, rest, query):
+        if not rest:
+            records = self.repository.series(
+                plan=query.get("plan"),
+                scenario=query.get("scenario"),
+                seed=self._int_param(query, "seed"),
+                limit=self._int_param(query, "limit"),
+            )
+            return 200, "application/json", {
+                "series": [record.as_dict() for record in records]
+            }
+        series_id = rest[0]
+        if len(rest) == 1:
+            payload = self.repository.load_series_payload(series_id)
+            return 200, "application/json", payload
+        if rest[1:] == ["trends"]:
+            record = self.repository.get_series(series_id)
+            trends = Path(record.path) / "trends.txt"
+            if not trends.is_file():
+                raise _HTTPError(
+                    404, f"series {series_id} has no trends.txt"
+                )
+            return 200, "text/plain", trends.read_text()
+        raise _HTTPError(
+            404, f"no route /series/{'/'.join(rest[1:])}"
+        )
+
+    def _compare(self, query):
+        for name in ("a", "b"):
+            if name not in query:
+                raise _HTTPError(
+                    400, "compare needs ?a=<run-id>&b=<run-id>"
+                )
+        diff = compare_runs(
+            self.repository.load_run(query["a"]),
+            self.repository.load_run(query["b"]),
+        )
+        return 200, "application/json", diff
+
+    def _metrics(self):
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            counts = self.repository.counts()
+            metrics.gauge(
+                "service_indexed_runs", volatile=True
+            ).set(counts["runs"])
+            metrics.gauge(
+                "service_indexed_series", volatile=True
+            ).set(counts["series"])
+        return 200, "text/plain", metrics.render_prometheus()
+
+    def _jobs(self, rest, query):
+        if self.scheduler is None:
+            raise _HTTPError(
+                503, "this server runs without a scheduler"
+            )
+        if not rest:
+            records = self.scheduler.jobs(status=query.get("status"))
+            return 200, "application/json", {
+                "jobs": [record.as_dict() for record in records]
+            }
+        if len(rest) == 1:
+            record = self.scheduler.get(rest[0])
+            return 200, "application/json", record.as_dict()
+        raise _HTTPError(404, f"no route /jobs/{'/'.join(rest[1:])}")
+
+    def _submit_job(self, query, body):
+        if self.scheduler is None:
+            raise _HTTPError(
+                503, "this server runs without a scheduler"
+            )
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            raise _HTTPError(
+                400, f"job body is not valid JSON: {error}"
+            ) from None
+        spec = JobSpec.from_dict(payload)
+        record = self.scheduler.submit(
+            spec, force=query.get("force") in ("1", "true", "yes")
+        )
+        return 202, "application/json", record.as_dict()
+
+    # -- server glue ---------------------------------------------------
+
+    def make_server(
+        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    ) -> ThreadingHTTPServer:
+        """A threading HTTP server bound to this API (``port=0`` picks
+        a free port; read it back from ``server.server_address``)."""
+        api = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _serve(self, method: str) -> None:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else None
+                status, content_type, payload = api.handle(
+                    method, self.path, body
+                )
+                if content_type == "application/json":
+                    data = (
+                        json.dumps(payload, indent=2) + "\n"
+                    ).encode()
+                else:
+                    data = str(payload).encode()
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type", f"{content_type}; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self):  # noqa: N802 (http.server convention)
+                self._serve("GET")
+
+            def do_POST(self):  # noqa: N802
+                self._serve("POST")
+
+            def log_message(self, format, *args):
+                logger.debug(
+                    "%s %s", self.address_string(), format % args
+                )
+
+        return ThreadingHTTPServer((host, port), Handler)

@@ -1,0 +1,128 @@
+"""A thin urllib client for the service API.
+
+The CLI's ``--url`` mode and the smoke scripts talk to a running
+``repro serve`` through this; it is deliberately dumb — JSON in, JSON
+out, every transport or HTTP failure surfaced as a
+:class:`~repro.service.errors.ServiceError` so the CLI can map the
+whole family to its service exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+from repro.service.errors import ServiceError
+
+
+class ServiceClient:
+    """HTTP access to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        params: Optional[Dict[str, object]] = None,
+        body: Optional[dict] = None,
+        method: str = "GET",
+    ):
+        query = {
+            name: value
+            for name, value in (params or {}).items()
+            if value is not None
+        }
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        data = (
+            json.dumps(body).encode() if body is not None else None
+        )
+        request = Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+                content_type = response.headers.get_content_type()
+        except HTTPError as error:
+            detail = ""
+            try:
+                payload = json.loads(error.read())
+                detail = payload.get("error", "")
+            except Exception:
+                pass
+            raise ServiceError(
+                f"{method} {url} failed: HTTP {error.code}"
+                + (f" — {detail}" if detail else "")
+            ) from None
+        except URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+        if content_type == "application/json":
+            return json.loads(raw)
+        return raw.decode()
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def runs(self, **filters) -> list:
+        return self._request("/runs", params=filters)["runs"]
+
+    def run(self, run_id: str) -> dict:
+        return self._request(f"/runs/{run_id}")
+
+    def fidelity(self, run_id: str) -> dict:
+        return self._request(f"/runs/{run_id}/fidelity")
+
+    def timings(self, run_id: str) -> dict:
+        return self._request(f"/runs/{run_id}/timings")
+
+    def summary(self, run_id: str) -> str:
+        return self._request(f"/runs/{run_id}/summary")
+
+    def series(self, **filters) -> list:
+        return self._request("/series", params=filters)["series"]
+
+    def series_payload(self, series_id: str) -> dict:
+        return self._request(f"/series/{series_id}")
+
+    def trends(self, series_id: str) -> str:
+        return self._request(f"/series/{series_id}/trends")
+
+    def compare(self, a: str, b: str) -> dict:
+        return self._request("/compare", params={"a": a, "b": b})
+
+    def metrics(self) -> str:
+        return self._request("/metrics")
+
+    def jobs(self, status: Optional[str] = None) -> list:
+        return self._request(
+            "/jobs", params={"status": status}
+        )["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{job_id}")
+
+    def submit_job(self, spec: dict, force: bool = False) -> dict:
+        return self._request(
+            "/jobs",
+            params={"force": "1"} if force else None,
+            body=spec,
+            method="POST",
+        )
+
+    def scan(self) -> dict:
+        return self._request("/scan", method="POST")

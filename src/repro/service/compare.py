@@ -1,0 +1,168 @@
+"""Run comparison: key-by-key diff of two run directories.
+
+``/compare?a=<run>&b=<run>`` (and ``repro runs compare A B``) load both
+manifests and diff them three ways:
+
+* **config** — which knobs differ (seed, domains, scenario, epoch…);
+* **keys** — for every (experiment, key) present in either run: the
+  two measured values, the numeric delta where both are numbers, and
+  the two fidelity verdicts, with a ``changed`` flag;
+* **timings** — per-experiment and per-stage wall clock side by side
+  (volatile, from the ``timings.json`` sidecars; empty when a sidecar
+  is missing).
+
+The diff is symmetric data, not a judgement: comparing a healthy run
+against an outage drill is exactly the intended use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.manifest import LoadedRun
+
+
+def _key_records(run: LoadedRun) -> Dict[Tuple[str, str], dict]:
+    """(experiment_id, key) -> verdict record for one manifest."""
+    records: Dict[Tuple[str, str], dict] = {}
+    for experiment in run.manifest.get("experiments") or []:
+        experiment_id = str(experiment.get("id"))
+        for record in experiment.get("keys") or []:
+            records[(experiment_id, str(record.get("key")))] = record
+    return records
+
+
+def _delta(a: object, b: object) -> Optional[float]:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+            and not isinstance(a, bool) and not isinstance(b, bool):
+        delta = b - a
+        if math.isfinite(delta):
+            return round(delta, 6)
+    return None
+
+
+def _values_equal(a: object, b: object) -> bool:
+    """Measured-value equality where NaN == NaN.
+
+    Unmeasurable keys (a latency probe to a downed region, say) record
+    NaN on both sides; IEEE inequality would flag every such key as
+    changed on every compare.
+    """
+    if (
+        isinstance(a, float) and isinstance(b, float)
+        and math.isnan(a) and math.isnan(b)
+    ):
+        return True
+    return a == b
+
+
+def compare_runs(a: LoadedRun, b: LoadedRun) -> dict:
+    """The full diff payload for two loaded runs."""
+    config_a = a.manifest.get("config") or {}
+    config_b = b.manifest.get("config") or {}
+    config_diff = {
+        name: {"a": config_a.get(name), "b": config_b.get(name)}
+        for name in sorted(set(config_a) | set(config_b))
+        if config_a.get(name) != config_b.get(name)
+    }
+
+    records_a = _key_records(a)
+    records_b = _key_records(b)
+    keys: List[dict] = []
+    changed = 0
+    for experiment_id, key in sorted(set(records_a) | set(records_b)):
+        record_a = records_a.get((experiment_id, key), {})
+        record_b = records_b.get((experiment_id, key), {})
+        measured_a = record_a.get("measured")
+        measured_b = record_b.get("measured")
+        entry = {
+            "experiment": experiment_id,
+            "key": key,
+            "a": measured_a,
+            "b": measured_b,
+            "delta": _delta(measured_a, measured_b),
+            "verdict_a": record_a.get("verdict"),
+            "verdict_b": record_b.get("verdict"),
+            "changed": not _values_equal(measured_a, measured_b),
+        }
+        if entry["changed"]:
+            changed += 1
+        keys.append(entry)
+
+    timings = {
+        "experiments_s": {
+            "a": a.timings.get("experiments_s", {}),
+            "b": b.timings.get("experiments_s", {}),
+        },
+        "stages_s": {
+            "a": a.timings.get("stages_s", {}),
+            "b": b.timings.get("stages_s", {}),
+        },
+    }
+    return {
+        "a": {
+            "run_id": a.run_id,
+            "scenario": a.manifest.get("scenario"),
+            "fidelity": (a.manifest.get("fidelity") or {}).get("status"),
+        },
+        "b": {
+            "run_id": b.run_id,
+            "scenario": b.manifest.get("scenario"),
+            "fidelity": (b.manifest.get("fidelity") or {}).get("status"),
+        },
+        "config": config_diff,
+        "keys": keys,
+        "summary": {
+            "keys_compared": len(keys),
+            "keys_changed": changed,
+            "code_fingerprint_equal": (
+                a.manifest.get("code_fingerprint")
+                == b.manifest.get("code_fingerprint")
+            ),
+        },
+        "timings": timings,
+    }
+
+
+def render_compare(diff: dict, changed_only: bool = False) -> str:
+    """The human-facing diff (``repro runs compare``)."""
+    from repro.report.table import TextTable
+
+    a, b = diff["a"], diff["b"]
+    lines = [
+        f"a: {a['run_id']}  scenario={a['scenario']}  "
+        f"fidelity={a['fidelity']}",
+        f"b: {b['run_id']}  scenario={b['scenario']}  "
+        f"fidelity={b['fidelity']}",
+    ]
+    if diff["config"]:
+        lines.append("config differences:")
+        for name, pair in diff["config"].items():
+            lines.append(f"  {name}: {pair['a']!r} -> {pair['b']!r}")
+    summary = diff["summary"]
+    lines.append(
+        f"{summary['keys_changed']} of {summary['keys_compared']} "
+        f"keys changed"
+        + ("" if summary["code_fingerprint_equal"]
+           else " (code fingerprints differ)")
+    )
+    table = TextTable(
+        ["Experiment", "Key", "A", "B", "Delta", "Verdicts"],
+        title="Per-key comparison",
+    )
+    for entry in diff["keys"]:
+        if changed_only and not entry["changed"]:
+            continue
+        delta = entry["delta"]
+        verdicts = f"{entry['verdict_a']}/{entry['verdict_b']}"
+        table.add_row([
+            entry["experiment"],
+            entry["key"],
+            entry["a"] if entry["a"] is not None else "-",
+            entry["b"] if entry["b"] is not None else "-",
+            delta if delta is not None else "-",
+            verdicts,
+        ])
+    lines.append(table.render())
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Service-plane errors.
+
+Everything the service layer can refuse to do raises a
+:class:`ServiceError` subclass, and the CLI maps the whole family to
+one dedicated exit code (``EXIT_SERVICE``) — distinct from usage
+errors (2) and the fidelity gate (3) — so callers can tell "you asked
+wrong" from "the paper disagrees" from "the service could not".
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for repository/scheduler/API failures."""
+
+
+class UnknownRunError(ServiceError):
+    """A run id the repository has never indexed (nor disk holds)."""
+
+    def __init__(self, run_id: str):
+        super().__init__(f"unknown run: {run_id!r}")
+        self.run_id = run_id
+
+
+class UnknownSeriesError(ServiceError):
+    """A series id neither the index nor the disk tree knows."""
+
+    def __init__(self, series_id: str):
+        super().__init__(f"unknown series: {series_id!r}")
+        self.series_id = series_id
+
+
+class UnknownJobError(ServiceError):
+    """A job id with no spec file under the jobs directory."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job: {job_id!r}")
+        self.job_id = job_id
+
+
+class JobSpecError(ServiceError):
+    """A job submission the scheduler cannot execute as specified."""

@@ -1,0 +1,113 @@
+"""Compare-layer tests: key-by-key diffs between two run directories."""
+
+import pytest
+
+from repro.service.compare import compare_runs, render_compare
+from repro.service.repository import RunRepository
+from tests.service.conftest import SCENARIO, healthy_and_drilled
+
+
+@pytest.fixture(scope="module")
+def loaded_pair(populated_root, tmp_path_factory):
+    db = tmp_path_factory.mktemp("index") / "index.sqlite"
+    with RunRepository(populated_root, db_path=db) as repository:
+        repository.scan()
+        healthy, drilled = healthy_and_drilled(repository)
+        yield (
+            repository.load_run(healthy),
+            repository.load_run(drilled),
+        )
+
+
+def test_diff_structure(loaded_pair):
+    healthy, drilled = loaded_pair
+    diff = compare_runs(healthy, drilled)
+    assert diff["a"]["run_id"] == healthy.run_id
+    assert diff["b"]["scenario"] == SCENARIO
+    assert diff["config"] == {
+        "scenario": {"a": None, "b": SCENARIO}
+    }
+    summary = diff["summary"]
+    assert summary["keys_compared"] == len(diff["keys"])
+    assert summary["keys_changed"] == sum(
+        1 for entry in diff["keys"] if entry["changed"]
+    )
+    assert 0 < summary["keys_changed"] < summary["keys_compared"]
+    assert summary["code_fingerprint_equal"] is True
+    # Entries are sorted and self-consistent.
+    order = [(e["experiment"], e["key"]) for e in diff["keys"]]
+    assert order == sorted(order)
+    for entry in diff["keys"]:
+        if entry["delta"] is not None:
+            assert entry["changed"] == (entry["delta"] != 0)
+            assert entry["delta"] == pytest.approx(
+                entry["b"] - entry["a"], abs=1e-6
+            )
+
+
+def test_changed_keys_are_wan_not_dns(loaded_pair):
+    """A region outage must move the WAN figure's keys while leaving
+    the DNS table untouched — scenario transparency is part of the
+    measurement design, and /compare is where it becomes visible."""
+    diff = compare_runs(*loaded_pair)
+    changed = {e["experiment"] for e in diff["keys"] if e["changed"]}
+    assert changed == {"figure10"}
+
+
+def test_nan_measurements_do_not_flap():
+    """A key that is NaN in both runs (an unmeasurable probe — e.g.
+    latency to a downed region) must not read as changed, and NaN
+    never leaks into a delta."""
+    from math import nan
+    from pathlib import Path
+
+    from repro.experiments.manifest import LoadedRun
+
+    def fake_run(measured):
+        return LoadedRun(
+            run_dir=Path("fake"),
+            manifest={
+                "run_id": "run-fake00000000",
+                "config": {},
+                "experiments": [{
+                    "id": "figure10",
+                    "keys": [{
+                        "key": "k", "measured": measured,
+                        "verdict": "exempt",
+                    }],
+                }],
+            },
+        )
+
+    diff = compare_runs(fake_run(nan), fake_run(nan))
+    (entry,) = diff["keys"]
+    assert entry["changed"] is False
+    assert entry["delta"] is None
+    assert diff["summary"]["keys_changed"] == 0
+
+    diff = compare_runs(fake_run(1.5), fake_run(nan))
+    (entry,) = diff["keys"]
+    assert entry["changed"] is True
+    assert entry["delta"] is None
+
+
+def test_self_compare_is_empty(loaded_pair):
+    healthy, _ = loaded_pair
+    diff = compare_runs(healthy, healthy)
+    assert diff["summary"]["keys_changed"] == 0
+    assert diff["config"] == {}
+
+
+def test_render_compare(loaded_pair):
+    diff = compare_runs(*loaded_pair)
+    text = render_compare(diff)
+    assert diff["a"]["run_id"] in text
+    assert diff["b"]["run_id"] in text
+    assert SCENARIO in text
+    assert "keys changed" in text
+
+    narrowed = render_compare(diff, changed_only=True)
+    assert len(narrowed) < len(text)
+    for entry in diff["keys"]:
+        if entry["changed"]:
+            assert entry["key"] in narrowed

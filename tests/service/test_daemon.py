@@ -1,0 +1,65 @@
+"""Daemon + client round-trip over a real socket (port 0).
+
+The CI smoke drives a full ``repro serve`` subprocess; this test pins
+the in-process embedding path — background threads, the urllib client,
+and a job executed by the live scheduler loop — in a few seconds.
+"""
+
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ReproService
+from repro.service.errors import ServiceError
+from tests.service.conftest import DOMAINS, SEED, WAN_ROUNDS
+
+
+@pytest.fixture()
+def service(tmp_path):
+    service = ReproService(
+        tmp_path / "svc", port=0, poll_interval=0.1
+    )
+    service.start()
+    yield service
+    service.stop()
+
+
+def test_daemon_round_trip(service):
+    client = ServiceClient(service.url, timeout=10.0)
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["scheduler"] is True
+    assert health["index"] == {"runs": 0, "series": 0}
+
+    record = client.submit_job({
+        "kind": "run", "seed": SEED, "domains": DOMAINS,
+        "wan_rounds": WAN_ROUNDS, "experiments": ["table03"],
+    })
+    assert record["status"] == "pending"
+    deadline = time.monotonic() + 120
+    while record["status"] in ("pending", "running"):
+        assert time.monotonic() < deadline, "job never finished"
+        time.sleep(0.2)
+        record = client.job(record["job_id"])
+    assert record["status"] == "completed", record["error"]
+    run_id = record["outcome"]["run_id"]
+
+    (indexed,) = client.runs()
+    assert indexed["run_id"] == run_id
+    assert client.run(run_id)["run_id"] == run_id
+    assert "experiments_s" in client.timings(run_id)
+    assert "service_jobs_executed_total" in client.metrics()
+    assert client.scan()["runs"] == 1
+
+
+def test_client_maps_http_errors_to_service_errors(service):
+    client = ServiceClient(service.url, timeout=10.0)
+    with pytest.raises(ServiceError, match="HTTP 404"):
+        client.run("run-000000000000")
+
+
+def test_client_maps_unreachable_daemons_to_service_errors():
+    client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServiceError, match="cannot reach"):
+        client.health()

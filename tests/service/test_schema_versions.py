@@ -1,0 +1,122 @@
+"""Schema-version tests for manifest.json / series.json loaders.
+
+Contract: a missing ``schema_version`` reads as version 0 (files
+written before versioning stay loadable), versions up to the current
+one load normally, and anything newer — or non-integer — fails with a
+clear :class:`UnsupportedSchemaError` instead of a guess.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.epochs.series import (
+    SERIES_SCHEMA_VERSION,
+    iter_series_payloads,
+    load_series,
+)
+from repro.experiments.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    UnsupportedSchemaError,
+    check_schema_version,
+    iter_run_manifests,
+    load_manifest,
+)
+
+
+def test_current_versions_are_declared():
+    assert MANIFEST_SCHEMA_VERSION == 1
+    assert SERIES_SCHEMA_VERSION == 1
+
+
+def test_check_tolerates_missing_and_older_versions():
+    assert check_schema_version({}, 1) == 0
+    assert check_schema_version({"schema_version": 0}, 1) == 0
+    assert check_schema_version({"schema_version": 1}, 1) == 1
+
+
+@pytest.mark.parametrize("version", [2, 99])
+def test_check_rejects_newer_versions(version):
+    with pytest.raises(UnsupportedSchemaError, match="upgrade repro"):
+        check_schema_version({"schema_version": version}, 1)
+
+
+@pytest.mark.parametrize("version", ["1", 1.0, True, None])
+def test_check_rejects_non_integer_versions(version):
+    with pytest.raises(UnsupportedSchemaError, match="not an integer"):
+        check_schema_version({"schema_version": version}, 1)
+
+
+def test_error_message_names_the_file():
+    with pytest.raises(UnsupportedSchemaError, match="manifest.json"):
+        check_schema_version(
+            {"schema_version": 99}, 1, "run-x/manifest.json"
+        )
+
+
+def test_written_manifests_carry_the_version(populated_root):
+    manifests = list(populated_root.glob("run-*/manifest.json"))
+    assert manifests
+    for path in manifests:
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == MANIFEST_SCHEMA_VERSION
+        # The version is the first key: visible at the top of the file.
+        assert next(iter(payload)) == "schema_version"
+    (series_file,) = populated_root.glob("series-*/series.json")
+    payload = json.loads(series_file.read_text())
+    assert payload["schema_version"] == SERIES_SCHEMA_VERSION
+
+
+def _rewrite_version(path, version):
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = version
+    path.write_text(json.dumps(payload))
+
+
+def test_load_manifest_rejects_future_versions(repo_root):
+    run_dir = sorted(repo_root.glob("run-*"))[0]
+    _rewrite_version(
+        run_dir / "manifest.json", MANIFEST_SCHEMA_VERSION + 1
+    )
+    with pytest.raises(UnsupportedSchemaError, match="newer than"):
+        load_manifest(run_dir)
+
+
+def test_load_manifest_accepts_pre_versioning_files(repo_root):
+    run_dir = sorted(repo_root.glob("run-*"))[0]
+    path = run_dir / "manifest.json"
+    payload = json.loads(path.read_text())
+    del payload["schema_version"]
+    path.write_text(json.dumps(payload))
+    assert load_manifest(run_dir)["run_id"] == run_dir.name
+
+
+def test_load_series_rejects_future_versions(repo_root):
+    (series_dir,) = repo_root.glob("series-*")
+    _rewrite_version(
+        series_dir / "series.json", SERIES_SCHEMA_VERSION + 1
+    )
+    with pytest.raises(UnsupportedSchemaError, match="newer than"):
+        load_series(series_dir)
+
+
+def test_iterators_skip_future_versions_with_a_warning(
+    repo_root, caplog
+):
+    run_dirs = sorted(repo_root.glob("run-*"))
+    _rewrite_version(
+        run_dirs[0] / "manifest.json", MANIFEST_SCHEMA_VERSION + 1
+    )
+    (series_dir,) = repo_root.glob("series-*")
+    _rewrite_version(
+        series_dir / "series.json", SERIES_SCHEMA_VERSION + 1
+    )
+    with caplog.at_level(logging.WARNING):
+        runs = list(iter_run_manifests(repo_root))
+        series = list(iter_series_payloads(repo_root))
+    assert len(runs) == len(run_dirs) - 1
+    assert series == []
+    assert sum(
+        "skipping" in record.message for record in caplog.records
+    ) == 2
