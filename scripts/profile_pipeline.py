@@ -305,6 +305,24 @@ def run_once(
     }
 
 
+def _injected_stage_delay(name: str) -> float:
+    """Fault injection for the regression-sentinel smoke test.
+
+    ``REPRO_PROFILE_STAGE_DELAY="dataset:0.8,wan:0.2"`` sleeps the
+    given seconds inside each named stage's tracer span — the recorded
+    wall clock slows, every output byte (and digest) stays identical.
+    """
+    spec = os.environ.get("REPRO_PROFILE_STAGE_DELAY", "")
+    for part in spec.split(","):
+        stage, _, seconds = part.strip().partition(":")
+        if stage == name:
+            try:
+                return max(0.0, float(seconds))
+            except ValueError:
+                return 0.0
+    return 0.0
+
+
 class _StageRss:
     """Context manager pairing a stage tracer span with RSS sampling.
 
@@ -327,6 +345,9 @@ class _StageRss:
         return self
 
     def __exit__(self, *exc):
+        delay = _injected_stage_delay(self._name)
+        if delay:
+            time.sleep(delay)
         result = self._span.__exit__(*exc)
         end, _ = _rss_sample()
         self._into[self._name] = {
@@ -678,6 +699,10 @@ def main() -> int:
         "scale": args.scale,
         "timings_s": best,
         "rss_high_water_kib": runs[0]["rss_kib"]["high_water_kib"],
+        # Wall-clock stamp for the telemetry timeline: trajectory
+        # entries order by it (older, pre-stamp entries fall back to
+        # the bench file's mtime).
+        "recorded_unix": round(time.time(), 3),
     }
     if (
         trajectory

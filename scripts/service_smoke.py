@@ -16,8 +16,13 @@ Within one time budget this script:
 4. submits a second job under an outage ``--scenario`` and exercises
    ``/compare`` between the two runs, asserting per-key deltas render
    (the WAN experiment's keys must actually move under the outage);
-5. checks ``/runs`` filtering, ``/metrics`` exposition, and the index
-   rebuild (drop the SQLite file, POST ``/scan``, same answers);
+5. checks ``/runs`` filtering, ``/metrics`` exposition (request
+   histograms and timeline gauges included), the enriched ``/health``
+   (schema version + code fingerprint + timeline counts),
+   ``/timeline`` + ``/dashboard``, the NDJSON access log (including
+   the submitted ``X-Request-Id``, which must also survive into the
+   produced run's ``timings.json``), and the index rebuild (drop the
+   SQLite file, POST ``/scan``, same answers);
 6. shuts the daemon down cleanly (SIGINT) and requires it to exit
    within the budget.
 
@@ -78,15 +83,19 @@ def _get(url: str, timeout: float = 10.0):
         return raw.decode()
 
 
-def _post(url: str, payload=None, timeout: float = 10.0):
+def _post(url: str, payload=None, timeout: float = 10.0,
+          headers=None, with_headers: bool = False):
     request = urllib.request.Request(
         url,
         data=json.dumps(payload or {}).encode(),
         method="POST",
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read())
+        body = json.loads(response.read())
+        if with_headers:
+            return body, dict(response.headers)
+        return body
 
 
 def _wait_for_job(base: str, job_id: str, budget: Budget) -> dict:
@@ -167,11 +176,26 @@ def main() -> int:
         # 3. Same config as a job; must reproduce the CLI run exactly.
         print("[3/6] submitting the baseline config as a job",
               flush=True)
-        record = _post(f"{base}/jobs", {
-            "kind": "run", "seed": args.seed,
-            "domains": args.domains, "wan_rounds": args.wan_rounds,
-            "experiments": EXPERIMENTS,
-        })
+        request_id = "smoke-req-42"
+        record, response_headers = _post(
+            f"{base}/jobs",
+            {
+                "kind": "run", "seed": args.seed,
+                "domains": args.domains,
+                "wan_rounds": args.wan_rounds,
+                "experiments": EXPERIMENTS,
+            },
+            headers={"X-Request-Id": request_id},
+            with_headers=True,
+        )
+        _assert(
+            response_headers.get("X-Request-Id") == request_id,
+            f"X-Request-Id not echoed: {response_headers}",
+        )
+        _assert(
+            record.get("request_id") == request_id,
+            f"job record lost the request id: {record}",
+        )
         record = _wait_for_job(base, record["job_id"], budget)
         _assert(
             record["status"] == "completed",
@@ -198,6 +222,15 @@ def main() -> int:
             )
         print(f"      {run_id} byte-identical to the CLI baseline",
               flush=True)
+        timings = _get(f"{base}/runs/{run_id}/timings")
+        _assert(
+            timings.get("job", {}).get("request_id") == request_id,
+            f"timings.json lost the request id: {timings.get('job')}",
+        )
+        _assert(
+            timings.get("job", {}).get("job_id") == record["job_id"],
+            f"timings.json lost the job id: {timings.get('job')}",
+        )
 
         # 4. An outage-drill job, then /compare.
         print(f"[4/6] outage job ({SCENARIO}) + /compare", flush=True)
@@ -246,14 +279,63 @@ def main() -> int:
         metrics = _get(f"{base}/metrics")
         for needle in ("service_requests_total",
                        "service_jobs_executed_total",
-                       "service_indexed_runs"):
+                       "service_indexed_runs",
+                       "service_request_seconds_bucket",
+                       "service_responses_total",
+                       "service_timeline_entries"):
             _assert(needle in metrics, f"{needle} missing in /metrics")
+        health = _get(f"{base}/health")
+        _assert(
+            isinstance(health.get("schema_version"), int),
+            f"/health missing schema_version: {health}",
+        )
+        _assert(
+            isinstance(health.get("code_fingerprint"), str)
+            and health["code_fingerprint"],
+            f"/health missing code_fingerprint: {health}",
+        )
+        _assert(
+            health.get("timeline", {}).get("run_entries") == 2,
+            f"/health timeline counts wrong: {health.get('timeline')}",
+        )
+        entries = _get(f"{base}/timeline")["entries"]
+        _assert(
+            sorted(e["extra"]["run_id"] for e in entries)
+            == sorted([run_id, drilled_id]),
+            f"/timeline entries wrong: {[e['entry_id'] for e in entries]}",
+        )
+        dashboard = _get(f"{base}/dashboard")
+        _assert(
+            dashboard.startswith("<!DOCTYPE html>")
+            and "telemetry timeline" in dashboard,
+            "/dashboard did not render",
+        )
+        access_log = service_root / "access.ndjson"
+        _assert(access_log.is_file(), "access.ndjson missing")
+        events = [
+            json.loads(line)
+            for line in access_log.read_text().splitlines()
+        ]
+        _assert(len(events) > 5, f"too few access-log events: {events}")
+        submits = [
+            e for e in events
+            if e["route"] == "jobs" and e["method"] == "POST"
+            and e.get("request_id") == request_id
+        ]
+        _assert(
+            len(submits) == 1,
+            f"expected 1 access-log line for {request_id}: {submits}",
+        )
         before = _get(f"{base}/runs")["runs"]
         index = service_root / ".repro-index.sqlite"
         _assert(index.exists(), "index file missing")
         index.unlink()
         report = _post(f"{base}/scan")
         _assert(report["runs"] == 2, f"rescan found {report['runs']}")
+        _assert(
+            report.get("timeline", {}).get("runs") == 2,
+            f"rescan timeline report wrong: {report.get('timeline')}",
+        )
         after = _get(f"{base}/runs")["runs"]
         _assert(before == after, "rebuilt index answers differ")
 

@@ -11,13 +11,22 @@ byte-identical to the sequential one.
 
 The default sink everywhere is the shared :data:`NULL_SINK`; emission
 costs one truthiness check per cell when disabled.
+
+The service plane reuses the sink for its **access log**: a sink built
+with ``tee=<path>`` appends every event's NDJSON line to that file as
+it is emitted (crash-safe: the line is flushed per event), and
+``keep=False`` drops the in-memory copy so a long-running daemon's
+request log cannot grow without bound.  The fan-out protocol
+(:meth:`mark`/:meth:`take_since`) only ever concerns the buffer; teed
+lines are append-only history.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 
 def encode_event(event: Dict[str, object]) -> str:
@@ -50,18 +59,52 @@ class NullEventSink:
 
 
 class EventSink:
-    """An in-memory, order-preserving buffer of probe events."""
+    """An in-memory, order-preserving buffer of probe events.
+
+    ``tee`` additionally appends each event's NDJSON line to a file as
+    it arrives; ``keep=False`` makes the sink write-through only (the
+    buffer stays empty — the daemon access-log configuration).
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tee: Optional[Union[str, Path]] = None,
+        keep: bool = True,
+    ) -> None:
         self.events: List[Dict[str, object]] = []
+        self._keep = keep
+        self._tee_lock = threading.Lock()
+        self.tee_path: Optional[Path] = None
+        self._tee = None
+        if tee is not None:
+            self.tee_path = Path(tee)
+            if self.tee_path.parent != Path(""):
+                self.tee_path.parent.mkdir(parents=True, exist_ok=True)
+            self._tee = self.tee_path.open("a")
 
     def emit(self, event: Dict[str, object]) -> None:
-        self.events.append(event)
+        if self._keep:
+            self.events.append(event)
+        if self._tee is not None:
+            with self._tee_lock:
+                self._tee.write(encode_event(event) + "\n")
+                self._tee.flush()
 
     def emit_many(self, events: Iterable[Dict[str, object]]) -> None:
-        self.events.extend(events)
+        if self._tee is None and self._keep:
+            self.events.extend(events)
+            return
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        """Close the tee file, if any (the buffer stays readable)."""
+        if self._tee is not None:
+            with self._tee_lock:
+                self._tee.close()
+                self._tee = None
 
     def __len__(self) -> int:
         return len(self.events)

@@ -9,8 +9,9 @@ so hot paths hold a reference and pay one attribute access per update.
 Two export forms:
 
 * :meth:`MetricsRegistry.render_prometheus` — Prometheus text
-  exposition (``# TYPE`` headers, sorted families and label sets, so
-  the output is deterministic given the same instrument values);
+  exposition (``# HELP``/``# TYPE`` headers, escaped label values,
+  sorted families and label sets, so the output is deterministic given
+  the same instrument values);
 * :meth:`MetricsRegistry.snapshot` / :meth:`deterministic_snapshot` —
   JSON-ready dicts.  The *deterministic* snapshot holds only
   instruments whose values are a pure function of (seed, config):
@@ -35,6 +36,67 @@ DEFAULT_BUCKETS = (
     1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
     1000.0, 2500.0, 5000.0, 10000.0,
 )
+
+#: ``# HELP`` text for the well-known metric families, so exposition
+#: stays self-describing without threading help strings through every
+#: hot-path call site.  Call sites may override via the ``help=``
+#: keyword on :meth:`MetricsRegistry.counter`/``gauge``/``histogram``.
+FAMILY_HELP = {
+    "probes_total": "Probes the campaign engine executed, by kind.",
+    "probe_retries_total": "Simulated probe retries, by kind.",
+    "probe_losses_total": "Simulated probe losses, by kind.",
+    "probes_blocked_total":
+        "Probes suppressed by an active fault scenario.",
+    "rng_derivations_total":
+        "Deterministic RNG stream derivations performed.",
+    "artifact_cache_hits_total": "Artifact-store cache hits.",
+    "artifact_cache_misses_total": "Artifact-store cache misses.",
+    "artifact_cache_invalid_total":
+        "Artifacts rejected by digest verification.",
+    "artifact_cache_stores_total": "Artifacts written to the store.",
+    "campaign_shards_merged_total":
+        "Campaign shard results merged at the fork join.",
+    "campaign_records_per_s":
+        "Records per second the last campaign produced.",
+    "shard_merge_records": "Records carried per merged campaign shard.",
+    "service_requests_total":
+        "HTTP requests received, by method and route.",
+    "service_responses_total":
+        "HTTP responses sent, by route and status code.",
+    "service_request_seconds":
+        "HTTP request handling latency in seconds.",
+    "service_response_bytes": "HTTP response body size in bytes.",
+    "service_indexed_runs": "Run directories currently indexed.",
+    "service_indexed_series": "Series directories currently indexed.",
+    "service_timeline_entries":
+        "Telemetry timeline entries currently indexed, by source.",
+    "service_jobs_submitted_total": "Jobs submitted, by kind.",
+    "service_jobs_claimed_total": "Jobs claimed for execution, by kind.",
+    "service_jobs_executed_total":
+        "Job executions finished, by kind and final status.",
+    "service_job_retries_total":
+        "Failed jobs re-claimed for another attempt, by kind.",
+    "service_jobs": "Jobs currently in the queue, by status.",
+    "service_scheduler_queue_depth":
+        "Pending jobs waiting for the scheduler.",
+    "service_timeline_appends_total":
+        "Telemetry timeline entries appended by the scheduler, "
+        "by source.",
+    "service_sentinel_checks_total":
+        "Regression-sentinel passes after bench jobs, by worst status.",
+}
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 class Counter:
@@ -114,14 +176,18 @@ class NullMetrics:
 
     enabled = False
 
-    def counter(self, name, volatile=False, **labels) -> _NullInstrument:
+    def counter(
+        self, name, volatile=False, help=None, **labels
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name, volatile=False, **labels) -> _NullInstrument:
+    def gauge(
+        self, name, volatile=False, help=None, **labels
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def histogram(
-        self, name, buckets=None, volatile=False, **labels
+        self, name, buckets=None, volatile=False, help=None, **labels
     ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
@@ -157,6 +223,9 @@ class MetricsRegistry:
         self._gauges: Dict[_LabelKey, Gauge] = {}
         self._histograms: Dict[_LabelKey, Histogram] = {}
         self._volatile: set = set()
+        #: Per-family ``# HELP`` overrides (first registration wins);
+        #: families absent here fall back to :data:`FAMILY_HELP`.
+        self._help: Dict[str, str] = {}
 
     @staticmethod
     def _key(name: str, labels: Dict[str, object]) -> _LabelKey:
@@ -164,8 +233,16 @@ class MetricsRegistry:
             sorted((k, str(v)) for k, v in labels.items())
         )
 
+    def _note_help(self, name: str, help: Optional[str]) -> None:
+        if help is not None and name not in self._help:
+            self._help[name] = help
+
     def counter(
-        self, name: str, volatile: bool = False, **labels
+        self,
+        name: str,
+        volatile: bool = False,
+        help: Optional[str] = None,
+        **labels,
     ) -> Counter:
         key = self._key(name, labels)
         instrument = self._counters.get(key)
@@ -173,15 +250,23 @@ class MetricsRegistry:
             instrument = self._counters[key] = Counter()
             if volatile:
                 self._volatile.add(key)
+            self._note_help(name, help)
         return instrument
 
-    def gauge(self, name: str, volatile: bool = False, **labels) -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        volatile: bool = False,
+        help: Optional[str] = None,
+        **labels,
+    ) -> Gauge:
         key = self._key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
             instrument = self._gauges[key] = Gauge()
             if volatile:
                 self._volatile.add(key)
+            self._note_help(name, help)
         return instrument
 
     def histogram(
@@ -189,6 +274,7 @@ class MetricsRegistry:
         name: str,
         buckets: Optional[Sequence[float]] = None,
         volatile: bool = False,
+        help: Optional[str] = None,
         **labels,
     ) -> Histogram:
         key = self._key(name, labels)
@@ -199,6 +285,7 @@ class MetricsRegistry:
             )
             if volatile:
                 self._volatile.add(key)
+            self._note_help(name, help)
         return instrument
 
     # -- fan-out support ----------------------------------------------
@@ -243,8 +330,13 @@ class MetricsRegistry:
         name, labels = key
         if not labels:
             return name
-        inner = ",".join(f'{k}="{v}"' for k, v in labels)
+        inner = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in labels
+        )
         return f"{name}{{{inner}}}"
+
+    def _help_for(self, family: str) -> Optional[str]:
+        return self._help.get(family) or FAMILY_HELP.get(family)
 
     def _section(
         self, table: dict, include_volatile: Optional[bool]
@@ -293,18 +385,27 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         """Prometheus text exposition, deterministically ordered."""
         lines: List[str] = []
+
+        def header(family: str, mtype: str) -> None:
+            help_text = self._help_for(family)
+            if help_text:
+                lines.append(
+                    f"# HELP {family} {_escape_help(help_text)}"
+                )
+            lines.append(f"# TYPE {family} {mtype}")
+
         for table, mtype in (
             (self._counters, "counter"),
             (self._gauges, "gauge"),
         ):
             families = sorted({name for name, _ in table})
             for family in families:
-                lines.append(f"# TYPE {family} {mtype}")
+                header(family, mtype)
                 for key in sorted(k for k in table if k[0] == family):
                     value = table[key].value
                     lines.append(f"{self._render_key(key)} {value}")
         for family in sorted({name for name, _ in self._histograms}):
-            lines.append(f"# TYPE {family} histogram")
+            header(family, "histogram")
             for key in sorted(
                 k for k in self._histograms if k[0] == family
             ):

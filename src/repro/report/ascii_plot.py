@@ -5,6 +5,30 @@ from __future__ import annotations
 import math
 from typing import Sequence, Tuple
 
+#: Eight block heights, empty to full — the sparkline alphabet.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """One-line block-character trajectory of ``values``.
+
+    Heights are normalised to the series' own min/max (a flat series
+    renders mid-height); ``width`` > 0 keeps only the freshest points.
+    """
+    values = [float(v) for v in values]
+    if width and len(values) > width:
+        values = values[-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_BLOCKS[3] * len(values)
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[round((v - lo) / span * top)] for v in values
+    )
+
 
 def ascii_cdf(
     points: Sequence[Tuple[float, float]],

@@ -7,7 +7,8 @@ logic.  Dispatched from :func:`repro.experiments.cli.main`, which owns
 the console-script entry points.
 
 Exit codes (shared with the experiments CLI, see ``EXIT_CODES_HELP``):
-0 success, 2 usage, 3 fidelity gate, 4 service error.
+0 success, 2 usage, 3 fidelity gate, 4 service error, 5 regression
+(``repro report --check`` found a drifted or divergent trajectory).
 """
 
 from __future__ import annotations
@@ -35,10 +36,12 @@ exit codes:
   3  fidelity gate: a measured key is divergent from the paper
   4  service error: unreachable daemon, unknown run/job/series id,
      failed job, or corrupt repository
+  5  regression: repro report --check found a trajectory whose newest
+     entry drifted or diverged from its baseline
 """
 
 #: First tokens that route into this CLI from the main entry point.
-SERVICE_COMMANDS = ("serve", "jobs", "runs")
+SERVICE_COMMANDS = ("serve", "jobs", "runs", "report")
 
 
 def build_service_parser() -> argparse.ArgumentParser:
@@ -83,6 +86,17 @@ def build_service_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-scheduler", action="store_true",
         help="serve the read-only API without executing jobs",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="retry budget per job: failed jobs are re-claimed until "
+             "they have been attempted N times (default: 1 — no "
+             "retries)",
+    )
+    serve.add_argument(
+        "--no-access-log", action="store_true",
+        help="skip the per-request NDJSON access log "
+             "(<root>/access.ndjson)",
     )
     serve.add_argument("-v", "--verbose", action="count", default=0)
     serve.add_argument("-q", "--quiet", action="store_true")
@@ -185,6 +199,40 @@ def build_service_parser() -> argparse.ArgumentParser:
         help="drop the SQLite index and rebuild it from disk",
     )
     rebuild.add_argument("--root", default="runs", metavar="DIR")
+
+    report = commands.add_parser(
+        "report",
+        help="render the telemetry timeline (and optionally run the "
+             "regression sentinel)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    report.add_argument(
+        "--root", default="runs", metavar="DIR",
+        help="repository root whose run-*/ dirs and bench/ products "
+             "feed the timeline (default: runs)",
+    )
+    report.add_argument(
+        "--bench", action="append", default=[], metavar="FILE",
+        help="extra bench JSON files to fold in (e.g. the committed "
+             "BENCH_pipeline*.json; repeatable)",
+    )
+    report.add_argument(
+        "--check", action="store_true",
+        help="run the regression sentinel over every trajectory and "
+             "exit 5 when any drifted or diverged",
+    )
+    report.add_argument(
+        "--regressions-out", default=None, metavar="FILE",
+        help="with --check, also write the verdicts as "
+             "regressions.json at this path",
+    )
+    report.add_argument(
+        "--rebuild", action="store_true",
+        help="drop the timeline SQLite file and re-create it before "
+             "reporting (proves the pure-cache contract)",
+    )
+    report.add_argument("--json", action="store_true")
     return parser
 
 
@@ -223,6 +271,8 @@ def service_main(argv: Optional[List[str]] = None) -> int:
             return _serve(args)
         if args.command == "jobs":
             return _jobs(args)
+        if args.command == "report":
+            return _report(args)
         return _runs(args)
     except ServiceError as error:
         print(f"service error: {error}", file=sys.stderr)
@@ -240,6 +290,8 @@ def _serve(args) -> int:
         artifact_dir=args.artifact_dir,
         poll_interval=args.poll_interval,
         scheduler_enabled=not args.no_scheduler,
+        max_attempts=args.max_attempts,
+        access_log=not args.no_access_log,
     )
     counts = service.repository.counts()
     print(
@@ -452,4 +504,43 @@ def _runs(args) -> int:
     from repro.service.compare import render_compare
 
     print(render_compare(diff, changed_only=args.changed_only))
+    return 0
+
+
+def _report(args) -> int:
+    from repro.obs.dashboard import render_report
+    from repro.obs.sentinel import (
+        EXIT_REGRESSION,
+        check_store,
+        worst_status,
+        write_regressions,
+    )
+    from repro.obs.timeline import TimelineStore
+
+    with TimelineStore(args.root, bench_paths=args.bench) as store:
+        if args.rebuild:
+            store.rebuild()
+        else:
+            store.scan()
+        reports = check_store(store) if args.check else None
+        if args.json:
+            payload = {
+                "counts": store.counts(),
+                "entries": [
+                    entry.as_dict() for entry in store.entries()
+                ],
+            }
+            if reports is not None:
+                payload["regressions"] = {
+                    "status": worst_status(reports),
+                    "reports": [r.as_dict() for r in reports],
+                }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_report(store, reports), end="")
+        if reports is not None:
+            if args.regressions_out:
+                write_regressions(args.regressions_out, reports)
+            if worst_status(reports) != "match":
+                return EXIT_REGRESSION
     return 0

@@ -108,6 +108,18 @@ class ServiceClient:
     def metrics(self) -> str:
         return self._request("/metrics")
 
+    def timeline(self, **filters) -> list:
+        return self._request("/timeline", params=filters)["entries"]
+
+    def timeline_series(self) -> list:
+        return self._request("/timeline/series")["series"]
+
+    def dashboard(self, format: Optional[str] = None) -> str:
+        return self._request(
+            "/dashboard",
+            params={"format": format} if format else None,
+        )
+
     def jobs(self, status: Optional[str] = None) -> list:
         return self._request(
             "/jobs", params={"status": status}

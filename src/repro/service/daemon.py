@@ -33,13 +33,31 @@ class ReproService:
         artifact_dir: Optional[Union[str, Path]] = None,
         poll_interval: float = 2.0,
         scheduler_enabled: bool = True,
+        max_attempts: int = 1,
+        access_log: bool = True,
     ):
+        from repro.obs.events import EventSink
+        from repro.obs.timeline import TimelineStore
+
         self.obs = Observability(metrics=MetricsRegistry())
         self.repository = RunRepository(root)
         report = self.repository.scan()
         logger.info(
             "indexed %d runs, %d series (%d skipped) under %s",
             report.runs, report.series, len(report.skipped), root,
+        )
+        self.timeline = TimelineStore(root)
+        timeline_report = self.timeline.scan()
+        logger.info(
+            "timeline: %d entries (%d runs, %d benches)",
+            timeline_report.entries, timeline_report.runs,
+            timeline_report.benches,
+        )
+        #: Per-request NDJSON access log — write-through only (the
+        #: daemon must not buffer its own request history in memory).
+        self.access_log = (
+            EventSink(tee=Path(root) / "access.ndjson", keep=False)
+            if access_log else None
         )
         store = None
         if artifact_dir is not None:
@@ -48,12 +66,14 @@ class ReproService:
             store = ArtifactStore(artifact_dir, obs=self.obs)
         self.scheduler = (
             Scheduler(
-                self.repository, artifact_store=store, obs=self.obs
+                self.repository, artifact_store=store, obs=self.obs,
+                max_attempts=max_attempts, timeline=self.timeline,
             )
             if scheduler_enabled else None
         )
         self.api = ServiceAPI(
-            self.repository, scheduler=self.scheduler, obs=self.obs
+            self.repository, scheduler=self.scheduler, obs=self.obs,
+            timeline=self.timeline, access_log=self.access_log,
         )
         self.poll_interval = poll_interval
         self.server = self.api.make_server(host, port)
@@ -122,3 +142,6 @@ class ReproService:
                 thread.join(timeout=10)
         self._threads.clear()
         self.repository.close()
+        self.timeline.close()
+        if self.access_log is not None:
+            self.access_log.close()

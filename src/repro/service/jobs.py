@@ -175,7 +175,13 @@ class JobRecord:
     #: What the execution produced: run_id / series_id / bench path,
     #: fidelity status, artifact locations.
     outcome: Dict[str, object] = field(default_factory=dict)
+    #: Last execution failure (also surfaced as ``last_error``).
     error: Optional[str] = None
+    #: How many times the scheduler has claimed this job.
+    attempts: int = 0
+    #: X-Request-Id of the HTTP submission, when there was one —
+    #: propagated into the produced run's ``timings.json``.
+    request_id: Optional[str] = None
 
     @property
     def job_id(self) -> str:
@@ -190,8 +196,11 @@ class JobRecord:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "request_id": self.request_id,
             "outcome": self.outcome,
             "error": self.error,
+            "last_error": self.error,
         }
 
     @classmethod
@@ -204,7 +213,9 @@ class JobRecord:
             started_at=payload.get("started_at"),
             finished_at=payload.get("finished_at"),
             outcome=payload.get("outcome") or {},
-            error=payload.get("error"),
+            error=payload.get("error") or payload.get("last_error"),
+            attempts=int(payload.get("attempts") or 0),
+            request_id=payload.get("request_id"),
         )
 
 
@@ -216,6 +227,8 @@ class Scheduler:
         repository,
         artifact_store=None,
         obs: Observability = NOOP,
+        max_attempts: int = 1,
+        timeline=None,
     ):
         self.repository = repository
         self.jobs_dir = Path(repository.root) / "jobs"
@@ -227,6 +240,17 @@ class Scheduler:
         #: Service-level observability (job counters); per-job pipeline
         #: obs is always a fresh collecting plane, like a CLI process.
         self.obs = obs
+        #: Retry budget: a failed job stays claimable until it has been
+        #: attempted this many times (1 = the historic no-retry
+        #: behaviour).
+        self.max_attempts = max(1, int(max_attempts))
+        #: Optional :class:`repro.obs.timeline.TimelineStore` —
+        #: completed jobs auto-append their telemetry, and bench jobs
+        #: get a regression-sentinel pass over their trajectory.
+        self.timeline = timeline
+        #: The record currently being executed (provenance for the
+        #: produced run's ``timings.json``).
+        self._active_job: Optional[JobRecord] = None
         self._lock = threading.RLock()
 
     # -- job files -----------------------------------------------------
@@ -270,7 +294,12 @@ class Scheduler:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, spec: JobSpec, force: bool = False) -> JobRecord:
+    def submit(
+        self,
+        spec: JobSpec,
+        force: bool = False,
+        request_id: Optional[str] = None,
+    ) -> JobRecord:
         """Enqueue ``spec``; resubmitting the same spec returns the
         existing job unless ``force`` re-queues it."""
         spec.validate()
@@ -281,7 +310,10 @@ class Scheduler:
                 existing = None
             if existing is not None and not force:
                 return existing
-            record = JobRecord(spec=spec, created_at=time.time())
+            record = JobRecord(
+                spec=spec, created_at=time.time(),
+                request_id=request_id,
+            )
             self._write(record)
         self.obs.metrics.counter(
             "service_jobs_submitted_total", volatile=True,
@@ -292,22 +324,51 @@ class Scheduler:
     # -- execution -----------------------------------------------------
 
     def claim_next(self) -> Optional[JobRecord]:
-        """Oldest pending job, flipped to ``running`` (single-claimant
-        protocol: one scheduler per jobs directory)."""
+        """Oldest claimable job, flipped to ``running`` (single-claimant
+        protocol: one scheduler per jobs directory).
+
+        Pending jobs go first; when none remain, failed jobs with
+        attempts left under :attr:`max_attempts` are re-claimed oldest
+        first (the retry policy — a transient failure does not wedge
+        the queue forever, a persistent one stops after the budget).
+        """
         with self._lock:
-            pending = self.jobs(status="pending")
-            if not pending:
+            claimable = self.jobs(status="pending")
+            retry = False
+            if not claimable:
+                claimable = [
+                    r for r in self.jobs(status="failed")
+                    if r.attempts < self.max_attempts
+                ]
+                retry = True
+            if not claimable:
                 return None
-            record = pending[0]
+            record = claimable[0]
             record.status = "running"
             record.started_at = time.time()
+            record.attempts += 1
             self._write(record)
-            return record
+        self.obs.metrics.counter(
+            "service_jobs_claimed_total", volatile=True,
+            kind=record.spec.kind,
+        ).inc()
+        if retry:
+            self.obs.metrics.counter(
+                "service_job_retries_total", volatile=True,
+                kind=record.spec.kind,
+            ).inc()
+            logger.info(
+                "retrying %s (attempt %d/%d): %s",
+                record.job_id, record.attempts, self.max_attempts,
+                record.error,
+            )
+        return record
 
     def execute(self, record: JobRecord) -> JobRecord:
         """Run one claimed job to completion and persist the outcome."""
         spec = record.spec
         logger.info("executing %s (%s)", record.job_id, spec.kind)
+        self._active_job = record
         try:
             if spec.kind == "run":
                 record.outcome = self._execute_run(spec)
@@ -323,6 +384,8 @@ class Scheduler:
             logger.exception("job %s failed", record.job_id)
             record.status = "failed"
             record.error = f"{type(error).__name__}: {error}"
+        finally:
+            self._active_job = None
         record.finished_at = time.time()
         self._write(record)
         self.obs.metrics.counter(
@@ -406,12 +469,21 @@ class Scheduler:
         finally:
             set_rng_observer(previous_observer)
         manifest = RunManifest.from_run(context, runs)
+        job = self._active_job
+        if job is not None:
+            # Provenance rides the volatile sidecar (timings.json):
+            # the manifest must stay byte-identical to a CLI run's.
+            manifest.timings["job"] = {
+                "job_id": job.job_id,
+                "request_id": job.request_id,
+                "attempt": job.attempts,
+            }
         manifest.write(
             self.repository.root, results=results, context=context
         )
-        record = self.repository.ingest_run_dir(
-            Path(self.repository.root) / manifest.run_id
-        )
+        run_dir = Path(self.repository.root) / manifest.run_id
+        record = self.repository.ingest_run_dir(run_dir)
+        self._record_timeline_run(run_dir)
         return {
             "run_id": manifest.run_id,
             "fidelity_status": record.fidelity_status,
@@ -456,6 +528,10 @@ class Scheduler:
         record = self.repository.ingest_series_dir(
             Path(self.repository.root) / series.series_id
         )
+        for run_id in record.run_ids:
+            self._record_timeline_run(
+                Path(self.repository.root) / run_id
+            )
         epoch0 = series.epochs[0].manifest.fidelity
         return {
             "series_id": series.series_id,
@@ -479,7 +555,14 @@ class Scheduler:
             )
         bench_dir = Path(self.repository.root) / "bench"
         bench_dir.mkdir(parents=True, exist_ok=True)
-        out = bench_dir / f"{spec.job_id}.json"
+        # Sequence-numbered outputs: a forced resubmission appends a
+        # new trajectory point instead of replacing the old file (the
+        # script's same-fingerprint carry-forward would otherwise
+        # overwrite the baseline the sentinel needs).
+        sequence = 0
+        while (bench_dir / f"{spec.job_id}-{sequence:03d}.json").exists():
+            sequence += 1
+        out = bench_dir / f"{spec.job_id}-{sequence:03d}.json"
         command = [
             sys.executable, str(script),
             "--domains", str(spec.domains),
@@ -504,7 +587,64 @@ class Scheduler:
             )
         with out.open() as fh:
             bench = json.load(fh)
-        return {
+        outcome: Dict[str, object] = {
             "bench_path": str(out),
             "digests": bench.get("digests", {}),
+        }
+        outcome.update(self._record_timeline_bench(out))
+        return outcome
+
+    # -- timeline hooks ------------------------------------------------
+
+    def _record_timeline_run(self, run_dir: Path) -> None:
+        """Best-effort append to the telemetry timeline (a timeline
+        problem must never fail the job that produced the run)."""
+        if self.timeline is None:
+            return
+        try:
+            self.timeline.record_run(run_dir)
+            self.obs.metrics.counter(
+                "service_timeline_appends_total", volatile=True,
+                source="run",
+            ).inc()
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "timeline: could not record %s: %s", run_dir, error
+            )
+
+    def _record_timeline_bench(self, path: Path) -> Dict[str, object]:
+        """Append a bench file's trajectory to the timeline, then run
+        the regression sentinel over the touched series and persist the
+        verdicts as ``<stem>.regressions.json`` next to the output."""
+        if self.timeline is None:
+            return {}
+        from repro.obs.sentinel import check_series, write_regressions
+
+        try:
+            entries = self.timeline.record_bench(path)
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "timeline: could not record %s: %s", path, error
+            )
+            return {}
+        self.obs.metrics.counter(
+            "service_timeline_appends_total", volatile=True,
+            source="bench",
+        ).inc()
+        reports = []
+        for series_key in sorted({e.series_key for e in entries}):
+            report = check_series(self.timeline, series_key)
+            if report is not None:
+                reports.append(report)
+        regressions_path = path.with_name(
+            path.stem + ".regressions.json"
+        )
+        payload = write_regressions(regressions_path, reports)
+        self.obs.metrics.counter(
+            "service_sentinel_checks_total", volatile=True,
+            status=payload["status"],
+        ).inc()
+        return {
+            "regressions_path": str(regressions_path),
+            "regression_status": payload["status"],
         }

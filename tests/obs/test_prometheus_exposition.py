@@ -1,0 +1,243 @@
+"""A pure-Python Prometheus text-exposition parser, pointed at
+:meth:`MetricsRegistry.render_prometheus`.
+
+The existing metrics tests assert substrings; this one actually
+*parses* the exposition — HELP/TYPE headers, label-value escaping,
+histogram bucket monotonicity — so a malformed rendering (the kind a
+real scrape would reject) fails here first.  It covers both metric
+families: the pipeline's (probes, artifact cache, campaigns) and the
+service plane's (requests, jobs, timeline).
+"""
+
+import re
+
+import pytest
+
+from repro.obs.metrics import FAMILY_HELP, MetricsRegistry
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"')
+        .replace(r"\\", "\\")
+    )
+
+
+def parse_exposition(text: str):
+    """Parse one exposition into (families, samples).
+
+    families: {name: {"type": ..., "help": ... or None}}
+    samples:  [(name, {label: value}, float)]
+    Raises AssertionError on any format violation.
+    """
+    families = {}
+    samples = []
+    last_header = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {line_number}: {line!r}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name, f"HELP without a family name ({where})"
+            assert help_text.strip(), f"empty HELP text ({where})"
+            assert name not in families, (
+                f"duplicate HELP for {name} ({where})"
+            )
+            families[name] = {"type": None, "help": help_text}
+            last_header = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, mtype = rest.partition(" ")
+            assert mtype in ("counter", "gauge", "histogram"), (
+                f"unknown TYPE {mtype!r} ({where})"
+            )
+            entry = families.setdefault(name, {"type": None, "help": None})
+            assert entry["type"] is None, (
+                f"duplicate TYPE for {name} ({where})"
+            )
+            # A HELP line, when present, must directly precede TYPE.
+            if entry["help"] is not None:
+                assert last_header == name, (
+                    f"HELP for {name} not adjacent to its TYPE ({where})"
+                )
+            entry["type"] = mtype
+            last_header = name
+            continue
+        assert not line.startswith("#"), f"stray comment ({where})"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample ({where})"
+        name = match.group("name")
+        labels = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for pair in _LABEL.finditer(raw):
+                labels[pair.group(1)] = _unescape(pair.group(2))
+                consumed = pair.end()
+            rest = raw[consumed:].strip(", ")
+            assert not rest, f"trailing label garbage {rest!r} ({where})"
+        value = (
+            float("inf") if match.group("value") == "+Inf"
+            else float(match.group("value"))
+        )
+        samples.append((name, labels, value))
+    # Every sample must belong to a TYPEd family (histograms expose
+    # _bucket/_sum/_count under the family name).
+    for name, _, _ in samples:
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in families or family in families, (
+            f"sample {name} has no TYPE header"
+        )
+    return families, samples
+
+
+@pytest.fixture()
+def registry():
+    """Both metric families populated: pipeline + service."""
+    m = MetricsRegistry()
+    # Pipeline family.
+    m.counter("probes_total", kind="dns").inc(41)
+    m.counter("probes_total", kind="http").inc(7)
+    m.counter("artifact_cache_hits_total").inc(3)
+    m.gauge("campaign_records_per_s", volatile=True).set(1234.5)
+    m.histogram(
+        "shard_merge_records", buckets=(10.0, 100.0, 1000.0),
+    ).observe(42)
+    # Service family.
+    m.counter(
+        "service_requests_total", volatile=True,
+        method="GET", route="runs",
+    ).inc()
+    m.counter(
+        "service_responses_total", volatile=True,
+        route="runs", code="200",
+    ).inc()
+    m.gauge("service_jobs", volatile=True, status="pending").set(2)
+    for value in (0.004, 0.02, 0.02, 3.0):
+        m.histogram(
+            "service_request_seconds", volatile=True, route="runs",
+            buckets=(0.001, 0.01, 0.1, 1.0),
+        ).observe(value)
+    return m
+
+
+def test_exposition_parses_clean(registry):
+    families, samples = parse_exposition(registry.render_prometheus())
+    assert families["probes_total"]["type"] == "counter"
+    assert families["service_jobs"]["type"] == "gauge"
+    assert families["service_request_seconds"]["type"] == "histogram"
+    assert samples
+
+
+def test_known_families_carry_their_help(registry):
+    families, _ = parse_exposition(registry.render_prometheus())
+    for name in ("probes_total", "artifact_cache_hits_total",
+                 "service_requests_total", "service_responses_total",
+                 "service_request_seconds", "service_jobs"):
+        assert families[name]["help"] == FAMILY_HELP[name]
+
+
+def test_counter_values_survive_round_trip(registry):
+    _, samples = parse_exposition(registry.render_prometheus())
+    by_key = {
+        (name, tuple(sorted(labels.items()))): value
+        for name, labels, value in samples
+    }
+    assert by_key[("probes_total", (("kind", "dns"),))] == 41
+    assert by_key[("probes_total", (("kind", "http"),))] == 7
+    assert by_key[(
+        "service_responses_total",
+        (("code", "200"), ("route", "runs")),
+    )] == 1
+
+
+def test_histogram_buckets_are_monotone_and_consistent(registry):
+    _, samples = parse_exposition(registry.render_prometheus())
+    for family in ("service_request_seconds", "shard_merge_records"):
+        buckets = [
+            (labels, value) for name, labels, value in samples
+            if name == f"{family}_bucket"
+        ]
+        assert buckets, f"no buckets for {family}"
+        bounds = [float(labels["le"]) for labels, _ in buckets]
+        counts = [value for _, value in buckets]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == float("inf")
+        assert counts == sorted(counts), (
+            f"{family} cumulative bucket counts not monotone: {counts}"
+        )
+        total = [
+            value for name, _, value in samples
+            if name == f"{family}_count"
+        ]
+        assert total == [counts[-1]], (
+            f"{family} +Inf bucket must equal _count"
+        )
+    # The latency histogram observed 4 values, one over every bound.
+    latency_counts = [
+        value for name, labels, value in samples
+        if name == "service_request_seconds_bucket"
+    ]
+    assert latency_counts == [0, 1, 3, 3, 4]
+
+
+def test_label_values_are_escaped(registry):
+    registry.counter(
+        "probes_blocked_total",
+        reason='fault "drill"\nwith\\slash',
+    ).inc()
+    text = registry.render_prometheus()
+    assert '\\"drill\\"' in text
+    assert "\\n" in text
+    assert "\\\\slash" in text
+    _, samples = parse_exposition(text)
+    (labels,) = [
+        labels for name, labels, _ in samples
+        if name == "probes_blocked_total"
+    ]
+    assert labels["reason"] == 'fault "drill"\nwith\\slash'
+
+
+def test_unknown_family_renders_without_help():
+    m = MetricsRegistry()
+    m.counter("bespoke_total").inc()
+    families, _ = parse_exposition(m.render_prometheus())
+    assert families["bespoke_total"]["type"] == "counter"
+    assert families["bespoke_total"]["help"] is None
+
+
+def test_explicit_help_wins_over_registry_table():
+    m = MetricsRegistry()
+    m.counter("bespoke_total", help="A bespoke counter.").inc()
+    families, _ = parse_exposition(m.render_prometheus())
+    assert families["bespoke_total"]["help"] == "A bespoke counter."
+
+
+def test_service_api_metrics_endpoint_parses(tmp_path):
+    """The real /metrics payload (repository gauges included) is a
+    valid exposition."""
+    from repro.service.api import ServiceAPI
+    from repro.service.repository import RunRepository
+
+    repository = RunRepository(tmp_path)
+    repository.scan()
+    api = ServiceAPI(repository)
+    api.handle("GET", "/health", None)
+    status, content_type, payload = api.handle("GET", "/metrics", None)
+    repository.close()
+    assert status == 200
+    assert content_type == "text/plain"
+    families, samples = parse_exposition(payload)
+    assert families["service_requests_total"]["type"] == "counter"
+    assert families["service_request_seconds"]["type"] == "histogram"
+    assert any(name == "service_indexed_runs" for name, _, _ in samples)

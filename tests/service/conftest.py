@@ -53,7 +53,9 @@ def repo_root(populated_root, tmp_path):
     root = tmp_path / "repo"
     shutil.copytree(
         populated_root, root,
-        ignore=shutil.ignore_patterns(".repro-index.sqlite", "jobs"),
+        ignore=shutil.ignore_patterns(
+            ".repro-index.sqlite", ".repro-timeline.sqlite", "jobs",
+        ),
     )
     return root
 
